@@ -1,0 +1,98 @@
+package queueinf
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// This file exposes the advanced layers of the library: MCMC diagnostics,
+// general (non-exponential) service families, model selection, streaming
+// estimation over non-stationary workloads, time-windowed retrospective
+// diagnosis, and the classical steady-state baseline.
+
+// Re-exported advanced types.
+type (
+	// Diagnostics holds ESS/R̂ convergence measures and credible
+	// intervals for posterior waiting-time estimates.
+	Diagnostics = core.Diagnostics
+	// DiagnosticsOptions configures PosteriorDiagnostics.
+	DiagnosticsOptions = core.DiagnosticsOptions
+	// ServiceModel is a parametric service family for the generalized
+	// (M/G/1) sampler.
+	ServiceModel = core.ServiceModel
+	// ExpModel, GammaModel, LogNormalModel and WeibullModel are the
+	// built-in families.
+	ExpModel       = core.ExpModel
+	GammaModel     = core.GammaModel
+	LogNormalModel = core.LogNormalModel
+	WeibullModel   = core.WeibullModel
+	// GeneralEMResult is the outcome of GeneralStEM.
+	GeneralEMResult = core.GeneralEMResult
+	// CandidateSet names a service family for model selection.
+	CandidateSet = core.CandidateSet
+	// SelectionResult ranks candidate families.
+	SelectionResult = core.SelectionResult
+	// BlockEstimate is one block of a streaming estimation run.
+	BlockEstimate = core.BlockEstimate
+	// StreamingOptions configures StreamingEstimate.
+	StreamingOptions = core.StreamingOptions
+	// WindowStats summarizes one queue over one time window.
+	WindowStats = trace.WindowStats
+	// SteadyStateBaseline is the classical steady-state estimator used
+	// as a comparison point.
+	SteadyStateBaseline = core.SteadyStateBaseline
+)
+
+// PosteriorDiagnostics runs several independent Gibbs chains and reports
+// per-queue effective sample sizes, Gelman–Rubin R̂, and credible intervals
+// for the mean waiting times. The input set is not modified.
+func PosteriorDiagnostics(es *EventSet, params Params, rng *RNG, opts DiagnosticsOptions) (*Diagnostics, error) {
+	return core.DiagnosePosterior(es, params, rng, opts)
+}
+
+// GeneralStEM estimates arbitrary parametric service families
+// (Metropolis-within-Gibbs E-steps, per-family refits as M-steps) — the
+// paper's "more general service distributions" extension.
+func GeneralStEM(es *EventSet, models []ServiceModel, rng *RNG, opts EMOptions) (*GeneralEMResult, error) {
+	return core.GeneralStEM(es, models, rng, opts)
+}
+
+// DefaultModelCandidates returns the built-in service families for model
+// selection: exponential, gamma, lognormal, Weibull.
+func DefaultModelCandidates() []CandidateSet { return core.DefaultCandidates() }
+
+// SelectServiceModel fits every candidate family and ranks them by AIC on
+// the exactly identified service times of the observation mask.
+func SelectServiceModel(es *EventSet, candidates []CandidateSet, rng *RNG, opts EMOptions, minSamples int) (*SelectionResult, error) {
+	return core.SelectServiceModel(es, candidates, rng, opts, minSamples)
+}
+
+// StreamingEstimate processes the trace in consecutive task blocks with
+// warm-started StEM — mini-batch "online" estimation that tracks
+// non-stationary workloads.
+func StreamingEstimate(es *EventSet, rng *RNG, opts StreamingOptions) ([]BlockEstimate, error) {
+	return core.StreamingEstimate(es, rng, opts)
+}
+
+// PosteriorWindows averages time-windowed per-queue waiting times over
+// posterior sweeps: the retrospective "what was the bottleneck five
+// minutes ago?" analysis. Windows partition [lo, hi) into n intervals.
+func PosteriorWindows(es *EventSet, params Params, rng *RNG, opts PosteriorOptions, lo, hi float64, n int) ([][]WindowStats, error) {
+	return core.PosteriorWindows(es, params, rng, opts, lo, hi, n)
+}
+
+// SteadyStateEstimate computes the classical steady-state M/M/1 inversion
+// from observed events only — the "traditional queueing theory" baseline
+// whose failure under transient overload motivates the paper.
+func SteadyStateEstimate(es *EventSet) *SteadyStateBaseline {
+	return core.SteadyStateEstimate(es)
+}
+
+// SplitRNG returns an independent RNG stream (deterministic given the
+// parent's state); useful for parallel experiment replicates.
+func SplitRNG(r *RNG) *RNG { return r.Split() }
+
+// WriteTraceCSV emits the trace as CSV for external analysis.
+func WriteTraceCSV(es *EventSet, w io.Writer) error { return es.WriteCSV(w) }

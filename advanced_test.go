@@ -1,0 +1,159 @@
+package queueinf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPosteriorDiagnosticsPublic(t *testing.T) {
+	rng := NewRNG(21)
+	net, err := MM1(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := truth.Clone()
+	working.ObserveTasks(rng, 0.3)
+	params, err := func() (Params, error) {
+		em, err := StEM(working.Clone(), rng, EMOptions{Iterations: 200})
+		if err != nil {
+			return Params{}, err
+		}
+		return em.Params, nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := PosteriorDiagnostics(working, params, rng, DiagnosticsOptions{Chains: 2, Sweeps: 200, BurnIn: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.RHat) != working.NumQueues || d.Chains != 2 {
+		t.Fatalf("bad diagnostics shape: %+v", d)
+	}
+}
+
+func TestGeneralStEMPublic(t *testing.T) {
+	rng := NewRNG(22)
+	net, err := MM1(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := truth.Clone()
+	working.ObserveTasks(rng, 0.4)
+	models := []ServiceModel{ExpModel{Rate: 2}, GammaModel{Shape: 1, Rate: 6}}
+	res, err := GeneralStEM(working, models, rng, EMOptions{Iterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanService[1]-1.0/6) > 0.08 {
+		t.Fatalf("general StEM mean service %v, want ≈%v", res.MeanService[1], 1.0/6)
+	}
+}
+
+func TestModelSelectionPublic(t *testing.T) {
+	rng := NewRNG(23)
+	net, err := MM1(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := truth.Clone()
+	working.ObserveTasks(rng, 0.5)
+	res, err := SelectServiceModel(working, DefaultModelCandidates(), rng, EMOptions{Iterations: 150}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) != 4 {
+		t.Fatalf("ranked %d families, want 4", len(res.Ranked))
+	}
+	if res.Best().Name == "" {
+		t.Fatal("empty winner")
+	}
+}
+
+func TestStreamingAndWindowsPublic(t *testing.T) {
+	rng := NewRNG(24)
+	net, err := MM1(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(rng, 0.4)
+	blocks, err := StreamingEstimate(truth.Clone(), rng, StreamingOptions{Blocks: 2, EM: EMOptions{Iterations: 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || blocks[0].ToTask != 200 {
+		t.Fatalf("blocks wrong: %+v", blocks)
+	}
+	em, err := StEM(truth.Clone(), rng, EMOptions{Iterations: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := truth.Clone()
+	if err := (OrderInitializer{}).Initialize(working, em.Params); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := PosteriorWindows(working, em.Params, rng, PosteriorOptions{Sweeps: 30}, 0, truth.TaskExit(399), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != truth.NumQueues || len(ws[1]) != 4 {
+		t.Fatalf("window shape wrong")
+	}
+}
+
+func TestSteadyStateEstimatePublic(t *testing.T) {
+	rng := NewRNG(25)
+	net, err := MM1(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(rng, 0.4)
+	b := SteadyStateEstimate(truth)
+	if math.IsNaN(b.MeanService[1]) {
+		t.Fatal("baseline failed with observations present")
+	}
+}
+
+func TestWriteTraceCSVPublic(t *testing.T) {
+	rng := NewRNG(26)
+	net, err := MM1(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(truth, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "arrival") {
+		t.Fatal("CSV missing header")
+	}
+	if SplitRNG(rng) == nil {
+		t.Fatal("split rng nil")
+	}
+}

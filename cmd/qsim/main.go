@@ -1,0 +1,121 @@
+// Command qsim simulates a queueing network and writes the resulting trace
+// as JSON, optionally masking observations at the task level. The output is
+// the interchange format consumed by qinfer and qdiag.
+//
+// Usage:
+//
+//	qsim -tiers 1,2,4 -lambda 10 -mu 5 -tasks 1000 -observe 0.1 -out trace.json
+//	qsim -webapp -out webapp.json            # the paper's §5.2 system
+//	qsim -tiers 2,2 -ramp 1:5:100 ...        # linearly ramped load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	tiers := flag.String("tiers", "1,2,4", "replica counts per tier, comma-separated")
+	lambda := flag.Float64("lambda", 10, "arrival rate")
+	mu := flag.Float64("mu", 5, "service rate of every queue")
+	tasks := flag.Int("tasks", 1000, "number of tasks")
+	observe := flag.Float64("observe", 1.0, "fraction of tasks whose arrivals are marked observed")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	out := flag.String("out", "-", "output file (default stdout)")
+	ramp := flag.String("ramp", "", "optional ramped workload start:end:duration (overrides -lambda)")
+	webappFlag := flag.Bool("webapp", false, "simulate the paper's §5.2 web application instead")
+	flag.Parse()
+
+	rng := queueinf.NewRNG(*seed)
+	var (
+		es  *queueinf.EventSet
+		err error
+	)
+	if *webappFlag {
+		es, _, err = queueinf.WebApp(queueinf.DefaultWebAppConfig(), rng)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var replicas []int
+		for _, part := range strings.Split(*tiers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fatal(fmt.Errorf("bad -tiers entry %q", part))
+			}
+			replicas = append(replicas, n)
+		}
+		specs := make([]queueinf.TierSpec, len(replicas))
+		for i, n := range replicas {
+			specs[i] = queueinf.TierSpec{
+				Name:     fmt.Sprintf("tier%d", i),
+				Replicas: n,
+				Service:  queueinf.Exponential(*mu),
+			}
+		}
+		net, err := queueinf.Tiered(queueinf.Exponential(*lambda), specs)
+		if err != nil {
+			fatal(err)
+		}
+		if *ramp != "" {
+			parts := strings.Split(*ramp, ":")
+			if len(parts) != 3 {
+				fatal(fmt.Errorf("bad -ramp %q, want start:end:duration", *ramp))
+			}
+			var vals [3]float64
+			for i, p := range parts {
+				v, err := strconv.ParseFloat(p, 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad -ramp value %q", p))
+				}
+				vals[i] = v
+			}
+			gen := queueinf.RampWorkload(vals[0], vals[1], vals[2])
+			es, err = queueinf.SimulateEntries(net, rng, gen.Entries(rng, *tasks))
+		} else {
+			es, err = queueinf.Simulate(net, rng, *tasks)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *observe < 1.0 {
+		es.ObserveTasks(rng, *observe)
+	} else {
+		es.ObserveTaskIDs(allTasks(es.NumTasks))
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := queueinf.SaveTraceJSON(es, w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "qsim: wrote %d events (%d tasks, %d queues, %d observed arrivals)\n",
+		len(es.Events), es.NumTasks, es.NumQueues, es.NumObservedArrivals())
+}
+
+func allTasks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qsim: %v\n", err)
+	os.Exit(1)
+}

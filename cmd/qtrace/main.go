@@ -1,0 +1,88 @@
+// Command qtrace inspects a JSON trace: per-queue event counts,
+// utilizations, busy periods, service/waiting summaries (ground truth as
+// recorded in the file), and the observation mask. It answers "what does
+// this trace look like?" before any inference is run.
+//
+// Usage:
+//
+//	qtrace -in trace.json
+//	qtrace -in trace.json -windows 6    # add a windowed load breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace JSON (required; - for stdin)")
+	windows := flag.Int("windows", 0, "optionally print per-window waiting times")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "qtrace: -in is required")
+		os.Exit(2)
+	}
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	es, err := queueinf.LoadTraceJSON(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace: %d events, %d tasks, %d queues, %d observed arrivals\n\n",
+		len(es.Events), es.NumTasks, es.NumQueues, es.NumObservedArrivals())
+
+	svc := es.MeanServiceByQueue()
+	wait := es.MeanWaitByQueue()
+	counts := es.CountByQueue()
+	fmt.Printf("%-6s  %-7s  %-9s  %-9s  %-6s  %-12s\n",
+		"queue", "events", "mean svc", "mean wait", "util", "busy periods")
+	for q := 0; q < es.NumQueues; q++ {
+		bp := es.BusyPeriods(q)
+		fmt.Printf("q%-5d  %-7d  %-9.4f  %-9.4f  %-6.2f  %-12d\n",
+			q, counts[q], svc[q], wait[q], es.Utilization(q), len(bp))
+	}
+
+	// Slowest 1% decomposition.
+	k := es.NumTasks / 100
+	if k > 0 {
+		slow := es.SlowestTasks(k)
+		shares := es.TaskTimeByQueue(slow)
+		fmt.Printf("\nslowest 1%% of tasks (%d): time shares per queue:", k)
+		for q := 1; q < es.NumQueues; q++ {
+			fmt.Printf(" q%d=%.0f%%", q, shares[q]*100)
+		}
+		fmt.Println()
+	}
+
+	if *windows > 0 {
+		first := es.TaskEntry(0)
+		last := es.TaskExit(es.NumTasks - 1)
+		ws, err := es.WindowedStats(first, last, *windows)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwindowed mean waiting time (%d windows over [%.1f, %.1f)):\n", *windows, first, last)
+		for q := 1; q < es.NumQueues; q++ {
+			fmt.Printf("q%-3d", q)
+			for w := 0; w < *windows; w++ {
+				fmt.Printf("  %8.4f", ws[q][w].MeanWait)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qtrace: %v\n", err)
+	os.Exit(1)
+}

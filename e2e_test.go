@@ -1,0 +1,80 @@
+package queueinf_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the command-line tools and exercises the
+// qsim → qtrace → qinfer → qdiag pipeline end to end through their real
+// binaries.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds four binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"qsim", "qinfer", "qdiag", "qtrace"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	tracePath := filepath.Join(dir, "trace.json")
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[name], args...)
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, b)
+		}
+		return string(b)
+	}
+
+	out := run("qsim", "-tiers", "1,2", "-tasks", "300", "-observe", "0.3",
+		"-lambda", "8", "-mu", "5", "-seed", "3", "-out", tracePath)
+	if !strings.Contains(out, "900 events") {
+		t.Fatalf("qsim output unexpected:\n%s", out)
+	}
+
+	out = run("qtrace", "-in", tracePath)
+	if !strings.Contains(out, "900 events") || !strings.Contains(out, "busy periods") {
+		t.Fatalf("qtrace output unexpected:\n%s", out)
+	}
+
+	out = run("qinfer", "-in", tracePath, "-iters", "200", "-sweeps", "20", "-json")
+	var res struct {
+		Lambda      float64   `json:"lambda"`
+		MeanService []float64 `json:"mean_service"`
+		MeanWait    []float64 `json:"mean_wait"`
+		Events      int       `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("qinfer JSON: %v\n%s", err, out)
+	}
+	if res.Events != 900 || len(res.MeanService) != 4 {
+		t.Fatalf("qinfer result shape: %+v", res)
+	}
+	if res.Lambda < 4 || res.Lambda > 12 {
+		t.Fatalf("λ̂ = %v implausible (true 8)", res.Lambda)
+	}
+	for q := 1; q < 4; q++ {
+		if res.MeanService[q] < 0.05 || res.MeanService[q] > 0.6 {
+			t.Fatalf("mean service[%d] = %v implausible (true 0.2)", q, res.MeanService[q])
+		}
+	}
+
+	out = run("qdiag", "-in", tracePath, "-iters", "200", "-sweeps", "20",
+		"-names", "q0,web,app0,app1")
+	if !strings.Contains(out, "verdict:") || !strings.Contains(out, "web") {
+		t.Fatalf("qdiag output unexpected:\n%s", out)
+	}
+}

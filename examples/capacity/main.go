@@ -1,0 +1,68 @@
+// Capacity: the paper's first listed application — "predict the amount of
+// load that will cause a system to become unresponsive, without actually
+// allowing it to fail". A lightly loaded three-tier system is observed at
+// 10%; the estimated model (rates + empirical routing) is then re-simulated
+// at hypothetical load multipliers to find the saturation point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	rng := queueinf.NewRNG(77)
+
+	// A healthy production-like system: λ=2/s into three tiers at ρ≤0.33.
+	net, err := queueinf.Tiered(queueinf.Exponential(2), []queueinf.TierSpec{
+		{Name: "web", Replicas: 2, Service: queueinf.Exponential(6)},
+		{Name: "app", Replicas: 1, Service: queueinf.Exponential(7)},
+		{Name: "db", Replicas: 1, Service: queueinf.Exponential(9)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := queueinf.Simulate(net, rng, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	working := truth.Clone()
+	working.ObserveTasks(rng, 0.10)
+
+	em, err := queueinf.StEM(working, rng, queueinf.EMOptions{Iterations: 800})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated from 10%% of %d requests: λ̂=%.2f/s, mean services %v\n\n",
+		truth.NumTasks, em.Params.Rates[0], round(em.Params.MeanServiceTimes()))
+
+	forecasts, err := queueinf.WhatIf(working, em.Params, rng, 4000,
+		1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-5s  %-9s  %-10s  %-8s  %-8s  %-6s  %s\n",
+		"load", "λ(req/s)", "mean resp", "p95", "p99", "max ρ", "verdict")
+	for _, f := range forecasts {
+		verdict := "ok"
+		if f.Saturated {
+			verdict = "SATURATED — latency grows without bound"
+		} else if f.MaxRho > 0.8 {
+			verdict = "approaching saturation"
+		}
+		fmt.Printf("%4.1fx  %-9.2f  %-10.3f  %-8.3f  %-8.3f  %-6.2f  %s\n",
+			f.LambdaScale, f.Lambda, f.MeanResponse, f.P95, f.P99, f.MaxRho, verdict)
+	}
+	fmt.Println("\nthe knee appears where the bottleneck tier's offered load ρ crosses 1 —")
+	fmt.Println("predicted entirely from 10% of a calm trace, without stressing the system.")
+}
+
+func round(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(int(x*1000+0.5)) / 1000
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package queueinf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Capacity planning — the first application the paper lists ("queueing
+// models predict the explosion in system latency under high workload ...
+// allowing the model to extrapolate from performance under low load to
+// performance under high load"). EstimatedNetwork turns a partial trace
+// plus StEM parameters back into a generative model; Forecast re-simulates
+// it under scaled load and summarizes the predicted latency distribution.
+
+// EstimatedNetwork reconstructs a network from a trace and estimated
+// rates: exponential services at the estimated rates and empirical Markov
+// routing over queues. names may be nil.
+func EstimatedNetwork(es *EventSet, params Params, names []string) (*Network, error) {
+	return qnet.FromTrace(es, params.Rates, names)
+}
+
+// Forecast is the predicted end-to-end latency under a hypothetical load.
+type Forecast struct {
+	// LambdaScale is the arrival-rate multiplier relative to the
+	// estimated λ.
+	LambdaScale float64
+	// Lambda is the absolute simulated arrival rate.
+	Lambda float64
+	// MeanResponse and quantiles of the simulated end-to-end response.
+	MeanResponse  float64
+	P50, P95, P99 float64
+	// Saturated reports whether some queue's offered load ρ_q =
+	// λ·visits_q/µ_q reaches 1 — the latency-explosion regime, where the
+	// simulated mean keeps growing with the horizon instead of
+	// converging.
+	Saturated bool
+	// MaxRho is the largest per-queue offered load ρ_q.
+	MaxRho float64
+	// MaxUtilization is the largest per-queue empirical utilization in
+	// the simulated forecast (≤ 1 by construction).
+	MaxUtilization float64
+}
+
+// WhatIf simulates the estimated network under the estimated arrival rate
+// scaled by each factor, pushing tasks tasks through per scenario, and
+// returns one Forecast per factor (sorted by factor). This answers the
+// capacity question "at what load does the system become unresponsive?"
+// from a fraction of the original trace.
+func WhatIf(es *EventSet, params Params, rng *RNG, tasks int, factors ...float64) ([]Forecast, error) {
+	if tasks <= 0 {
+		return nil, fmt.Errorf("queueinf: WhatIf needs positive task count")
+	}
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("queueinf: WhatIf needs at least one load factor")
+	}
+	net, err := EstimatedNetwork(es, params, nil)
+	if err != nil {
+		return nil, err
+	}
+	lambda := params.Rates[0]
+	visits := net.Routing.ExpectedVisits()
+	var out []Forecast
+	for _, f := range factors {
+		if !(f > 0) {
+			return nil, fmt.Errorf("queueinf: load factor %v must be positive", f)
+		}
+		scaled := net.Queues
+		// Replace q0's interarrival distribution with the scaled rate.
+		scaledQueues := append([]Queue(nil), scaled...)
+		scaledQueues[0].Service = Exponential(lambda * f)
+		scaledNet, err := qnet.New(scaledQueues, net.Routing)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := sim.Run(scaledNet, rng, sim.Options{Tasks: tasks})
+		if err != nil {
+			return nil, err
+		}
+		responses := make([]float64, tr.NumTasks)
+		for k := range responses {
+			responses[k] = tr.TaskExit(k) - tr.TaskEntry(k)
+		}
+		qs := stats.Quantiles(responses, 0.5, 0.95, 0.99)
+		fc := Forecast{
+			LambdaScale:  f,
+			Lambda:       lambda * f,
+			MeanResponse: stats.Mean(responses),
+			P50:          qs[0],
+			P95:          qs[1],
+			P99:          qs[2],
+		}
+		for q := 1; q < tr.NumQueues; q++ {
+			if u := tr.Utilization(q); !math.IsNaN(u) && u > fc.MaxUtilization {
+				fc.MaxUtilization = u
+			}
+			if rho := lambda * f * visits[q] / params.Rates[q]; rho > fc.MaxRho {
+				fc.MaxRho = rho
+			}
+		}
+		fc.Saturated = fc.MaxRho >= 1
+		out = append(out, fc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LambdaScale < out[j].LambdaScale })
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package queueinf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimatedNetworkRecoversRouting(t *testing.T) {
+	rng := NewRNG(31)
+	net, err := ThreeTier(4, 8, [3]int{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := func() (Params, error) {
+		em, err := StEM(truth.Clone(), rng, EMOptions{Iterations: 50})
+		return em.Params, err
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimatedNetwork(truth, params, net.QueueNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected visits must match the original tiered structure: every
+	// task visits tier 1 once, splits across the two tier-2 replicas, and
+	// visits the db once.
+	v := est.Routing.ExpectedVisits()
+	if math.Abs(v[1]-1) > 0.02 || math.Abs(v[4]-1) > 0.02 {
+		t.Fatalf("visit rates %v, want 1 at queues 1 and 4", v)
+	}
+	if math.Abs(v[2]+v[3]-1) > 0.02 {
+		t.Fatalf("tier-2 visits %v+%v, want ≈1", v[2], v[3])
+	}
+	if math.Abs(v[2]-0.5) > 0.07 {
+		t.Fatalf("replica split %v, want ≈0.5", v[2])
+	}
+}
+
+func TestWhatIfPredictsLatencyExplosion(t *testing.T) {
+	rng := NewRNG(32)
+	// Lightly loaded system: λ=2 into µ=8 tiers (ρ=0.25).
+	net, err := ThreeTier(2, 8, [3]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := truth.Clone()
+	working.ObserveTasks(rng, 0.2)
+	em, err := StEM(working, rng, EMOptions{Iterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forecasts, err := WhatIf(working, em.Params, rng, 4000, 1, 2, 3, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forecasts) != 4 {
+		t.Fatalf("got %d forecasts", len(forecasts))
+	}
+	// Latency must increase monotonically with load and explode past
+	// saturation (ρ ≈ 0.25·4.5 > 1 at the last factor).
+	for i := 1; i < len(forecasts); i++ {
+		if forecasts[i].MeanResponse <= forecasts[i-1].MeanResponse {
+			t.Errorf("mean response not increasing: %v", forecasts)
+		}
+	}
+	if forecasts[0].Saturated {
+		t.Errorf("base load reported saturated: %+v", forecasts[0])
+	}
+	if !forecasts[3].Saturated {
+		t.Errorf("4.5x load not reported saturated: %+v", forecasts[3])
+	}
+	if forecasts[3].MeanResponse < 8*forecasts[0].MeanResponse {
+		t.Errorf("no latency explosion: base %v vs 4.5x %v",
+			forecasts[0].MeanResponse, forecasts[3].MeanResponse)
+	}
+	// Sanity on the base forecast: mean response should be near the
+	// analytic 3 queues × 1/(µ−λ) = 3/6 = 0.5.
+	if math.Abs(forecasts[0].MeanResponse-0.5) > 0.15 {
+		t.Errorf("base mean response %v, want ≈0.5", forecasts[0].MeanResponse)
+	}
+}
+
+func TestWhatIfValidation(t *testing.T) {
+	rng := NewRNG(33)
+	net, err := MM1(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := func() (Params, error) {
+		em, err := StEM(truth.Clone(), rng, EMOptions{Iterations: 30})
+		return em.Params, err
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WhatIf(truth, params, rng, 0, 1); err == nil {
+		t.Error("zero tasks should fail")
+	}
+	if _, err := WhatIf(truth, params, rng, 10); err == nil {
+		t.Error("no factors should fail")
+	}
+	if _, err := WhatIf(truth, params, rng, 10, -1); err == nil {
+		t.Error("negative factor should fail")
+	}
+}

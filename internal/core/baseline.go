@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SteadyStateBaseline is the "traditional queueing theory" estimator the
+// paper argues against: assume every queue is an M/M/1 in steady state and
+// invert the response-time formula W = 1/(µ − λ_q) using only the observed
+// events. The effective per-queue arrival rate λ_q is estimated from the
+// observed visit fractions times the estimated system arrival rate.
+//
+// Its failure modes are exactly the paper's §1 critique: it has no notion
+// of transient overload (ρ_q >= 1 yields a nonsensical µ̂ barely above
+// λ_q), it cannot use unobserved events at all, and it answers "what if?"
+// questions with steady-state answers even when asked "what happened?".
+// It is provided as the comparison point for EXPERIMENTS.md.
+type SteadyStateBaseline struct {
+	// MeanService[q] is the implied 1/µ̂_q (NaN when inestimable).
+	MeanService []float64
+	// MeanWait[q] is the implied steady-state waiting time ρ̂/(µ̂−λ̂_q).
+	MeanWait []float64
+	// LambdaQ[q] is the estimated effective arrival rate at q.
+	LambdaQ []float64
+}
+
+// SteadyStateEstimate computes the baseline from the observed events of a
+// partially observed trace.
+func SteadyStateEstimate(es *trace.EventSet) *SteadyStateBaseline {
+	nq := es.NumQueues
+	b := &SteadyStateBaseline{
+		MeanService: make([]float64, nq),
+		MeanWait:    make([]float64, nq),
+		LambdaQ:     make([]float64, nq),
+	}
+	lambda := observedArrivalRate(es)
+
+	// Observed visit counts per queue and observed-task count.
+	visits := make([]float64, nq)
+	obsTasks := map[int]bool{}
+	responses := make([][]float64, nq)
+	for i := range es.Events {
+		e := &es.Events[i]
+		if e.Initial() || !e.ObsArrival {
+			continue
+		}
+		obsTasks[e.Task] = true
+		visits[e.Queue]++
+		pinned := false
+		if e.NextT != trace.None {
+			pinned = es.Events[e.NextT].ObsArrival
+		} else {
+			pinned = e.ObsDepart
+		}
+		if pinned {
+			if resp := e.Depart - e.Arrival; resp > 0 {
+				responses[e.Queue] = append(responses[e.Queue], resp)
+			}
+		}
+	}
+	nObs := float64(len(obsTasks))
+	for q := 1; q < nq; q++ {
+		if nObs == 0 || len(responses[q]) == 0 {
+			b.MeanService[q] = math.NaN()
+			b.MeanWait[q] = math.NaN()
+			b.LambdaQ[q] = math.NaN()
+			continue
+		}
+		// Visits per observed task × system arrival rate.
+		lamQ := visits[q] / nObs * lambda
+		w := stats.Mean(responses[q]) // observed mean response = 1/(µ−λ) in steady state
+		mu := lamQ + 1/w
+		b.LambdaQ[q] = lamQ
+		b.MeanService[q] = 1 / mu
+		rho := lamQ / mu
+		b.MeanWait[q] = rho / (mu - lamQ)
+	}
+	return b
+}

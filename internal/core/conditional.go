@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// condSpec is an allocation-free builder/sampler for the piecewise
+// log-linear full conditionals of the Gibbs sampler. An arrival move has at
+// most two interior breakpoints (the paper's A and B) and a departure move
+// at most one, so fixed-size arrays suffice. internal/piecewise is the
+// general reference implementation; tests assert the two agree.
+type condSpec struct {
+	lo, hi    float64 // support (hi may be +Inf)
+	baseSlope float64
+	nBreaks   int
+	breakAt   [2]float64
+	breakAdd  [2]float64 // slope increment when crossing breakAt upward
+}
+
+// reset initializes the spec to the interval (lo, hi) with the given base
+// slope of the log density.
+func (c *condSpec) reset(lo, hi, baseSlope float64) {
+	c.lo, c.hi, c.baseSlope = lo, hi, baseSlope
+	c.nBreaks = 0
+}
+
+// addTerm registers a log-density term whose slope increases by add for
+// x > at. Points at or below lo fold into the base slope; points at or
+// beyond hi are inert.
+func (c *condSpec) addTerm(at, add float64) {
+	if at <= c.lo {
+		c.baseSlope += add
+		return
+	}
+	if at >= c.hi {
+		return
+	}
+	// Insert keeping breakAt sorted (at most two entries).
+	if c.nBreaks == 1 && at < c.breakAt[0] {
+		c.breakAt[1], c.breakAdd[1] = c.breakAt[0], c.breakAdd[0]
+		c.breakAt[0], c.breakAdd[0] = at, add
+		c.nBreaks = 2
+		return
+	}
+	if c.nBreaks == 1 && at == c.breakAt[0] {
+		c.breakAdd[0] += add
+		return
+	}
+	c.breakAt[c.nBreaks] = at
+	c.breakAdd[c.nBreaks] = add
+	c.nBreaks++
+}
+
+// sample draws one value from the normalized density exp(f) where f is the
+// piecewise-linear function described by the spec. It requires lo < hi and,
+// when hi is +Inf, a negative final slope.
+func (c *condSpec) sample(r *xrand.RNG) float64 {
+	// Piece boundaries and slopes.
+	var edges [4]float64
+	var slopes [3]float64
+	np := 1
+	edges[0] = c.lo
+	slope := c.baseSlope
+	slopes[0] = slope
+	for b := 0; b < c.nBreaks; b++ {
+		edges[np] = c.breakAt[b]
+		slope += c.breakAdd[b]
+		slopes[np] = slope
+		np++
+	}
+	edges[np] = c.hi
+
+	// Per-piece log masses, with the log density anchored at f(lo) = 0.
+	var logZ [3]float64
+	f := 0.0
+	maxLZ := math.Inf(-1)
+	for i := 0; i < np; i++ {
+		w := edges[i+1] - edges[i]
+		logZ[i] = f + logIntExp(slopes[i], w)
+		if !math.IsInf(w, 1) {
+			f += slopes[i] * w
+		}
+		if logZ[i] > maxLZ {
+			maxLZ = logZ[i]
+		}
+	}
+	// Select a piece proportionally to exp(logZ).
+	var total float64
+	var wts [3]float64
+	for i := 0; i < np; i++ {
+		wts[i] = math.Exp(logZ[i] - maxLZ)
+		total += wts[i]
+	}
+	u := r.Float64() * total
+	pick := np - 1
+	for i := 0; i < np; i++ {
+		u -= wts[i]
+		if u < 0 {
+			pick = i
+			break
+		}
+	}
+	lo := edges[pick]
+	w := edges[pick+1] - lo
+	if math.IsInf(w, 1) {
+		return lo + r.Exp(-slopes[pick])
+	}
+	// Density ∝ exp(slope·t) on (0,w) is TruncExp with rate -slope.
+	return lo + r.TruncExp(-slopes[pick], w)
+}
+
+// logIntExp returns log ∫_0^w exp(m·x) dx for w > 0 (possibly +Inf with
+// m < 0), matching internal/piecewise.
+func logIntExp(m, w float64) float64 {
+	if math.IsInf(w, 1) {
+		return -math.Log(-m)
+	}
+	mw := m * w
+	switch {
+	case mw == 0:
+		return math.Log(w)
+	case mw > 0:
+		return mw + math.Log(-math.Expm1(-mw)/m)
+	default:
+		return math.Log(math.Expm1(mw) / m)
+	}
+}
+
+// logPDF evaluates the normalized log density at x (used by tests and the
+// generic-vs-specialized equivalence checks; the sampler itself never needs
+// it).
+func (c *condSpec) logPDF(x float64) float64 {
+	if x < c.lo || x > c.hi {
+		return math.Inf(-1)
+	}
+	var edges [4]float64
+	var slopes [3]float64
+	np := 1
+	edges[0] = c.lo
+	slope := c.baseSlope
+	slopes[0] = slope
+	for b := 0; b < c.nBreaks; b++ {
+		edges[np] = c.breakAt[b]
+		slope += c.breakAdd[b]
+		slopes[np] = slope
+		np++
+	}
+	edges[np] = c.hi
+	f := 0.0
+	var logTot float64
+	{
+		var lz [3]float64
+		m := math.Inf(-1)
+		ff := 0.0
+		for i := 0; i < np; i++ {
+			w := edges[i+1] - edges[i]
+			lz[i] = ff + logIntExp(slopes[i], w)
+			if !math.IsInf(w, 1) {
+				ff += slopes[i] * w
+			}
+			if lz[i] > m {
+				m = lz[i]
+			}
+		}
+		var s float64
+		for i := 0; i < np; i++ {
+			s += math.Exp(lz[i] - m)
+		}
+		logTot = m + math.Log(s)
+	}
+	for i := 0; i < np; i++ {
+		if x <= edges[i+1] || i == np-1 {
+			return f + slopes[i]*(x-edges[i]) - logTot
+		}
+		f += slopes[i] * (edges[i+1] - edges[i])
+	}
+	return math.Inf(-1) // unreachable
+}

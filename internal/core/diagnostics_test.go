@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qnet"
+	"repro/internal/xrand"
+)
+
+func TestDiagnosePosteriorConverges(t *testing.T) {
+	net := must(qnet.SingleMM1(3, 5))
+	working, truth, _ := simulateObserved(t, net, 400, 0.3, 1111)
+	params, err := NewParams([]float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiagnosePosterior(working, params, xrand.New(7), DiagnosticsOptions{
+		Chains: 3, Sweeps: 800, BurnIn: 200, Level: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chains != 3 {
+		t.Fatalf("chains %d", d.Chains)
+	}
+	if !d.Converged(1.2) {
+		t.Fatalf("chains did not converge: R-hat %v", d.RHat)
+	}
+	if d.ESS[1] < 10 {
+		t.Fatalf("ESS %v too small", d.ESS[1])
+	}
+	// The credible interval should be ordered and contain the posterior
+	// mean; the truth should usually be inside a 90% interval.
+	if !(d.WaitLo[1] <= d.MeanWait[1] && d.MeanWait[1] <= d.WaitHi[1]) {
+		t.Fatalf("interval (%v,%v) does not contain mean %v", d.WaitLo[1], d.WaitHi[1], d.MeanWait[1])
+	}
+	trueWait := truth.MeanWaitByQueue()[1]
+	// Allow a margin: credible intervals of latent-mean functionals are
+	// not exact frequentist intervals.
+	if trueWait < d.WaitLo[1]-0.1 || trueWait > d.WaitHi[1]+0.1 {
+		t.Fatalf("truth %v far outside interval (%v,%v)", trueWait, d.WaitLo[1], d.WaitHi[1])
+	}
+}
+
+func TestDiagnosePosteriorInputValidation(t *testing.T) {
+	net := must(qnet.SingleMM1(3, 5))
+	working, _, _ := simulateObserved(t, net, 50, 0.3, 1112)
+	params, err := NewParams([]float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiagnosePosterior(working, params, xrand.New(1), DiagnosticsOptions{Sweeps: 10, BurnIn: 20}); err == nil {
+		t.Error("bad burn-in should fail")
+	}
+	if _, err := DiagnosePosterior(working, params, xrand.New(1), DiagnosticsOptions{Level: 2}); err == nil {
+		t.Error("bad level should fail")
+	}
+}
+
+func TestDiagnosePosteriorDoesNotMutateInput(t *testing.T) {
+	net := must(qnet.SingleMM1(3, 5))
+	working, _, _ := simulateObserved(t, net, 60, 0.3, 1113)
+	before := working.Clone()
+	params, err := NewParams([]float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiagnosePosterior(working, params, xrand.New(2), DiagnosticsOptions{Chains: 2, Sweeps: 20, BurnIn: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Events {
+		if before.Events[i] != working.Events[i] {
+			t.Fatalf("event %d mutated by diagnostics", i)
+		}
+	}
+}
+
+func TestSteadyStateBaselineLightLoad(t *testing.T) {
+	// In a genuinely steady-state light-load M/M/1 the classical inversion
+	// works: µ̂ should land near the true µ.
+	net := must(qnet.SingleMM1(2, 8))
+	working, _, _ := simulateObserved(t, net, 3000, 0.4, 1114)
+	b := SteadyStateEstimate(working)
+	if math.Abs(b.MeanService[1]-0.125) > 0.04 {
+		t.Fatalf("steady-state baseline mean service %v, want ≈0.125", b.MeanService[1])
+	}
+	if math.Abs(b.LambdaQ[1]-2) > 0.4 {
+		t.Fatalf("effective rate %v, want ≈2", b.LambdaQ[1])
+	}
+}
+
+func TestSteadyStateBaselineBreaksUnderOverload(t *testing.T) {
+	// The paper's critique: under transient overload the steady-state
+	// inversion grossly overestimates the mean service time (it attributes
+	// the entire growing backlog to slow service). StEM does not.
+	net := must(qnet.SingleMM1(10, 5)) // ρ = 2
+	working, truth, _ := simulateObserved(t, net, 1000, 0.25, 1115)
+	base := SteadyStateEstimate(working)
+	stem, err := StEM(working.Clone(), xrand.New(3), EMOptions{Iterations: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMS := truth.MeanServiceByQueue()[1]
+	baseErr := math.Abs(base.MeanService[1] - trueMS)
+	stemErr := math.Abs(stem.Params.MeanServiceTimes()[1] - trueMS)
+	if baseErr < 4*stemErr {
+		t.Fatalf("expected the steady-state baseline to fail under overload: baseline err %v, StEM err %v (truth %v, baseline est %v)",
+			baseErr, stemErr, trueMS, base.MeanService[1])
+	}
+}
+
+func TestSteadyStateBaselineNaNWithoutData(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 8))
+	working, _, _ := simulateObserved(t, net, 50, 0.0, 1116)
+	b := SteadyStateEstimate(working)
+	if !math.IsNaN(b.MeanService[1]) {
+		t.Fatalf("no observations should yield NaN, got %v", b.MeanService[1])
+	}
+}

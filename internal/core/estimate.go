@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// PosteriorOptions configures posterior summarization with fixed
+// parameters.
+type PosteriorOptions struct {
+	// Sweeps is the number of Gibbs sweeps to average over (default 50).
+	Sweeps int
+	// BurnIn sweeps are discarded first (default Sweeps/5).
+	BurnIn int
+}
+
+func (o PosteriorOptions) withDefaults() PosteriorOptions {
+	if o.Sweeps == 0 {
+		o.Sweeps = 50
+	}
+	if o.BurnIn == 0 {
+		o.BurnIn = o.Sweeps / 5
+	}
+	return o
+}
+
+// PosteriorSummary holds posterior-mean estimates of the per-queue
+// quantities the paper reports, plus chains for diagnostics.
+type PosteriorSummary struct {
+	// MeanService[q] is the posterior mean of the average service time of
+	// the events at queue q (for q0, the mean interarrival gap).
+	MeanService []float64
+	// MeanWait[q] is the posterior mean of the average waiting time at
+	// queue q — the quantity used to localize load-induced bottlenecks.
+	MeanWait []float64
+	// WaitChain[q] is the per-sweep trajectory of the queue-q mean wait
+	// (for ESS/R-hat diagnostics).
+	WaitChain [][]float64
+	// Sweeps actually averaged.
+	Sweeps int
+}
+
+// Posterior runs the Gibbs sampler with the given fixed parameters and
+// averages per-queue mean service and waiting times over sweeps. This is
+// the paper's procedure for waiting-time estimation: "an estimate of the
+// waiting time can be obtained by running the Gibbs sampler with µ̂ fixed."
+// The event set must already be feasible (e.g. the state left by StEM).
+func Posterior(es *trace.EventSet, params Params, rng *xrand.RNG, opts PosteriorOptions) (*PosteriorSummary, error) {
+	opts = opts.withDefaults()
+	if opts.BurnIn >= opts.Sweeps {
+		return nil, fmt.Errorf("core: burn-in %d >= sweeps %d", opts.BurnIn, opts.Sweeps)
+	}
+	g, err := NewGibbs(es, params, rng)
+	if err != nil {
+		return nil, err
+	}
+	nq := es.NumQueues
+	sum := &PosteriorSummary{
+		MeanService: make([]float64, nq),
+		MeanWait:    make([]float64, nq),
+		WaitChain:   make([][]float64, nq),
+	}
+	kept := 0
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		g.Sweep()
+		if sweep < opts.BurnIn {
+			continue
+		}
+		kept++
+		for q, ids := range es.ByQueue {
+			if len(ids) == 0 {
+				continue
+			}
+			var svc, wait float64
+			for _, id := range ids {
+				svc += es.ServiceTime(id)
+				wait += es.WaitTime(id)
+			}
+			svc /= float64(len(ids))
+			wait /= float64(len(ids))
+			sum.MeanService[q] += svc
+			sum.MeanWait[q] += wait
+			sum.WaitChain[q] = append(sum.WaitChain[q], wait)
+		}
+	}
+	for q := 0; q < nq; q++ {
+		if len(es.ByQueue[q]) == 0 {
+			sum.MeanService[q] = math.NaN()
+			sum.MeanWait[q] = math.NaN()
+			continue
+		}
+		sum.MeanService[q] /= float64(kept)
+		sum.MeanWait[q] /= float64(kept)
+	}
+	sum.Sweeps = kept
+	return sum, nil
+}
+
+// Estimate is the complete pipeline the paper evaluates: StEM for the
+// rates, then the posterior pass with the estimated rates fixed. It returns
+// both the EM result and the posterior summary.
+func Estimate(es *trace.EventSet, rng *xrand.RNG, em EMOptions, post PosteriorOptions) (*EMResult, *PosteriorSummary, error) {
+	emRes, err := StEM(es, rng, em)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum, err := Posterior(es, emRes.Params, rng, post)
+	if err != nil {
+		return emRes, nil, err
+	}
+	return emRes, sum, nil
+}
+
+// BaselineObservedServiceMeans is the paper's §5.1 comparison estimator:
+// the sample mean of the *true* service times of observed tasks' events,
+// per queue. It requires the ground-truth event set (the baseline uses
+// information unavailable to StEM, as the paper notes) and the ids of the
+// observed tasks. Queues with no observed events yield NaN.
+func BaselineObservedServiceMeans(truth *trace.EventSet, observedTasks []int) []float64 {
+	obs := make(map[int]bool, len(observedTasks))
+	for _, k := range observedTasks {
+		obs[k] = true
+	}
+	sums := make([]float64, truth.NumQueues)
+	counts := make([]int, truth.NumQueues)
+	for i := range truth.Events {
+		e := &truth.Events[i]
+		if !obs[e.Task] {
+			continue
+		}
+		sums[e.Queue] += truth.ServiceTime(i)
+		counts[e.Queue]++
+	}
+	out := make([]float64, truth.NumQueues)
+	for q := range out {
+		if counts[q] == 0 {
+			out[q] = math.NaN()
+		} else {
+			out[q] = sums[q] / float64(counts[q])
+		}
+	}
+	return out
+}

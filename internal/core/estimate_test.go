@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qnet"
+	"repro/internal/xrand"
+)
+
+func TestPosteriorWaitTracksTruth(t *testing.T) {
+	// A stable M/M/1 with moderate observation: the posterior mean waiting
+	// time (with true rates fixed) should be near the empirical truth.
+	net := must(qnet.SingleMM1(3, 5))
+	working, truth, _ := simulateObserved(t, net, 800, 0.25, 93)
+	params, err := NewParams([]float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (OrderInitializer{}).Initialize(working, params); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Posterior(working, params, xrand.New(17), PosteriorOptions{Sweeps: 150, BurnIn: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueWait := truth.MeanWaitByQueue()[1]
+	if math.Abs(sum.MeanWait[1]-trueWait) > 0.5*trueWait+0.05 {
+		t.Errorf("posterior wait %v, truth %v", sum.MeanWait[1], trueWait)
+	}
+	if sum.Sweeps != 100 {
+		t.Errorf("kept sweeps %d, want 100", sum.Sweeps)
+	}
+	if len(sum.WaitChain[1]) != 100 {
+		t.Errorf("wait chain length %d", len(sum.WaitChain[1]))
+	}
+}
+
+func TestEstimatePipelineEndToEnd(t *testing.T) {
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4}))
+	working, truth, _ := simulateObserved(t, net, 600, 0.25, 95)
+	emRes, sum, err := Estimate(working, xrand.New(23),
+		EMOptions{Iterations: 60}, PosteriorOptions{Sweeps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMS := truth.MeanServiceByQueue()
+	est := emRes.Params.MeanServiceTimes()
+	for q := 1; q < truth.NumQueues; q++ {
+		if math.Abs(est[q]-trueMS[q]) > 0.12 {
+			t.Errorf("queue %d service estimate %v, truth %v", q, est[q], trueMS[q])
+		}
+	}
+	// Waiting estimates should identify the single-replica tier (queue 1,
+	// ρ=2, overloaded) as having the largest wait.
+	worst, worstQ := -1.0, -1
+	for q := 1; q < truth.NumQueues; q++ {
+		if sum.MeanWait[q] > worst {
+			worst, worstQ = sum.MeanWait[q], q
+		}
+	}
+	if worstQ != 1 {
+		t.Errorf("bottleneck localized at queue %d (wait %v), want queue 1", worstQ, worst)
+	}
+}
+
+func TestBaselineObservedServiceMeans(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 5))
+	_, truth, obs := simulateObserved(t, net, 500, 0.2, 97)
+	base := BaselineObservedServiceMeans(truth, obs)
+	// Must equal the mean of exactly the observed tasks' service times.
+	obsSet := map[int]bool{}
+	for _, k := range obs {
+		obsSet[k] = true
+	}
+	var sum float64
+	n := 0
+	for _, id := range truth.ByQueue[1] {
+		if obsSet[truth.Events[id].Task] {
+			sum += truth.ServiceTime(id)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no observed events — bad test setup")
+	}
+	if math.Abs(base[1]-sum/float64(n)) > 1e-12 {
+		t.Fatalf("baseline %v, manual %v", base[1], sum/float64(n))
+	}
+	// No observed tasks → NaN.
+	empty := BaselineObservedServiceMeans(truth, nil)
+	if !math.IsNaN(empty[1]) {
+		t.Fatalf("baseline with no observations = %v, want NaN", empty[1])
+	}
+}
+
+func TestPosteriorRejectsBadBurnIn(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 5))
+	working, _, _ := simulateObserved(t, net, 50, 0.5, 99)
+	params, err := NewParams([]float64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (OrderInitializer{}).Initialize(working, params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Posterior(working, params, xrand.New(1), PosteriorOptions{Sweeps: 5, BurnIn: 7}); err == nil {
+		t.Fatal("burn-in >= sweeps should fail")
+	}
+}

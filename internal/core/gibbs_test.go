@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// simulateObserved builds a ground-truth trace from the given network and
+// masks observations at the task level. Returns (inference copy, truth,
+// observed task ids).
+func simulateObserved(t testing.TB, net *qnet.Network, tasks int, frac float64, seed uint64) (*trace.EventSet, *trace.EventSet, []int) {
+	t.Helper()
+	r := xrand.New(seed)
+	truth, err := sim.Run(net, r, sim.Options{Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := truth.ObserveTasks(r, frac)
+	working := truth.Clone()
+	return working, truth, obs
+}
+
+// must unwraps constructor results in tests.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestGibbsPreservesFeasibilityAndObservations(t *testing.T) {
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4}))
+	working, truth, _ := simulateObserved(t, net, 300, 0.2, 99)
+	params, err := NewParams(net.ServiceRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scramble the latent values via the initializer first.
+	if err := (OrderInitializer{}).Initialize(working, params); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGibbs(working, params, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 25; sweep++ {
+		g.Sweep()
+		if err := working.Validate(1e-6); err != nil {
+			t.Fatalf("sweep %d broke feasibility: %v", sweep, err)
+		}
+	}
+	// Observed values must be untouched.
+	for i := range truth.Events {
+		te, we := &truth.Events[i], &working.Events[i]
+		if te.ObsArrival && math.Abs(te.Arrival-we.Arrival) > 0 {
+			t.Fatalf("event %d observed arrival moved: %v -> %v", i, te.Arrival, we.Arrival)
+		}
+		if te.Final() && te.ObsDepart && te.Depart != we.Depart {
+			t.Fatalf("event %d observed final departure moved", i)
+		}
+	}
+}
+
+// TestGibbsExactSingleLatent builds one task through a two-queue tandem
+// with everything observed except the intermediate arrival x. Its exact
+// conditional is TruncExp: p(x) ∝ exp((µB−µA)x) on (entry, dFinal). The
+// Gibbs chain must reproduce its mean.
+func TestGibbsExactSingleLatent(t *testing.T) {
+	muA, muB := 3.0, 1.0
+	b := trace.NewBuilder(3)
+	task := b.StartTask(1.0) // entry observed
+	if _, err := b.AddEvent(task, 0, 1, 1.0, 1.8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddEvent(task, 1, 2, 1.8, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	es, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe entry (arrival of event 1) and final departure; leave the
+	// intermediate arrival (event 2 arrival = event 1 departure) latent.
+	es.Events[1].ObsArrival = true
+	es.Events[2].ObsDepart = true
+
+	params, err := NewParams([]float64{1, muA, muB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGibbs(es, params, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLatent() != 1 {
+		t.Fatalf("latent count %d, want 1", g.NumLatent())
+	}
+	var acc stats.Online
+	for sweep := 0; sweep < 200000; sweep++ {
+		g.Sweep()
+		acc.Add(es.Events[2].Arrival)
+	}
+	// Exact mean of density ∝ exp(m x) on (lo,hi), m = muB - muA = -2:
+	// shifted TruncExp with rate -m on width w: mean = lo + 1/(-m)·... use
+	// formula mean = lo + w/(1-exp(-m'w)) - 1/m' with m' = -m for density
+	// exp(-m' t) on (0,w).
+	lo, hi := 1.0, 3.0
+	mp := muA - muB // 2
+	w := hi - lo
+	want := lo + 1/mp - w*math.Exp(-mp*w)/(1-math.Exp(-mp*w))
+	if math.Abs(acc.Mean()-want) > 0.01 {
+		t.Fatalf("posterior mean of latent arrival %v, exact %v", acc.Mean(), want)
+	}
+}
+
+// TestGibbsStationaryAtTruth starts the chain at the ground-truth state
+// with the true parameters; after many sweeps the per-queue mean service
+// times must stay near the ground-truth values (the posterior is centered
+// near the truth when initialized there).
+func TestGibbsStationaryAtTruth(t *testing.T) {
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{2, 1, 4}))
+	working, truth, _ := simulateObserved(t, net, 400, 0.25, 3)
+	params, err := NewParams(net.ServiceRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGibbs(working, params, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nq := working.NumQueues
+	acc := make([]stats.Online, nq)
+	for sweep := 0; sweep < 300; sweep++ {
+		g.Sweep()
+		if sweep < 50 {
+			continue
+		}
+		ms := working.MeanServiceByQueue()
+		for q := 0; q < nq; q++ {
+			acc[q].Add(ms[q])
+		}
+	}
+	trueMS := truth.MeanServiceByQueue()
+	for q := 1; q < nq; q++ {
+		got := acc[q].Mean()
+		// Posterior mean should track the empirical truth loosely; the
+		// check guards against systematic drift (e.g. a sign error in a
+		// slope would push services toward 0 or the prior mean).
+		if math.Abs(got-trueMS[q]) > 0.5*trueMS[q]+0.02 {
+			t.Errorf("queue %d: posterior mean service %v drifted from truth %v", q, got, trueMS[q])
+		}
+	}
+}
+
+func TestGibbsFullObservationIsNoOp(t *testing.T) {
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{1, 1, 1}))
+	working, truth, _ := simulateObserved(t, net, 100, 1.0, 5)
+	params, err := NewParams(net.ServiceRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGibbs(working, params, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLatent() != 0 {
+		t.Fatalf("fully observed trace has %d latent variables", g.NumLatent())
+	}
+	g.Sweep()
+	for i := range truth.Events {
+		if truth.Events[i].Arrival != working.Events[i].Arrival ||
+			truth.Events[i].Depart != working.Events[i].Depart {
+			t.Fatalf("fully observed sweep changed event %d", i)
+		}
+	}
+}
+
+func TestGibbsRejectsBadInputs(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 5))
+	working, _, _ := simulateObserved(t, net, 20, 0.5, 8)
+	good, err := NewParams([]float64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGibbs(working, Params{Rates: []float64{1}}, xrand.New(1)); err == nil {
+		t.Error("wrong rate count should fail")
+	}
+	if _, err := NewGibbs(working, Params{Rates: []float64{1, -2}}, xrand.New(1)); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := NewGibbs(working, good, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	// Infeasible state (corrupt a latent value grossly).
+	bad := working.Clone()
+	bad.Events[1].Depart = -100
+	if _, err := NewGibbs(bad, good, xrand.New(1)); err == nil {
+		t.Error("infeasible state should fail")
+	}
+}
+
+// TestGibbsMovesFreeFinalDepartures verifies the extra final-departure move:
+// with the final departure latent, its imputed value must change across
+// sweeps and stay above its service start.
+func TestGibbsMovesFreeFinalDepartures(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 4))
+	working, _, _ := simulateObserved(t, net, 50, 0.0, 13)
+	params, err := NewParams([]float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (OrderInitializer{}).Initialize(working, params); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGibbs(working, params, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the last event in queue 1's order (unbounded departure move).
+	ids := working.ByQueue[1]
+	last := ids[len(ids)-1]
+	if !working.Events[last].Final() {
+		t.Fatalf("last event in queue is not final")
+	}
+	before := working.Events[last].Depart
+	moved := false
+	for sweep := 0; sweep < 10; sweep++ {
+		g.Sweep()
+		if working.Events[last].Depart != before {
+			moved = true
+		}
+		if working.Events[last].Depart < working.ServiceStart(last)-1e-9 {
+			t.Fatalf("final departure below service start")
+		}
+	}
+	if !moved {
+		t.Fatal("latent final departure never moved")
+	}
+}
+
+// TestGibbsSkipsDegenerateWindows builds a trace where the latent
+// arrival's feasible window has zero width (all neighboring times
+// coincide); the sampler must skip the move, count it, and leave the
+// value unchanged.
+func TestGibbsSkipsDegenerateWindows(t *testing.T) {
+	b := trace.NewBuilder(3)
+	task := b.StartTask(1.0)
+	if _, err := b.AddEvent(task, 0, 1, 1.0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddEvent(task, 1, 2, 1.0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	es, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.Events[1].ObsArrival = true // entry pinned at 1.0
+	es.Events[2].ObsDepart = true  // exit pinned at 1.0
+	params, err := NewParams([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGibbs(es, params, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLatent() != 1 {
+		t.Fatalf("latent count %d", g.NumLatent())
+	}
+	g.Sweep()
+	g.Sweep()
+	if g.Skipped() < 2 {
+		t.Fatalf("skipped %d, want >= 2", g.Skipped())
+	}
+	if es.Events[2].Arrival != 1.0 {
+		t.Fatalf("degenerate latent moved to %v", es.Events[2].Arrival)
+	}
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/trace"
+)
+
+// Initializer fills in the unobserved times of an event set with values
+// that satisfy every deterministic constraint (non-negative service times,
+// per-queue arrival order), so the Gibbs sampler starts from a feasible
+// state. targetRates supplies the per-queue rates whose reciprocals are the
+// service times the initializer aims for (the paper's µ in Σ|s_e − µ_qe|).
+type Initializer interface {
+	Initialize(es *trace.EventSet, targetRates Params) error
+}
+
+// ---------------------------------------------------------------------------
+// Constraint graph shared by both initializers.
+
+// depGraph captures the difference constraints among event departure times.
+// Node i is event i's departure d_i; arrivals are their predecessors'
+// departures (or the constant 0 for initial events). Every edge (u → v)
+// encodes d_u ≤ d_v; all constraint right-hand sides are zero.
+type depGraph struct {
+	es     *trace.EventSet
+	out    [][]int32 // adjacency: edges u → v
+	indeg  []int
+	pinned []bool // d_i is fixed by an observation
+	topo   []int  // topological order of all events
+}
+
+// pinnedDepart reports whether event i's departure is observation-fixed:
+// either the next event's arrival is observed, or i is final with an
+// observed departure.
+func pinnedDepart(es *trace.EventSet, i int) bool {
+	e := &es.Events[i]
+	if e.NextT != trace.None {
+		return es.Events[e.NextT].ObsArrival
+	}
+	return e.ObsDepart
+}
+
+// newDepGraph builds the constraint graph and its topological order,
+// returning an error if the constraints are cyclic (impossible for traces
+// produced by a real FIFO execution).
+func newDepGraph(es *trace.EventSet) (*depGraph, error) {
+	n := len(es.Events)
+	g := &depGraph{
+		es:     es,
+		out:    make([][]int32, n),
+		indeg:  make([]int, n),
+		pinned: make([]bool, n),
+	}
+	addEdge := func(u, v int) {
+		if u == trace.None || v == trace.None || u == v {
+			return
+		}
+		g.out[u] = append(g.out[u], int32(v))
+		g.indeg[v]++
+	}
+	for i := range es.Events {
+		e := &es.Events[i]
+		g.pinned[i] = pinnedDepart(es, i)
+		// d_{π(i)} ≤ d_i  (service after arrival).
+		addEdge(e.PrevT, i)
+		// d_{ρ(i)} ≤ d_i  (FIFO departure order).
+		addEdge(e.PrevQ, i)
+		// Arrival order: a_{ρ(i)} ≤ a_i, i.e. d_{π(ρ(i))} ≤ d_{π(i)}.
+		if e.PrevQ != trace.None {
+			pu := es.Events[e.PrevQ].PrevT
+			addEdge(pu, e.PrevT)
+		}
+	}
+	// Kahn's algorithm.
+	g.topo = make([]int, 0, n)
+	queue := make([]int, 0, n)
+	indeg := append([]int(nil), g.indeg...)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g.topo = append(g.topo, u)
+		for _, v := range g.out[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	if len(g.topo) != n {
+		return nil, fmt.Errorf("core: event constraint graph has a cycle (%d of %d ordered)", len(g.topo), n)
+	}
+	return g, nil
+}
+
+// upperEnvelope returns, per event, the largest departure value compatible
+// with all pinned observations downstream (+Inf when unconstrained).
+func (g *depGraph) upperEnvelope() []float64 {
+	n := len(g.es.Events)
+	ub := make([]float64, n)
+	for i := range ub {
+		if g.pinned[i] {
+			ub[i] = g.es.Events[i].Depart
+		} else {
+			ub[i] = math.Inf(1)
+		}
+	}
+	for t := n - 1; t >= 0; t-- {
+		u := g.topo[t]
+		for _, v := range g.out[u] {
+			if ub[v] < ub[u] {
+				ub[u] = ub[v]
+			}
+		}
+	}
+	return ub
+}
+
+// entryFloor returns the structural lower bound of event i's departure that
+// does not come from graph edges: 0 for initial events (tasks cannot enter
+// before time zero).
+func entryFloor(es *trace.EventSet, i int) float64 {
+	if es.Events[i].Initial() {
+		return 0
+	}
+	return math.Inf(-1)
+}
+
+// applyDeparture writes d as event i's departure, propagating to the next
+// event's arrival.
+func applyDeparture(es *trace.EventSet, i int, d float64) {
+	e := &es.Events[i]
+	if e.NextT != trace.None {
+		es.SetArrival(e.NextT, d)
+	} else {
+		e.Depart = d
+	}
+}
+
+// ---------------------------------------------------------------------------
+// OrderInitializer
+
+// OrderInitializer constructs a feasible state directly from the constraint
+// graph: it assigns departures in topological order, giving each event a
+// service time near the target mean but never exceeding half the remaining
+// slack to its upper envelope. It runs in O(events) and is the default for
+// large traces, where the paper's LP would be impractically slow with a
+// dense solver.
+//
+// Target service times are additionally capped, per queue, at the observed
+// time span divided by that queue's event count — a bound any feasible
+// state respects on average. Without the cap, a poor target (e.g. a
+// response-time-based rate at a heavily loaded queue) makes events with no
+// downstream observation — the tail of the trace — stretch far beyond the
+// observed horizon, and the Gibbs sampler contracts such states only
+// diffusively: every event is pinned between equally stretched neighbors,
+// so the excess drains a fraction of one service time per sweep. The cap
+// is per queue rather than global so that lightly loaded queues (whose
+// targets are fine) are not squashed into an equally slow-to-expand
+// over-compact state.
+type OrderInitializer struct{}
+
+// Initialize implements Initializer.
+func (OrderInitializer) Initialize(es *trace.EventSet, targetRates Params) error {
+	if len(targetRates.Rates) != es.NumQueues {
+		return fmt.Errorf("core: %d target rates for %d queues", len(targetRates.Rates), es.NumQueues)
+	}
+	g, err := newDepGraph(es)
+	if err != nil {
+		return err
+	}
+	ub := g.upperEnvelope()
+	n := len(es.Events)
+	caps := compactScale(es, g)
+	assigned := make([]float64, n)
+	// lo[v] is the running lower bound of d_v; relaxed along every
+	// constraint edge as predecessors are assigned, so all three constraint
+	// families (task order, FIFO departure order, arrival order) are
+	// enforced uniformly.
+	lo := make([]float64, n)
+	for i := range lo {
+		lo[i] = entryFloor(es, i)
+		if math.IsInf(lo[i], -1) {
+			lo[i] = 0
+		}
+	}
+	for _, i := range g.topo {
+		e := &es.Events[i]
+		d := 0.0
+		if g.pinned[i] {
+			d = e.Depart
+			if e.NextT != trace.None {
+				d = es.Events[e.NextT].Arrival
+			}
+			if d < lo[i]-1e-6 {
+				return fmt.Errorf("core: observed departure %v of event %d below feasible bound %v", d, i, lo[i])
+			}
+			d = math.Max(d, lo[i])
+		} else {
+			target := math.Min(1/targetRates.Rates[e.Queue], caps[e.Queue])
+			d = lo[i] + target
+			if !math.IsInf(ub[i], 1) {
+				room := ub[i] - lo[i]
+				if room < 0 {
+					return fmt.Errorf("core: infeasible bounds for event %d: lo=%v > ub=%v", i, lo[i], ub[i])
+				}
+				if d > lo[i]+room/2 {
+					d = lo[i] + room/2
+				}
+			}
+		}
+		assigned[i] = d
+		for _, v := range g.out[i] {
+			if d > lo[v] {
+				lo[v] = d
+			}
+		}
+	}
+	// Write assignments in topological order so SetArrival invariants hold.
+	for _, i := range g.topo {
+		if !g.pinned[i] {
+			applyDeparture(es, i, assigned[i])
+		}
+	}
+	return es.Validate(1e-6)
+}
+
+// compactScale returns, per queue, the average per-event time budget
+// implied by the observed data: (latest pinned departure anywhere) divided
+// by the queue's event count, or +Inf everywhere when nothing is pinned.
+// It bounds initializer targets so the initial state stays within the
+// observed horizon.
+func compactScale(es *trace.EventSet, g *depGraph) []float64 {
+	var span float64
+	any := false
+	for i := range es.Events {
+		if !g.pinned[i] {
+			continue
+		}
+		d := es.Events[i].Depart
+		if e := &es.Events[i]; e.NextT != trace.None {
+			d = es.Events[e.NextT].Arrival
+		}
+		if d > span {
+			span = d
+		}
+		any = true
+	}
+	caps := make([]float64, es.NumQueues)
+	for q := range caps {
+		if !any || span <= 0 || len(es.ByQueue[q]) == 0 {
+			caps[q] = math.Inf(1)
+			continue
+		}
+		caps[q] = span / float64(len(es.ByQueue[q]))
+	}
+	return caps
+}
+
+// ---------------------------------------------------------------------------
+// LPInitializer
+
+// LPInitializer reproduces the paper's initialization: minimize
+// Σ_e |s_e − 1/µ_{q_e}| over the unobserved times subject to the
+// deterministic constraints, as a linear program with epigraph variables
+// for the service start (t_e ≥ a_e, t_e ≥ d_{ρ(e)}) and the absolute
+// deviation. The dense simplex solver limits this to modest traces
+// (≲ a few hundred free events); MaxEvents guards against accidental use on
+// large inputs, and callers fall back to OrderInitializer above that size.
+type LPInitializer struct {
+	// MaxEvents bounds the number of events (default 600).
+	MaxEvents int
+	// Objective, when non-nil, receives the optimal LP objective value
+	// Σ_e u_e after each successful Initialize. Because the service start
+	// is relaxed to an epigraph variable (t_e ≥ max(a_e, d_ρ(e)) instead
+	// of equality), this is a lower bound on the realized Σ|s_e − µ|.
+	Objective *float64
+}
+
+// Initialize implements Initializer.
+func (ini LPInitializer) Initialize(es *trace.EventSet, targetRates Params) error {
+	if len(targetRates.Rates) != es.NumQueues {
+		return fmt.Errorf("core: %d target rates for %d queues", len(targetRates.Rates), es.NumQueues)
+	}
+	maxEvents := ini.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 600
+	}
+	n := len(es.Events)
+	if n > maxEvents {
+		return fmt.Errorf("core: LP initializer limited to %d events, trace has %d (use OrderInitializer)", maxEvents, n)
+	}
+	g, err := newDepGraph(es)
+	if err != nil {
+		return err
+	}
+	// Variables: d_i (n), t_i (n), u_i (n). d_i of pinned events are fixed
+	// via equality constraints (simpler than substitution, and n is small).
+	dVar := func(i int) int { return i }
+	tVar := func(i int) int { return n + i }
+	uVar := func(i int) int { return 2*n + i }
+	p := lp.NewProblem(3 * n)
+	for i := 0; i < n; i++ {
+		p.SetObjective(uVar(i), 1)
+	}
+	curDepart := func(i int) float64 {
+		e := &es.Events[i]
+		if e.NextT != trace.None {
+			return es.Events[e.NextT].Arrival
+		}
+		return e.Depart
+	}
+	for i := 0; i < n; i++ {
+		e := &es.Events[i]
+		if g.pinned[i] {
+			p.AddEQ([]int{dVar(i)}, []float64{1}, curDepart(i))
+		}
+		// t_i ≥ a_i: a_i is d_{π(i)} or the constant 0.
+		if e.PrevT != trace.None {
+			p.AddGE([]int{tVar(i), dVar(e.PrevT)}, []float64{1, -1}, 0)
+		} // initial events: t_i ≥ 0 holds by variable bounds
+		// t_i ≥ d_{ρ(i)}.
+		if e.PrevQ != trace.None {
+			p.AddGE([]int{tVar(i), dVar(e.PrevQ)}, []float64{1, -1}, 0)
+		}
+		// s_i = d_i − t_i ≥ 0.
+		p.AddGE([]int{dVar(i), tVar(i)}, []float64{1, -1}, 0)
+		// |s_i − target| epigraph.
+		target := 1 / targetRates.Rates[e.Queue]
+		p.AddGE([]int{uVar(i), dVar(i), tVar(i)}, []float64{1, -1, 1}, -target)
+		p.AddGE([]int{uVar(i), dVar(i), tVar(i)}, []float64{1, 1, -1}, target)
+		// Arrival order at the queue: a_{ρ(i)} ≤ a_i.
+		if e.PrevQ != trace.None {
+			pu := es.Events[e.PrevQ].PrevT
+			pi := e.PrevT
+			switch {
+			case pu == trace.None && pi == trace.None:
+				// Both arrivals are 0 — trivially ordered.
+			case pu == trace.None:
+				p.AddGE([]int{dVar(pi)}, []float64{1}, 0)
+			case pi == trace.None:
+				p.AddLE([]int{dVar(pu)}, []float64{1}, 0)
+			default:
+				p.AddGE([]int{dVar(pi), dVar(pu)}, []float64{1, -1}, 0)
+			}
+		}
+	}
+	res, err := p.Solve()
+	if err != nil {
+		return fmt.Errorf("core: LP initializer: %w", err)
+	}
+	if ini.Objective != nil {
+		*ini.Objective = res.Objective
+	}
+	// Apply in topological order; clamp tiny simplex round-off so the
+	// resulting state validates.
+	for _, i := range g.topo {
+		if g.pinned[i] {
+			continue
+		}
+		d := res.X[dVar(i)]
+		lo := es.ServiceStart(i) // after predecessors were applied
+		if d < lo {
+			d = lo
+		}
+		e := &es.Events[i]
+		if e.NextQ != trace.None {
+			// Do not let round-off break the arrival order of the next
+			// event at this queue; final clamp happens via Validate below.
+			_ = e
+		}
+		applyDeparture(es, i, d)
+	}
+	return es.Validate(1e-6)
+}

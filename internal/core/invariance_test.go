@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// TestGibbsPreservesModelMarginal is the strongest correctness check of
+// the sampler: for fixed true parameters θ, if E ~ p(·|θ) and we apply K
+// Gibbs sweeps to E's latent part given the observation mask, the result
+// is still distributed as p(·|θ) marginally. So any statistic must have
+// the same distribution across many replicates before and after sweeping —
+// a sign error in a conditional slope or a wrong constraint bound shows up
+// as a systematic shift.
+func TestGibbsPreservesModelMarginal(t *testing.T) {
+	const (
+		reps   = 120
+		tasks  = 60
+		frac   = 0.3
+		sweeps = 10
+	)
+	net := must(qnet.PaperSynthetic(8, 5, [3]int{1, 2, 1}))
+	params, err := NewParams(net.ServiceRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nq := net.NumQueues()
+
+	// Statistics: per-queue mean service time and mean waiting time, plus
+	// the final exit time of the last task.
+	type statVec struct {
+		svc, wait []float64
+		lastExit  float64
+	}
+	collect := func(es interface {
+		MeanServiceByQueue() []float64
+		MeanWaitByQueue() []float64
+		TaskExit(int) float64
+	}, n int) statVec {
+		return statVec{
+			svc:      es.MeanServiceByQueue(),
+			wait:     es.MeanWaitByQueue(),
+			lastExit: es.TaskExit(n - 1),
+		}
+	}
+
+	fwd := make([]statVec, reps)
+	post := make([]statVec, reps)
+	for rep := 0; rep < reps; rep++ {
+		r := xrand.New(uint64(9000 + rep))
+		truth, err := sim.Run(net, r, sim.Options{Tasks: tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth.ObserveTasks(r, frac)
+		fwd[rep] = collect(truth, tasks)
+
+		working := truth.Clone()
+		g, err := NewGibbs(working, params, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < sweeps; s++ {
+			g.Sweep()
+		}
+		if err := working.Validate(1e-6); err != nil {
+			t.Fatal(err)
+		}
+		post[rep] = collect(working, tasks)
+	}
+
+	// Compare the replicate means of each statistic with a z-test-style
+	// tolerance (3 standard errors of the difference).
+	check := func(name string, a, b []float64) {
+		t.Helper()
+		ma, mb := stats.Mean(a), stats.Mean(b)
+		se := math.Sqrt((stats.Variance(a) + stats.Variance(b)) / reps)
+		if math.Abs(ma-mb) > 3.5*se+1e-9 {
+			t.Errorf("%s: forward mean %v vs post-Gibbs mean %v (se %v) — sampler shifts the marginal",
+				name, ma, mb, se)
+		}
+	}
+	for q := 1; q < nq; q++ {
+		var fs, ps, fw, pw []float64
+		for rep := 0; rep < reps; rep++ {
+			fs = append(fs, fwd[rep].svc[q])
+			ps = append(ps, post[rep].svc[q])
+			fw = append(fw, fwd[rep].wait[q])
+			pw = append(pw, post[rep].wait[q])
+		}
+		check("mean service q"+string(rune('0'+q)), fs, ps)
+		check("mean wait q"+string(rune('0'+q)), fw, pw)
+	}
+	var fe, pe []float64
+	for rep := 0; rep < reps; rep++ {
+		fe = append(fe, fwd[rep].lastExit)
+		pe = append(pe, post[rep].lastExit)
+	}
+	check("last exit", fe, pe)
+}
+
+// TestGeneralGibbsPreservesModelMarginal repeats the invariance check for
+// the Metropolis-within-Gibbs sampler with Gamma service models (matched
+// to the generating distributions).
+func TestGeneralGibbsPreservesModelMarginal(t *testing.T) {
+	const (
+		reps   = 100
+		tasks  = 40
+		frac   = 0.3
+		sweeps = 8
+	)
+	// Erlang-2 services with mean 0.25; Poisson(2) arrivals.
+	net := must(qnet.Tiered(
+		dist.NewExponential(2),
+		[]qnet.TierSpec{
+			{Name: "a", Replicas: 1, Service: dist.NewGamma(2, 8)},
+			{Name: "b", Replicas: 1, Service: dist.NewGamma(2, 8)},
+		}))
+	models := []ServiceModel{
+		ExpModel{Rate: 2},
+		GammaModel{Shape: 2, Rate: 8},
+		GammaModel{Shape: 2, Rate: 8},
+	}
+
+	var fwdSvc, postSvc, fwdWait, postWait []float64
+	for rep := 0; rep < reps; rep++ {
+		r := xrand.New(uint64(7000 + rep))
+		truth, err := sim.Run(net, r, sim.Options{Tasks: tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth.ObserveTasks(r, frac)
+		ms := truth.MeanServiceByQueue()
+		mw := truth.MeanWaitByQueue()
+		fwdSvc = append(fwdSvc, ms[1], ms[2])
+		fwdWait = append(fwdWait, mw[1], mw[2])
+
+		working := truth.Clone()
+		g, err := NewGeneralGibbs(working, models, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < sweeps; s++ {
+			g.Sweep()
+		}
+		ms = working.MeanServiceByQueue()
+		mw = working.MeanWaitByQueue()
+		postSvc = append(postSvc, ms[1], ms[2])
+		postWait = append(postWait, mw[1], mw[2])
+	}
+	n := float64(len(fwdSvc))
+	seSvc := math.Sqrt((stats.Variance(fwdSvc) + stats.Variance(postSvc)) / n)
+	if d := math.Abs(stats.Mean(fwdSvc) - stats.Mean(postSvc)); d > 3.5*seSvc+1e-9 {
+		t.Errorf("service marginal shifted by %v (se %v)", d, seSvc)
+	}
+	seWait := math.Sqrt((stats.Variance(fwdWait) + stats.Variance(postWait)) / n)
+	if d := math.Abs(stats.Mean(fwdWait) - stats.Mean(postWait)); d > 3.5*seWait+1e-9 {
+		t.Errorf("wait marginal shifted by %v (se %v)", d, seWait)
+	}
+}

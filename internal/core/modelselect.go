@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Model selection across service-time families — one of the paper's
+// explicitly named directions ("the flexibility that it affords for future
+// modeling work, including ... model selection"). Each candidate family is
+// fitted per queue with generalized StEM (using all the data, observed and
+// imputed); candidates are then scored ONLY on the exactly identified
+// service times — events whose arrival, departure, and within-queue
+// predecessor departure are all observed, so s_e = d_e − max(a_e, d_ρ(e))
+// involves no latent quantity — penalized by parameter count (AIC).
+//
+// Scoring on imputations is unusable here in either direction: scoring a
+// family on its own imputations rewards low differential entropy (the
+// family imputes services it then likes), and scoring every family on one
+// reference family's imputations biases toward the reference. The exactly
+// identified subset sidesteps both; with task-level observation at
+// fraction p, roughly p² of the events qualify.
+
+// CandidateSet names a service family and its per-queue initial model
+// factory.
+type CandidateSet struct {
+	Name string
+	// New returns the family's initial model given a crude mean estimate.
+	New func(mean float64) ServiceModel
+	// Params is the family's free-parameter count (AIC penalty).
+	Params int
+}
+
+// DefaultCandidates returns the built-in families.
+func DefaultCandidates() []CandidateSet {
+	return []CandidateSet{
+		{Name: "exponential", New: func(m float64) ServiceModel { return ExpModel{Rate: clampRate(1 / m)} }, Params: 1},
+		{Name: "gamma", New: func(m float64) ServiceModel { return GammaModel{Shape: 1, Rate: clampRate(1 / m)} }, Params: 2},
+		{Name: "lognormal", New: func(m float64) ServiceModel {
+			return LogNormalModel{Mu: math.Log(math.Max(m, 1e-9)) - 0.125, Sigma: 0.5}
+		}, Params: 2},
+		{Name: "weibull", New: func(m float64) ServiceModel { return WeibullModel{Scale: m, Shape: 1} }, Params: 2},
+	}
+}
+
+// ModelScore is one candidate's fit summary.
+type ModelScore struct {
+	Name string
+	// LogLik is the average per-sweep imputed-data log likelihood over
+	// the scoring sweeps.
+	LogLik float64
+	// AIC = 2·k·numQueues − 2·LogLik (lower is better).
+	AIC float64
+	// Models holds the fitted per-queue models.
+	Models []ServiceModel
+	// Acceptance is the MH acceptance rate during fitting.
+	Acceptance float64
+}
+
+// SelectionResult ranks the candidates.
+type SelectionResult struct {
+	// Ranked is sorted by AIC, best first.
+	Ranked []ModelScore
+}
+
+// Best returns the winning candidate.
+func (r *SelectionResult) Best() ModelScore { return r.Ranked[0] }
+
+// ExactServiceSamples returns, per queue, the service times that are fully
+// determined by the observation mask: the event's own arrival and
+// departure are observed and so is the within-queue predecessor's
+// departure (or the event is first in its queue). These involve no latent
+// quantity and are what model selection scores on.
+func ExactServiceSamples(es *trace.EventSet) [][]float64 {
+	departPinned := func(i int) bool {
+		e := &es.Events[i]
+		if !e.ObsArrival && !e.Initial() {
+			return false
+		}
+		if e.NextT != trace.None {
+			return es.Events[e.NextT].ObsArrival
+		}
+		return e.ObsDepart
+	}
+	out := make([][]float64, es.NumQueues)
+	for q := 1; q < es.NumQueues; q++ {
+		for _, id := range es.ByQueue[q] {
+			e := &es.Events[id]
+			if !e.ObsArrival || !departPinned(id) {
+				continue
+			}
+			if e.PrevQ != trace.None && !departPinned(e.PrevQ) {
+				continue
+			}
+			out[q] = append(out[q], es.ServiceTime(id))
+		}
+	}
+	return out
+}
+
+// SelectServiceModel fits every candidate family to the partially observed
+// trace with generalized StEM and ranks the families by AIC on the exactly
+// identified service times. minSamples (default 10) is the smallest
+// per-trace count of exact samples required.
+func SelectServiceModel(es *trace.EventSet, candidates []CandidateSet, rng *xrand.RNG, opts EMOptions, minSamples int) (*SelectionResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidate families")
+	}
+	if minSamples <= 0 {
+		minSamples = 10
+	}
+	exact := ExactServiceSamples(es)
+	total := 0
+	for q := 1; q < es.NumQueues; q++ {
+		total += len(exact[q])
+	}
+	if total < minSamples {
+		return nil, fmt.Errorf("core: only %d exactly identified service times (need %d); observe more tasks", total, minSamples)
+	}
+
+	init := InitialRates(es)
+	var out SelectionResult
+	for _, cand := range candidates {
+		work := es.Clone()
+		r := rng.Split()
+		models := make([]ServiceModel, es.NumQueues)
+		// Interarrivals stay exponential (Poisson system arrivals); the
+		// candidate family applies to the service queues.
+		models[0] = ExpModel{Rate: init.Rates[0]}
+		for q := 1; q < es.NumQueues; q++ {
+			models[q] = cand.New(1 / init.Rates[q])
+		}
+		res, err := GeneralStEM(work, models, r, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting %s: %w", cand.Name, err)
+		}
+		var ll float64
+		for q := 1; q < es.NumQueues; q++ {
+			m := res.Models[q]
+			for _, s := range exact[q] {
+				lp := m.LogPDF(s)
+				if math.IsInf(lp, 0) || math.IsNaN(lp) {
+					// Boundary services (s == 0) can be ±Inf for some
+					// families; clamp to keep scores comparable.
+					lp = math.Min(math.Max(lp, -50), 50)
+				}
+				ll += lp
+			}
+		}
+		nServiceQueues := es.NumQueues - 1
+		out.Ranked = append(out.Ranked, ModelScore{
+			Name:       cand.Name,
+			LogLik:     ll,
+			AIC:        2*float64(cand.Params*nServiceQueues) - 2*ll,
+			Models:     res.Models,
+			Acceptance: res.Acceptance,
+		})
+	}
+	sort.Slice(out.Ranked, func(i, j int) bool { return out.Ranked[i].AIC < out.Ranked[j].AIC })
+	return &out, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/qnet"
+	"repro/internal/xrand"
+)
+
+// selectOn simulates a tandem with the given true service distribution,
+// masks 40% observation, and runs model selection.
+func selectOn(t *testing.T, svc dist.Dist, seed uint64) *SelectionResult {
+	t.Helper()
+	net := must(qnet.Tandem(dist.NewExponential(2), svc, svc))
+	working, _, _ := simulateObserved(t, net, 700, 0.4, seed)
+	res, err := SelectServiceModel(working, DefaultCandidates(), xrand.New(seed),
+		EMOptions{Iterations: 300}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestModelSelectionPrefersLowVarianceFamilyForErlang(t *testing.T) {
+	// Erlang-3 service (CV² = 1/3) is far from exponential; the winning
+	// family must NOT be exponential, and gamma should fit it well.
+	res := selectOn(t, dist.NewErlang(3, 15), 2221)
+	best := res.Best()
+	if best.Name == "exponential" {
+		t.Fatalf("exponential won on Erlang-3 data: %+v", summary(res))
+	}
+	// Gamma must rank above exponential.
+	if rank(res, "gamma") > rank(res, "exponential") {
+		t.Fatalf("gamma ranked below exponential on Erlang data: %v", summary(res))
+	}
+}
+
+func TestModelSelectionOnExponentialDataKeepsExponentialCompetitive(t *testing.T) {
+	// On truly exponential data the exponential family should be at or
+	// near the top (the flexible families can only gain a tiny loglik
+	// improvement, and they pay a larger AIC penalty).
+	res := selectOn(t, dist.NewExponential(6), 2222)
+	if rank(res, "exponential") > 1 {
+		t.Fatalf("exponential ranked %d on exponential data: %v", rank(res, "exponential"), summary(res))
+	}
+}
+
+func rank(res *SelectionResult, name string) int {
+	for i, s := range res.Ranked {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func summary(res *SelectionResult) []string {
+	var out []string
+	for _, s := range res.Ranked {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func TestModelSelectionValidation(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 5))
+	working, _, _ := simulateObserved(t, net, 30, 0.5, 2223)
+	if _, err := SelectServiceModel(working, nil, xrand.New(1), EMOptions{}, 5); err == nil {
+		t.Fatal("empty candidate list should fail")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestPaperFig3MatchesGeneralizedKernel draws random scenarios of the kind
+// Figure 3 assumes (all neighbor terms present) and checks the literal
+// transcription and the generalized condSpec kernel produce the same
+// distribution.
+func TestPaperFig3MatchesGeneralizedKernel(t *testing.T) {
+	meta := xrand.New(13579)
+	for trial := 0; trial < 25; trial++ {
+		sc := fig3Scenario{
+			mue:  meta.Uniform(0.3, 8),
+			mupi: meta.Uniform(0.3, 8),
+			l:    meta.Uniform(-2, 2),
+		}
+		sc.u = sc.l + meta.Uniform(0.2, 4)
+		// Breakpoints may fall inside or outside (L,U).
+		sc.drho = sc.l + meta.Uniform(-1, 1)*(sc.u-sc.l)*1.2
+		sc.aN = sc.l + meta.Uniform(-1, 1)*(sc.u-sc.l)*1.2
+
+		// Generalized kernel: base slope −µπ, +µe above dρ, +µπ above aN.
+		var c condSpec
+		c.reset(sc.l, sc.u, -sc.mupi)
+		c.addTerm(sc.drho, sc.mue)
+		c.addTerm(sc.aN, sc.mupi)
+
+		const n = 60000
+		lit := make([]float64, n)
+		gen := make([]float64, n)
+		rl := xrand.New(uint64(1000 + trial))
+		rg := xrand.New(uint64(2000 + trial))
+		for i := 0; i < n; i++ {
+			lit[i] = samplePaperFig3(rl, sc)
+			gen[i] = c.sample(rg)
+		}
+		sort.Float64s(lit)
+		sort.Float64s(gen)
+		// Compare quantiles (a two-sample check robust to the different
+		// RNG streams).
+		for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			i := int(q * float64(n-1))
+			if d := math.Abs(lit[i] - gen[i]); d > 0.02*(sc.u-sc.l)+1e-3 {
+				t.Fatalf("trial %d (%+v): quantile %v differs: literal %v vs generalized %v",
+					trial, sc, q, lit[i], gen[i])
+			}
+		}
+	}
+}
+
+// TestPaperFig3SupportsDegenerateMiddle covers the case dρ = aN (the
+// middle piece vanishes).
+func TestPaperFig3SupportsDegenerateMiddle(t *testing.T) {
+	sc := fig3Scenario{mue: 2, mupi: 3, l: 0, u: 2, drho: 1, aN: 1}
+	r := xrand.New(3)
+	for i := 0; i < 20000; i++ {
+		x := samplePaperFig3(r, sc)
+		if x < sc.l || x > sc.u {
+			t.Fatalf("sample %v outside (%v,%v)", x, sc.l, sc.u)
+		}
+	}
+}

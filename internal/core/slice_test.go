@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// TestSliceMatchesExactSingleLatent repeats the numerically integrated
+// single-latent check using the slice kernel.
+func TestSliceMatchesExactSingleLatent(t *testing.T) {
+	mA := GammaModel{Shape: 2, Rate: 4}
+	mB := GammaModel{Shape: 3, Rate: 3}
+	es := buildTwoQueueSingleLatent(t)
+	models := []ServiceModel{ExpModel{Rate: 1}, mA, mB}
+	g, err := NewGeneralGibbs(es, models, xrand.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc stats.Online
+	for sweep := 0; sweep < 300000; sweep++ {
+		g.SweepSlice()
+		acc.Add(es.Events[2].Arrival)
+	}
+	const steps = 200000
+	lo, hi := 1.0, 3.0
+	var z, zx float64
+	h := (hi - lo) / steps
+	for i := 0; i < steps; i++ {
+		x := lo + (float64(i)+0.5)*h
+		w := math.Exp(mA.LogPDF(x-lo) + mB.LogPDF(hi-x))
+		z += w
+		zx += w * x
+	}
+	want := zx / z
+	if math.Abs(acc.Mean()-want) > 0.01 {
+		t.Fatalf("slice posterior mean %v, exact %v", acc.Mean(), want)
+	}
+}
+
+// TestSlicePreservesModelMarginal is the invariance check with the slice
+// kernel under peaked Gamma services (shape 6), where the exponential MH
+// proposal would have poor acceptance.
+func TestSlicePreservesModelMarginal(t *testing.T) {
+	const (
+		reps   = 80
+		tasks  = 40
+		frac   = 0.3
+		sweeps = 8
+	)
+	net := must(qnet.Tiered(
+		dist.NewExponential(2),
+		[]qnet.TierSpec{
+			{Name: "a", Replicas: 1, Service: dist.NewGamma(6, 24)},
+			{Name: "b", Replicas: 1, Service: dist.NewGamma(6, 24)},
+		}))
+	models := []ServiceModel{
+		ExpModel{Rate: 2},
+		GammaModel{Shape: 6, Rate: 24},
+		GammaModel{Shape: 6, Rate: 24},
+	}
+	var fwdSvc, postSvc []float64
+	for rep := 0; rep < reps; rep++ {
+		r := xrand.New(uint64(5000 + rep))
+		truth, err := sim.Run(net, r, sim.Options{Tasks: tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth.ObserveTasks(r, frac)
+		ms := truth.MeanServiceByQueue()
+		fwdSvc = append(fwdSvc, ms[1], ms[2])
+
+		working := truth.Clone()
+		g, err := NewGeneralGibbs(working, models, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < sweeps; s++ {
+			g.SweepSlice()
+		}
+		if err := working.Validate(1e-6); err != nil {
+			t.Fatalf("rep %d: slice sweep broke feasibility: %v", rep, err)
+		}
+		ms = working.MeanServiceByQueue()
+		postSvc = append(postSvc, ms[1], ms[2])
+	}
+	n := float64(len(fwdSvc))
+	se := math.Sqrt((stats.Variance(fwdSvc) + stats.Variance(postSvc)) / n)
+	if d := math.Abs(stats.Mean(fwdSvc) - stats.Mean(postSvc)); d > 3.5*se+1e-9 {
+		t.Errorf("slice kernel shifted the marginal by %v (se %v)", d, se)
+	}
+}
+
+// TestSliceAgreesWithMH: both kernels target the same posterior; their
+// long-run means of the per-queue mean service must agree.
+func TestSliceAgreesWithMH(t *testing.T) {
+	net := must(qnet.Tiered(
+		dist.NewExponential(2),
+		[]qnet.TierSpec{{Name: "a", Replicas: 1, Service: dist.NewGamma(3, 12)}}))
+	working, _, _ := simulateObserved(t, net, 300, 0.3, 6001)
+	models := []ServiceModel{ExpModel{Rate: 2}, GammaModel{Shape: 3, Rate: 12}}
+
+	run := func(slice bool, seed uint64) float64 {
+		w := working.Clone()
+		g, err := NewGeneralGibbs(w, models, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc stats.Online
+		for s := 0; s < 600; s++ {
+			if slice {
+				g.SweepSlice()
+			} else {
+				g.Sweep()
+			}
+			if s >= 100 {
+				acc.Add(w.MeanServiceByQueue()[1])
+			}
+		}
+		return acc.Mean()
+	}
+	mh := run(false, 1)
+	sl := run(true, 2)
+	if math.Abs(mh-sl) > 0.02 {
+		t.Fatalf("MH mean %v vs slice mean %v diverge", mh, sl)
+	}
+}
+
+func TestSliceSampleRespectsSupport(t *testing.T) {
+	r := xrand.New(5)
+	logf := func(x float64) float64 { return -x * x }
+	for i := 0; i < 5000; i++ {
+		x := sliceSample(r, -1, 2, 0.5, logf)
+		if x < -1 || x > 2 {
+			t.Fatalf("slice sample %v outside support", x)
+		}
+	}
+	// Degenerate density at the current point: value retained.
+	bad := func(float64) float64 { return math.Inf(-1) }
+	if got := sliceSample(r, 0, 1, 0.5, bad); got != 0.5 {
+		t.Fatalf("degenerate density should keep current value, got %v", got)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Streaming (mini-batch) estimation — the paper's "online, distributed
+// inference" direction in its simplest useful form: tasks are processed in
+// consecutive blocks by entry order; each block is estimated with StEM
+// warm-started from the previous block's parameters, yielding a time
+// series of rate estimates that tracks non-stationary workloads (the
+// ramped web application, workload spikes) without ever holding the whole
+// trace in one sampler.
+
+// BlockEstimate is the estimate for one task block.
+type BlockEstimate struct {
+	// FromTask and ToTask bound the block (task indices, end exclusive).
+	FromTask, ToTask int
+	// StartTime and EndTime are the entry times of the block's first and
+	// last tasks.
+	StartTime, EndTime float64
+	// Params is the block's StEM estimate.
+	Params Params
+	// MeanWait is the block's posterior mean waiting time per queue.
+	MeanWait []float64
+}
+
+// StreamingOptions configures StreamingEstimate.
+type StreamingOptions struct {
+	// Blocks is the number of consecutive task blocks (required, >= 1).
+	Blocks int
+	// EM configures the per-block StEM runs (warm starts override
+	// InitialParams after the first block).
+	EM EMOptions
+	// PostSweeps sizes the per-block posterior pass (default 30).
+	PostSweeps int
+}
+
+// StreamingEstimate splits the trace into consecutive task blocks and
+// estimates each one, warm-starting from its predecessor.
+func StreamingEstimate(es *trace.EventSet, rng *xrand.RNG, opts StreamingOptions) ([]BlockEstimate, error) {
+	if opts.Blocks < 1 {
+		return nil, fmt.Errorf("core: streaming needs >= 1 block, got %d", opts.Blocks)
+	}
+	if opts.Blocks > es.NumTasks {
+		return nil, fmt.Errorf("core: %d blocks for %d tasks", opts.Blocks, es.NumTasks)
+	}
+	if opts.PostSweeps == 0 {
+		opts.PostSweeps = 30
+	}
+	var out []BlockEstimate
+	var warm *Params
+	for b := 0; b < opts.Blocks; b++ {
+		from := b * es.NumTasks / opts.Blocks
+		to := (b + 1) * es.NumTasks / opts.Blocks
+		sub, err := es.SubsetTasks(from, to)
+		if err != nil {
+			return nil, err
+		}
+		startTime := sub.TaskEntry(0)
+		endTime := sub.TaskEntry(sub.NumTasks - 1)
+		// Shift the block toward zero so the first task's interarrival gap
+		// is a typical one rather than the offset of the whole block —
+		// otherwise the block's λ̂ is diluted by the time before it.
+		gap := 0.0
+		if sub.NumTasks > 1 {
+			gap = (endTime - startTime) / float64(sub.NumTasks-1)
+		}
+		if delta := gap - startTime; delta < 0 {
+			if err := sub.TimeShift(delta); err != nil {
+				return nil, fmt.Errorf("core: block %d shift: %w", b, err)
+			}
+		}
+		emOpts := opts.EM
+		if warm != nil {
+			w := warm.Clone()
+			emOpts.InitialParams = &w
+		}
+		r := rng.Split()
+		emRes, err := StEM(sub, r, emOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: block %d: %w", b, err)
+		}
+		post, err := Posterior(sub, emRes.Params, r, PosteriorOptions{Sweeps: opts.PostSweeps})
+		if err != nil {
+			return nil, fmt.Errorf("core: block %d posterior: %w", b, err)
+		}
+		be := BlockEstimate{
+			FromTask:  from,
+			ToTask:    to,
+			StartTime: startTime,
+			EndTime:   endTime,
+			Params:    emRes.Params,
+			MeanWait:  post.MeanWait,
+		}
+		out = append(out, be)
+		w := emRes.Params.Clone()
+		warm = &w
+	}
+	return out, nil
+}
+
+// PosteriorWindows runs the Gibbs sampler with fixed parameters and
+// averages time-windowed per-queue waiting times over the post-burn-in
+// sweeps: the retrospective "what was the bottleneck five minutes ago?"
+// analysis. Windows partition [lo, hi) into n equal intervals by event
+// arrival time. Entries for queue/window cells that never contain events
+// are NaN.
+func PosteriorWindows(es *trace.EventSet, params Params, rng *xrand.RNG, opts PosteriorOptions, lo, hi float64, n int) ([][]trace.WindowStats, error) {
+	opts = opts.withDefaults()
+	if opts.BurnIn >= opts.Sweeps {
+		return nil, fmt.Errorf("core: burn-in %d >= sweeps %d", opts.BurnIn, opts.Sweeps)
+	}
+	g, err := NewGibbs(es, params, rng)
+	if err != nil {
+		return nil, err
+	}
+	var acc [][]trace.WindowStats
+	counts := make([][]int, 0)
+	kept := 0
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		g.Sweep()
+		if sweep < opts.BurnIn {
+			continue
+		}
+		ws, err := es.WindowedStats(lo, hi, n)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = make([][]trace.WindowStats, len(ws))
+			counts = make([][]int, len(ws))
+			for q := range ws {
+				acc[q] = make([]trace.WindowStats, n)
+				counts[q] = make([]int, n)
+				for w := range ws[q] {
+					acc[q][w] = trace.WindowStats{Queue: q, Lo: ws[q][w].Lo, Hi: ws[q][w].Hi}
+				}
+			}
+		}
+		for q := range ws {
+			for w := range ws[q] {
+				cell := ws[q][w]
+				if cell.Events == 0 || math.IsNaN(cell.MeanWait) {
+					continue
+				}
+				acc[q][w].Events += cell.Events
+				acc[q][w].MeanService += cell.MeanService
+				acc[q][w].MeanWait += cell.MeanWait
+				counts[q][w]++
+			}
+		}
+		kept++
+	}
+	for q := range acc {
+		for w := range acc[q] {
+			if counts[q][w] == 0 {
+				acc[q][w].MeanService = math.NaN()
+				acc[q][w].MeanWait = math.NaN()
+				continue
+			}
+			c := float64(counts[q][w])
+			acc[q][w].MeanService /= c
+			acc[q][w].MeanWait /= c
+			acc[q][w].Events /= counts[q][w]
+		}
+	}
+	_ = kept
+	return acc, nil
+}

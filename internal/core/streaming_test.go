@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func TestSubsetTasksRoundTrip(t *testing.T) {
+	net := must(qnet.PaperSynthetic(8, 5, [3]int{1, 2, 1}))
+	working, _, _ := simulateObserved(t, net, 120, 0.3, 3001)
+	sub, err := working.SubsetTasks(40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumTasks != 40 {
+		t.Fatalf("subset tasks %d, want 40", sub.NumTasks)
+	}
+	if err := sub.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Times and flags preserved for the first retained task.
+	origIDs := working.ByTask[40]
+	subIDs := sub.ByTask[0]
+	if len(origIDs) != len(subIDs) {
+		t.Fatalf("event count mismatch: %d vs %d", len(origIDs), len(subIDs))
+	}
+	for j := range origIDs {
+		oe, se := working.Events[origIDs[j]], sub.Events[subIDs[j]]
+		if oe.Arrival != se.Arrival || oe.Depart != se.Depart || oe.Queue != se.Queue {
+			t.Fatalf("event %d mismatch: %+v vs %+v", j, oe, se)
+		}
+		if oe.ObsArrival != se.ObsArrival {
+			t.Fatalf("observation flag lost at %d", j)
+		}
+	}
+	if _, err := working.SubsetTasks(5, 5); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := working.SubsetTasks(-1, 5); err == nil {
+		t.Error("negative from should fail")
+	}
+	if _, err := working.SubsetTasks(0, 9999); err == nil {
+		t.Error("out-of-range to should fail")
+	}
+}
+
+func TestStreamingTracksRateShift(t *testing.T) {
+	// λ doubles halfway through; per-block λ̂ must follow.
+	net := must(qnet.SingleMM1(2, 12))
+	r := xrand.New(3002)
+	entries := workload.NewPoisson(2).Entries(r, 600)
+	shift := entries[599] // continue with the faster process
+	fast := workload.NewPoisson(4).Entries(r, 600)
+	for _, e := range fast {
+		entries = append(entries, shift+e)
+	}
+	truth, err := sim.Run(net, r, sim.Options{Tasks: 1200, Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(r, 0.4)
+	blocks, err := StreamingEstimate(truth.Clone(), r, StreamingOptions{
+		Blocks: 4,
+		EM:     EMOptions{Iterations: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	// Blocks 0-1 cover the slow phase, 2-3 the fast phase.
+	slow := (blocks[0].Params.Rates[0] + blocks[1].Params.Rates[0]) / 2
+	fastEst := (blocks[2].Params.Rates[0] + blocks[3].Params.Rates[0]) / 2
+	if math.Abs(slow-2) > 0.5 {
+		t.Errorf("slow-phase λ̂ = %v, want ≈2", slow)
+	}
+	if math.Abs(fastEst-4) > 1.0 {
+		t.Errorf("fast-phase λ̂ = %v, want ≈4", fastEst)
+	}
+	if fastEst < slow*1.5 {
+		t.Errorf("streaming did not detect the rate shift: %v -> %v", slow, fastEst)
+	}
+	// Service rate should be stable across blocks.
+	for i, b := range blocks {
+		if math.Abs(b.Params.MeanServiceTimes()[1]-1.0/12) > 0.04 {
+			t.Errorf("block %d mean service %v, want ≈%v", i, b.Params.MeanServiceTimes()[1], 1.0/12)
+		}
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 5))
+	working, _, _ := simulateObserved(t, net, 20, 0.5, 3003)
+	if _, err := StreamingEstimate(working, xrand.New(1), StreamingOptions{Blocks: 0}); err == nil {
+		t.Error("zero blocks should fail")
+	}
+	if _, err := StreamingEstimate(working, xrand.New(1), StreamingOptions{Blocks: 100}); err == nil {
+		t.Error("more blocks than tasks should fail")
+	}
+}
+
+// TestPosteriorWindowsLocalizesSpike reproduces the paper's motivating
+// question end to end: a brief workload spike must show up as elevated
+// waiting in exactly the windows it covers, estimated from 10% of tasks.
+func TestPosteriorWindowsLocalizesSpike(t *testing.T) {
+	net := must(qnet.SingleMM1(3, 6))
+	r := xrand.New(3004)
+	gen := workload.Spike(3, 4, 40, 20) // burst in [40, 60)
+	entries := gen.Entries(r, 800)
+	truth, err := sim.Run(net, r, sim.Options{Tasks: 800, Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(r, 0.10)
+	working := truth.Clone()
+	emRes, err := StEM(working, r, EMOptions{Iterations: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := PosteriorWindows(working, emRes.Params, r, PosteriorOptions{Sweeps: 60, BurnIn: 20}, 0, 120, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spike covers windows 2 ([40,60)): its wait must dominate windows 0-1.
+	spikeWait := ws[1][2].MeanWait
+	calm := (ws[1][0].MeanWait + ws[1][1].MeanWait) / 2
+	if math.IsNaN(spikeWait) || math.IsNaN(calm) {
+		t.Fatalf("window stats NaN: %+v", ws[1])
+	}
+	if spikeWait < 2*calm {
+		t.Fatalf("spike window wait %v not elevated over calm %v", spikeWait, calm)
+	}
+}
+
+func TestPosteriorWindowsValidation(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 5))
+	working, _, _ := simulateObserved(t, net, 30, 0.5, 3005)
+	params, err := NewParams([]float64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (OrderInitializer{}).Initialize(working, params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PosteriorWindows(working, params, xrand.New(1), PosteriorOptions{Sweeps: 5, BurnIn: 9}, 0, 10, 4); err == nil {
+		t.Error("bad burn-in should fail")
+	}
+	if _, err := PosteriorWindows(working, params, xrand.New(1), PosteriorOptions{}, 10, 10, 4); err == nil {
+		t.Error("degenerate window range should fail")
+	}
+}

@@ -1,0 +1,525 @@
+// Package dist provides the service-time and interarrival-time distribution
+// library for the queueing model. The paper's samplers target exponential
+// (M/M/1) service, but the modeling viewpoint it advocates applies to general
+// distributions; this package supplies the common families so that the
+// simulator can generate non-exponential ground truth (robustness/ablation
+// experiments) and so the Metropolis-within-Gibbs extension can score
+// arbitrary service densities.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Dist is a continuous distribution on (a subset of) the real line.
+type Dist interface {
+	// Sample draws one value using the provided RNG.
+	Sample(r *xrand.RNG) float64
+	// LogPDF returns the natural log of the density at x, or -Inf outside
+	// the support.
+	LogPDF(x float64) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// Var returns the distribution variance.
+	Var() float64
+	// String describes the distribution with its parameters.
+	String() string
+}
+
+// Quantiler is implemented by distributions with a closed-form inverse CDF.
+type Quantiler interface {
+	// Quantile returns the value x with CDF(x) == p for p in (0,1).
+	Quantile(p float64) float64
+}
+
+// CDFer is implemented by distributions with a closed-form CDF.
+type CDFer interface {
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+}
+
+// ---------------------------------------------------------------------------
+// Exponential
+
+// Exponential is the exponential distribution with the given Rate; its mean
+// is 1/Rate. This is the service distribution of an M/M/1 queue.
+type Exponential struct{ Rate float64 }
+
+// NewExponential returns an exponential distribution, panicking on a
+// non-positive rate.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("dist: exponential rate %v must be positive", rate))
+	}
+	return Exponential{Rate: rate}
+}
+
+func (d Exponential) Sample(r *xrand.RNG) float64 { return r.Exp(d.Rate) }
+
+func (d Exponential) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Rate) - d.Rate*x
+}
+
+func (d Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Rate * x)
+}
+
+func (d Exponential) Quantile(p float64) float64 {
+	checkProb(p)
+	return -math.Log1p(-p) / d.Rate
+}
+
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+func (d Exponential) Var() float64  { return 1 / (d.Rate * d.Rate) }
+func (d Exponential) String() string {
+	return fmt.Sprintf("Exponential(rate=%g)", d.Rate)
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// NewUniform returns a uniform distribution, panicking unless Lo < Hi.
+func NewUniform(lo, hi float64) Uniform {
+	if !(lo < hi) {
+		panic(fmt.Sprintf("dist: uniform bounds [%v,%v) invalid", lo, hi))
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+func (d Uniform) Sample(r *xrand.RNG) float64 { return r.Uniform(d.Lo, d.Hi) }
+
+func (d Uniform) LogPDF(x float64) float64 {
+	if x < d.Lo || x >= d.Hi {
+		return math.Inf(-1)
+	}
+	return -math.Log(d.Hi - d.Lo)
+}
+
+func (d Uniform) CDF(x float64) float64 {
+	switch {
+	case x < d.Lo:
+		return 0
+	case x >= d.Hi:
+		return 1
+	default:
+		return (x - d.Lo) / (d.Hi - d.Lo)
+	}
+}
+
+func (d Uniform) Quantile(p float64) float64 {
+	checkProb(p)
+	return d.Lo + p*(d.Hi-d.Lo)
+}
+
+func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+func (d Uniform) Var() float64  { w := d.Hi - d.Lo; return w * w / 12 }
+func (d Uniform) String() string {
+	return fmt.Sprintf("Uniform[%g,%g)", d.Lo, d.Hi)
+}
+
+// ---------------------------------------------------------------------------
+// TruncatedExponential
+
+// TruncatedExponential has density proportional to exp(-Rate*x) on
+// (0, Width). Rate may be negative (increasing density) or zero (uniform);
+// this mirrors the cases arising in the paper's Fig. 3 sampler.
+type TruncatedExponential struct {
+	Rate  float64
+	Width float64
+}
+
+// NewTruncatedExponential returns the distribution, panicking on a
+// non-positive width.
+func NewTruncatedExponential(rate, width float64) TruncatedExponential {
+	if width <= 0 || math.IsNaN(width) || math.IsNaN(rate) {
+		panic(fmt.Sprintf("dist: truncated exponential width %v must be positive", width))
+	}
+	return TruncatedExponential{Rate: rate, Width: width}
+}
+
+func (d TruncatedExponential) Sample(r *xrand.RNG) float64 {
+	return r.TruncExp(d.Rate, d.Width)
+}
+
+// normConst returns the integral of exp(-Rate*x) over (0, Width).
+func (d TruncatedExponential) normConst() float64 {
+	if d.Rate == 0 {
+		return d.Width
+	}
+	return -math.Expm1(-d.Rate*d.Width) / d.Rate
+}
+
+func (d TruncatedExponential) LogPDF(x float64) float64 {
+	if x < 0 || x > d.Width {
+		return math.Inf(-1)
+	}
+	return -d.Rate*x - math.Log(d.normConst())
+}
+
+func (d TruncatedExponential) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= d.Width:
+		return 1
+	case d.Rate == 0:
+		return x / d.Width
+	default:
+		return math.Expm1(-d.Rate*x) / math.Expm1(-d.Rate*d.Width)
+	}
+}
+
+func (d TruncatedExponential) Mean() float64 {
+	if d.Rate == 0 {
+		return d.Width / 2
+	}
+	// ∫ x rate*exp(-rate x) / Z dx over (0,w) with Z = 1-exp(-rate w):
+	// mean = 1/rate - w*exp(-rate*w)/(1-exp(-rate*w)).
+	ew := math.Exp(-d.Rate * d.Width)
+	return 1/d.Rate - d.Width*ew/(1-ew)
+}
+
+func (d TruncatedExponential) Var() float64 {
+	// Second moment by integration; compute numerically stable closed form.
+	if d.Rate == 0 {
+		return d.Width * d.Width / 12
+	}
+	rate, w := d.Rate, d.Width
+	ew := math.Exp(-rate * w)
+	z := 1 - ew
+	m := d.Mean()
+	// E[X^2] = 2/rate^2 - (w^2 + 2w/rate) * ew / z.
+	ex2 := 2/(rate*rate) - (w*w+2*w/rate)*ew/z
+	return ex2 - m*m
+}
+
+func (d TruncatedExponential) String() string {
+	return fmt.Sprintf("TruncExp(rate=%g,width=%g)", d.Rate, d.Width)
+}
+
+// ---------------------------------------------------------------------------
+// Gamma / Erlang
+
+// Gamma is the Gamma distribution with Shape and Rate (mean Shape/Rate).
+type Gamma struct{ Shape, Rate float64 }
+
+// NewGamma returns a Gamma distribution, panicking on non-positive params.
+func NewGamma(shape, rate float64) Gamma {
+	if shape <= 0 || rate <= 0 {
+		panic(fmt.Sprintf("dist: gamma(%v,%v) parameters must be positive", shape, rate))
+	}
+	return Gamma{Shape: shape, Rate: rate}
+}
+
+// NewErlang returns the Erlang distribution: a Gamma with integer shape k.
+// Erlang service times model multi-phase processing steps.
+func NewErlang(k int, rate float64) Gamma {
+	if k <= 0 {
+		panic("dist: erlang shape must be a positive integer")
+	}
+	return NewGamma(float64(k), rate)
+}
+
+func (d Gamma) Sample(r *xrand.RNG) float64 { return r.Gamma(d.Shape, d.Rate) }
+
+func (d Gamma) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	if x == 0 {
+		if d.Shape < 1 {
+			return math.Inf(1)
+		}
+		if d.Shape > 1 {
+			return math.Inf(-1)
+		}
+		return math.Log(d.Rate)
+	}
+	lg, _ := math.Lgamma(d.Shape)
+	return d.Shape*math.Log(d.Rate) + (d.Shape-1)*math.Log(x) - d.Rate*x - lg
+}
+
+func (d Gamma) Mean() float64 { return d.Shape / d.Rate }
+func (d Gamma) Var() float64  { return d.Shape / (d.Rate * d.Rate) }
+func (d Gamma) String() string {
+	return fmt.Sprintf("Gamma(shape=%g,rate=%g)", d.Shape, d.Rate)
+}
+
+// ---------------------------------------------------------------------------
+// Weibull
+
+// Weibull has scale Lambda and shape K. K < 1 gives heavy-ish tails, K > 1
+// light tails; K == 1 is Exponential(1/Lambda).
+type Weibull struct{ Lambda, K float64 }
+
+// NewWeibull returns a Weibull distribution, panicking on non-positive
+// parameters.
+func NewWeibull(lambda, k float64) Weibull {
+	if lambda <= 0 || k <= 0 {
+		panic(fmt.Sprintf("dist: weibull(%v,%v) parameters must be positive", lambda, k))
+	}
+	return Weibull{Lambda: lambda, K: k}
+}
+
+func (d Weibull) Sample(r *xrand.RNG) float64 {
+	return d.Quantile(r.Float64Open())
+}
+
+func (d Weibull) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	if x == 0 {
+		if d.K < 1 {
+			return math.Inf(1)
+		}
+		if d.K > 1 {
+			return math.Inf(-1)
+		}
+		return -math.Log(d.Lambda)
+	}
+	t := x / d.Lambda
+	return math.Log(d.K/d.Lambda) + (d.K-1)*math.Log(t) - math.Pow(t, d.K)
+}
+
+func (d Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/d.Lambda, d.K))
+}
+
+func (d Weibull) Quantile(p float64) float64 {
+	checkProb(p)
+	return d.Lambda * math.Pow(-math.Log1p(-p), 1/d.K)
+}
+
+func (d Weibull) Mean() float64 {
+	return d.Lambda * math.Gamma(1+1/d.K)
+}
+
+func (d Weibull) Var() float64 {
+	g1 := math.Gamma(1 + 1/d.K)
+	g2 := math.Gamma(1 + 2/d.K)
+	return d.Lambda * d.Lambda * (g2 - g1*g1)
+}
+
+func (d Weibull) String() string {
+	return fmt.Sprintf("Weibull(scale=%g,shape=%g)", d.Lambda, d.K)
+}
+
+// ---------------------------------------------------------------------------
+// LogNormal
+
+// LogNormal is the log-normal distribution: log X ~ Normal(Mu, Sigma^2).
+// Log-normal service times are the classic "realistic" alternative that the
+// paper's critics point to.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// NewLogNormal returns a log-normal distribution, panicking on non-positive
+// sigma.
+func NewLogNormal(mu, sigma float64) LogNormal {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("dist: lognormal sigma %v must be positive", sigma))
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+func (d LogNormal) Sample(r *xrand.RNG) float64 {
+	return math.Exp(d.Mu + d.Sigma*r.Norm())
+}
+
+func (d LogNormal) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	z := (math.Log(x) - d.Mu) / d.Sigma
+	return -math.Log(x*d.Sigma*math.Sqrt(2*math.Pi)) - z*z/2
+}
+
+func (d LogNormal) Mean() float64 {
+	return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+}
+
+func (d LogNormal) Var() float64 {
+	s2 := d.Sigma * d.Sigma
+	return math.Expm1(s2) * math.Exp(2*d.Mu+s2)
+}
+
+func (d LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%g,sigma=%g)", d.Mu, d.Sigma)
+}
+
+// ---------------------------------------------------------------------------
+// Hyperexponential
+
+// Hyperexponential is a probabilistic mixture of exponentials: with
+// probability Probs[i] the sample is Exponential(Rates[i]). It models
+// bimodal service (e.g. cache hit vs. miss) and has coefficient of
+// variation > 1.
+type Hyperexponential struct {
+	Probs []float64
+	Rates []float64
+}
+
+// NewHyperexponential returns the mixture, validating that probabilities are
+// non-negative, sum to ~1, and that rates are positive.
+func NewHyperexponential(probs, rates []float64) Hyperexponential {
+	if len(probs) == 0 || len(probs) != len(rates) {
+		panic("dist: hyperexponential needs matching non-empty probs and rates")
+	}
+	var sum float64
+	for i := range probs {
+		if probs[i] < 0 {
+			panic("dist: hyperexponential negative probability")
+		}
+		if rates[i] <= 0 {
+			panic("dist: hyperexponential non-positive rate")
+		}
+		sum += probs[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		panic(fmt.Sprintf("dist: hyperexponential probabilities sum to %v, want 1", sum))
+	}
+	p := make([]float64, len(probs))
+	r := make([]float64, len(rates))
+	copy(p, probs)
+	copy(r, rates)
+	return Hyperexponential{Probs: p, Rates: r}
+}
+
+func (d Hyperexponential) Sample(r *xrand.RNG) float64 {
+	return r.Exp(d.Rates[r.Categorical(d.Probs)])
+}
+
+func (d Hyperexponential) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	var p float64
+	for i := range d.Probs {
+		p += d.Probs[i] * d.Rates[i] * math.Exp(-d.Rates[i]*x)
+	}
+	return math.Log(p)
+}
+
+func (d Hyperexponential) Mean() float64 {
+	var m float64
+	for i := range d.Probs {
+		m += d.Probs[i] / d.Rates[i]
+	}
+	return m
+}
+
+func (d Hyperexponential) Var() float64 {
+	var m, m2 float64
+	for i := range d.Probs {
+		m += d.Probs[i] / d.Rates[i]
+		m2 += 2 * d.Probs[i] / (d.Rates[i] * d.Rates[i])
+	}
+	return m2 - m*m
+}
+
+func (d Hyperexponential) String() string {
+	return fmt.Sprintf("Hyperexp(p=%v,rates=%v)", d.Probs, d.Rates)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic
+
+// Deterministic is the point mass at Value (D in Kendall notation).
+type Deterministic struct{ Value float64 }
+
+// NewDeterministic returns a point mass, panicking on a negative value.
+func NewDeterministic(v float64) Deterministic {
+	if v < 0 {
+		panic("dist: deterministic service time must be non-negative")
+	}
+	return Deterministic{Value: v}
+}
+
+func (d Deterministic) Sample(*xrand.RNG) float64 { return d.Value }
+
+func (d Deterministic) LogPDF(x float64) float64 {
+	if x == d.Value {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+func (d Deterministic) Mean() float64  { return d.Value }
+func (d Deterministic) Var() float64   { return 0 }
+func (d Deterministic) String() string { return fmt.Sprintf("Deterministic(%g)", d.Value) }
+
+// ---------------------------------------------------------------------------
+// Pareto
+
+// Pareto is the Pareto (type I) distribution with scale Xm and shape Alpha.
+// Heavy-tailed service; mean exists only for Alpha > 1, variance for
+// Alpha > 2.
+type Pareto struct{ Xm, Alpha float64 }
+
+// NewPareto returns a Pareto distribution, panicking on non-positive
+// parameters.
+func NewPareto(xm, alpha float64) Pareto {
+	if xm <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("dist: pareto(%v,%v) parameters must be positive", xm, alpha))
+	}
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+func (d Pareto) Sample(r *xrand.RNG) float64 {
+	return d.Xm / math.Pow(r.Float64Open(), 1/d.Alpha)
+}
+
+func (d Pareto) LogPDF(x float64) float64 {
+	if x < d.Xm {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Alpha) + d.Alpha*math.Log(d.Xm) - (d.Alpha+1)*math.Log(x)
+}
+
+func (d Pareto) CDF(x float64) float64 {
+	if x < d.Xm {
+		return 0
+	}
+	return 1 - math.Pow(d.Xm/x, d.Alpha)
+}
+
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+func (d Pareto) Var() float64 {
+	if d.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := d.Alpha
+	return d.Xm * d.Xm * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+func (d Pareto) String() string {
+	return fmt.Sprintf("Pareto(xm=%g,alpha=%g)", d.Xm, d.Alpha)
+}
+
+// checkProb panics unless p is a probability in (0, 1).
+func checkProb(p float64) {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("dist: quantile probability %v outside (0,1)", p))
+	}
+}

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// sampleMoments draws n samples and returns their mean and variance.
+func sampleMoments(t *testing.T, d Dist, n int, seed uint64) (mean, variance float64) {
+	t.Helper()
+	r := xrand.New(seed)
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		sum += x
+		sumsq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sumsq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestMomentsMatchSamples(t *testing.T) {
+	cases := []Dist{
+		NewExponential(0.5),
+		NewExponential(5),
+		NewUniform(-1, 3),
+		NewTruncatedExponential(2, 1.5),
+		NewTruncatedExponential(-1.5, 2),
+		NewTruncatedExponential(0, 3),
+		NewGamma(3, 2),
+		NewErlang(4, 1.5),
+		NewWeibull(2, 1.5),
+		NewWeibull(1, 0.8),
+		NewLogNormal(0, 0.5),
+		NewHyperexponential([]float64{0.3, 0.7}, []float64{1, 10}),
+		NewDeterministic(2.5),
+		NewPareto(1, 4),
+	}
+	for _, d := range cases {
+		t.Run(d.String(), func(t *testing.T) {
+			const n = 300000
+			mean, variance := sampleMoments(t, d, n, 99)
+			wm, wv := d.Mean(), d.Var()
+			if math.Abs(mean-wm) > 0.03*math.Abs(wm)+0.01 {
+				t.Errorf("sample mean %v, analytic %v", mean, wm)
+			}
+			if math.Abs(variance-wv) > 0.1*wv+0.02 {
+				t.Errorf("sample variance %v, analytic %v", variance, wv)
+			}
+		})
+	}
+}
+
+// TestLogPDFIntegratesToOne numerically integrates exp(LogPDF) and checks it
+// is ~1 for densities with bounded effective support.
+func TestLogPDFIntegratesToOne(t *testing.T) {
+	cases := []struct {
+		d        Dist
+		lo, hi   float64
+		steps    int
+		wantMass float64
+	}{
+		{NewExponential(2), 0, 20, 200000, 1},
+		{NewUniform(1, 4), 0.5, 4.5, 100000, 1},
+		{NewTruncatedExponential(3, 2), 0, 2, 100000, 1},
+		{NewTruncatedExponential(-2, 1), 0, 1, 100000, 1},
+		{NewGamma(2.5, 1.5), 0, 40, 400000, 1},
+		{NewWeibull(1.5, 2), 0, 20, 200000, 1},
+		{NewLogNormal(0.2, 0.6), 1e-9, 30, 400000, 1},
+		{NewHyperexponential([]float64{0.5, 0.5}, []float64{1, 5}), 0, 40, 400000, 1},
+		{NewPareto(1, 3), 1, 2000, 2000000, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.d.String(), func(t *testing.T) {
+			h := (tc.hi - tc.lo) / float64(tc.steps)
+			var mass float64
+			for i := 0; i < tc.steps; i++ {
+				x := tc.lo + (float64(i)+0.5)*h
+				lp := tc.d.LogPDF(x)
+				if !math.IsInf(lp, -1) {
+					mass += math.Exp(lp) * h
+				}
+			}
+			if math.Abs(mass-tc.wantMass) > 0.01 {
+				t.Errorf("density integrates to %v, want %v", mass, tc.wantMass)
+			}
+		})
+	}
+}
+
+// TestQuantileInvertsCDF checks Quantile(CDF(x)) == x where both exist.
+func TestQuantileInvertsCDF(t *testing.T) {
+	type qc interface {
+		Quantiler
+		CDFer
+	}
+	cases := []qc{
+		NewExponential(1.3),
+		NewUniform(-2, 5),
+		NewWeibull(2, 0.9),
+	}
+	for _, d := range cases {
+		if err := quick.Check(func(raw float64) bool {
+			p := math.Mod(math.Abs(raw), 0.98) + 0.01
+			x := d.Quantile(p)
+			return math.Abs(d.CDF(x)-p) < 1e-9
+		}, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v: %v", d, err)
+		}
+	}
+}
+
+func TestTruncExpCDFMatchesSamples(t *testing.T) {
+	d := NewTruncatedExponential(2.5, 1.2)
+	r := xrand.New(123)
+	const n = 200000
+	for _, x := range []float64{0.1, 0.4, 0.8, 1.1} {
+		count := 0
+		rr := xrand.New(7)
+		for i := 0; i < n; i++ {
+			if d.Sample(rr) <= x {
+				count++
+			}
+		}
+		got := float64(count) / n
+		want := d.CDF(x)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical CDF(%v) = %v, analytic %v", x, got, want)
+		}
+	}
+	_ = r
+}
+
+func TestExponentialMemoryless(t *testing.T) {
+	// P(X > s+t | X > s) == P(X > t).
+	d := NewExponential(3)
+	s, tt := 0.2, 0.5
+	lhs := (1 - d.CDF(s+tt)) / (1 - d.CDF(s))
+	rhs := 1 - d.CDF(tt)
+	if math.Abs(lhs-rhs) > 1e-12 {
+		t.Fatalf("memorylessness violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestSupportRespected(t *testing.T) {
+	r := xrand.New(55)
+	cases := []struct {
+		d      Dist
+		lo, hi float64
+	}{
+		{NewExponential(1), 0, math.Inf(1)},
+		{NewUniform(2, 3), 2, 3},
+		{NewTruncatedExponential(1, 0.5), 0, 0.5},
+		{NewGamma(2, 2), 0, math.Inf(1)},
+		{NewWeibull(1, 1), 0, math.Inf(1)},
+		{NewLogNormal(0, 1), 0, math.Inf(1)},
+		{NewPareto(2, 1.5), 2, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 5000; i++ {
+			x := tc.d.Sample(r)
+			if x < tc.lo || x > tc.hi {
+				t.Fatalf("%v sample %v outside [%v,%v]", tc.d, x, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+func TestConstructorsPanicOnBadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"exp zero rate", func() { NewExponential(0) }},
+		{"exp negative rate", func() { NewExponential(-1) }},
+		{"uniform empty", func() { NewUniform(3, 3) }},
+		{"truncexp zero width", func() { NewTruncatedExponential(1, 0) }},
+		{"gamma zero shape", func() { NewGamma(0, 1) }},
+		{"erlang zero k", func() { NewErlang(0, 1) }},
+		{"weibull zero scale", func() { NewWeibull(0, 1) }},
+		{"lognormal zero sigma", func() { NewLogNormal(0, 0) }},
+		{"hyperexp bad probs", func() { NewHyperexponential([]float64{0.4, 0.4}, []float64{1, 1}) }},
+		{"hyperexp mismatched", func() { NewHyperexponential([]float64{1}, []float64{1, 2}) }},
+		{"deterministic negative", func() { NewDeterministic(-1) }},
+		{"pareto zero xm", func() { NewPareto(0, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestErlangIsSumOfExponentials(t *testing.T) {
+	// Erlang(k, rate) should have the same moments as a sum of k iid
+	// Exponential(rate) variables.
+	k, rate := 3, 2.0
+	d := NewErlang(k, rate)
+	if got, want := d.Mean(), float64(k)/rate; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean %v want %v", got, want)
+	}
+	if got, want := d.Var(), float64(k)/(rate*rate); math.Abs(got-want) > 1e-12 {
+		t.Errorf("var %v want %v", got, want)
+	}
+}
+
+func TestHyperexpCoefficientOfVariationAboveOne(t *testing.T) {
+	d := NewHyperexponential([]float64{0.9, 0.1}, []float64{10, 0.5})
+	cv2 := d.Var() / (d.Mean() * d.Mean())
+	if cv2 <= 1 {
+		t.Fatalf("hyperexponential squared CV %v, want > 1", cv2)
+	}
+}
+
+func TestWeibullK1IsExponential(t *testing.T) {
+	w := NewWeibull(2, 1) // scale 2, shape 1 == Exponential(rate 1/2)
+	e := NewExponential(0.5)
+	for _, x := range []float64{0.1, 0.5, 1, 3, 10} {
+		if math.Abs(w.LogPDF(x)-e.LogPDF(x)) > 1e-12 {
+			t.Fatalf("Weibull(k=1) logpdf(%v)=%v, exponential %v", x, w.LogPDF(x), e.LogPDF(x))
+		}
+	}
+}

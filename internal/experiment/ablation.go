@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// AblationConfig parameterizes the design-choice ablations of DESIGN.md §6,
+// all run on the paper's {1,2,4} synthetic structure.
+type AblationConfig struct {
+	Tasks      int
+	Fraction   float64
+	Reps       int
+	Iterations int
+	Seed       uint64
+}
+
+// DefaultAblationConfig returns a configuration that runs in around a
+// minute on one core. Tasks is kept small because one variant solves the
+// paper's LP initialization with the dense simplex, whose tableau grows
+// quadratically in the event count.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{Tasks: 60, Fraction: 0.25, Reps: 5, Iterations: 800, Seed: 424242}
+}
+
+// AblationResult summarizes one variant: the mean (over reps and queues) of
+// the absolute service-time estimation error.
+type AblationResult struct {
+	Variant    string
+	MeanAbsErr float64
+	Note       string
+}
+
+// RunAblations executes every variant and returns a rendered table. Errors
+// abort; progress may be nil.
+func RunAblations(cfg AblationConfig, progress io.Writer) (*Table, []AblationResult, error) {
+	type variant struct {
+		name string
+		note string
+		run  func(truth *trace.EventSet, obs []int, r *xrand.RNG) ([]float64, error)
+	}
+
+	stemWith := func(opts core.EMOptions) func(*trace.EventSet, []int, *xrand.RNG) ([]float64, error) {
+		return func(truth *trace.EventSet, obs []int, r *xrand.RNG) ([]float64, error) {
+			working := truth.Clone()
+			working.ObserveTaskIDs(obs)
+			res, err := core.StEM(working, r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return res.Params.MeanServiceTimes(), nil
+		}
+	}
+
+	variants := []variant{
+		{
+			name: "StEM + order init (default)",
+			note: "baseline configuration",
+			run:  stemWith(core.EMOptions{Iterations: cfg.Iterations}),
+		},
+		{
+			name: "StEM + LP init",
+			note: "the paper's LP initialization (small traces only)",
+			run: func(truth *trace.EventSet, obs []int, r *xrand.RNG) ([]float64, error) {
+				working := truth.Clone()
+				working.ObserveTaskIDs(obs)
+				res, err := core.StEM(working, r, core.EMOptions{
+					Iterations: cfg.Iterations,
+					Init:       core.LPInitializer{MaxEvents: 1 << 20},
+				})
+				if err != nil {
+					return nil, err
+				}
+				return res.Params.MeanServiceTimes(), nil
+			},
+		},
+		{
+			name: "MCEM (5 sweeps/E-step, 1/5 iterations)",
+			note: "same total sweep budget as StEM",
+			run: func(truth *trace.EventSet, obs []int, r *xrand.RNG) ([]float64, error) {
+				working := truth.Clone()
+				working.ObserveTaskIDs(obs)
+				res, err := core.MCEM(working, r, 5, core.EMOptions{Iterations: cfg.Iterations / 5})
+				if err != nil {
+					return nil, err
+				}
+				return res.Params.MeanServiceTimes(), nil
+			},
+		},
+		{
+			name: "arrivals-only observation",
+			note: "observed tasks' final departures stay latent",
+			run: func(truth *trace.EventSet, obs []int, r *xrand.RNG) ([]float64, error) {
+				working := truth.Clone()
+				working.ObserveTaskIDs(obs)
+				for _, task := range obs {
+					evs := working.ByTask[task]
+					working.Events[evs[len(evs)-1]].ObsDepart = false
+				}
+				res, err := core.StEM(working, r, core.EMOptions{Iterations: cfg.Iterations})
+				if err != nil {
+					return nil, err
+				}
+				return res.Params.MeanServiceTimes(), nil
+			},
+		},
+		{
+			name: "MH kernel with exponential models",
+			note: "GeneralGibbs reduces to the exact sampler (acceptance ~1)",
+			run: func(truth *trace.EventSet, obs []int, r *xrand.RNG) ([]float64, error) {
+				working := truth.Clone()
+				working.ObserveTaskIDs(obs)
+				models := make([]core.ServiceModel, working.NumQueues)
+				init := core.InitialRates(working)
+				for q := range models {
+					models[q] = core.ExpModel{Rate: init.Rates[q]}
+				}
+				res, err := core.GeneralStEM(working, models, r, core.EMOptions{Iterations: cfg.Iterations})
+				if err != nil {
+					return nil, err
+				}
+				return res.MeanService, nil
+			},
+		},
+	}
+
+	// Shared ground truths across variants (paired comparison).
+	net, err := qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4})
+	if err != nil {
+		return nil, nil, err
+	}
+	type rep struct {
+		truth  *trace.EventSet
+		obs    []int
+		truthS []float64
+	}
+	reps := make([]rep, cfg.Reps)
+	for i := range reps {
+		r := xrand.New(jobSeed(cfg.Seed, 7, i, 0))
+		truth, err := sim.Run(net, r, sim.Options{Tasks: cfg.Tasks})
+		if err != nil {
+			return nil, nil, err
+		}
+		obs := truth.ObserveTasks(r, cfg.Fraction)
+		reps[i] = rep{truth: truth, obs: obs, truthS: truth.MeanServiceByQueue()}
+	}
+
+	var results []AblationResult
+	table := &Table{
+		Title:   fmt.Sprintf("Ablations (structure {1,2,4}, %d tasks, %g%% observed, %d reps): mean |service error|", cfg.Tasks, cfg.Fraction*100, cfg.Reps),
+		Headers: []string{"variant", "mean abs err", "note"},
+	}
+	for vi, v := range variants {
+		var errs []float64
+		for i := range reps {
+			r := xrand.New(jobSeed(cfg.Seed, 100+vi, i, 1))
+			est, err := v.run(reps[i].truth, reps[i].obs, r)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiment: ablation %q rep %d: %w", v.name, i, err)
+			}
+			for q := 1; q < reps[i].truth.NumQueues; q++ {
+				errs = append(errs, abs(est[q]-reps[i].truthS[q]))
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "\rablations: %s %d/%d   ", v.name, i+1, cfg.Reps)
+			}
+		}
+		res := AblationResult{Variant: v.name, MeanAbsErr: stats.Mean(errs), Note: v.note}
+		results = append(results, res)
+		table.AddRow(v.name, FmtF(res.MeanAbsErr), v.note)
+	}
+	if progress != nil {
+		fmt.Fprintln(progress)
+	}
+	return table, results, nil
+}

@@ -1,0 +1,307 @@
+package experiment
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/webapp"
+)
+
+// quickFig4 shrinks the paper configuration so tests run in seconds while
+// exercising the full pipeline.
+func quickFig4() Fig4Config {
+	cfg := DefaultFig4Config()
+	cfg.Structures = [][3]int{{1, 2, 1}, {2, 1, 1}}
+	cfg.Tasks = 150
+	cfg.Reps = 2
+	cfg.Fractions = []float64{0.1, 0.25}
+	cfg.EMIterations = 25
+	cfg.PostSweeps = 20
+	return cfg
+}
+
+func TestRunFig4Quick(t *testing.T) {
+	cfg := quickFig4()
+	res, err := RunFig4(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points: per run, one point per service queue.
+	wantPerRun := map[int]int{0: 4, 1: 4} // 1+2+1 and 2+1+1 queues
+	var want int
+	for si := range cfg.Structures {
+		want += wantPerRun[si] * cfg.Reps * len(cfg.Fractions)
+	}
+	if len(res.Points) != want {
+		t.Fatalf("points %d, want %d", len(res.Points), want)
+	}
+	for _, p := range res.Points {
+		if p.ServiceErr < 0 || math.IsNaN(p.ServiceErr) {
+			t.Fatalf("bad service error %v in %+v", p.ServiceErr, p)
+		}
+		if p.WaitErr < 0 || math.IsNaN(p.WaitErr) {
+			t.Fatalf("bad wait error %v in %+v", p.WaitErr, p)
+		}
+		if p.ServiceTru <= 0 {
+			t.Fatalf("non-positive true service %v", p.ServiceTru)
+		}
+	}
+	// Errors should be small in absolute terms (truth ≈ 0.2).
+	svcMed, waitMed := res.MedianErrors(0.25)
+	if svcMed > 0.1 {
+		t.Errorf("median service error %v too large", svcMed)
+	}
+	if math.IsNaN(waitMed) {
+		t.Errorf("median wait error NaN")
+	}
+	// Rendering should not panic and should include all fractions.
+	var buf bytes.Buffer
+	if err := res.ErrorSummary(true).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10%") || !strings.Contains(buf.String(), "25%") {
+		t.Fatalf("summary missing fractions:\n%s", buf.String())
+	}
+	sVar, bVar, table := res.VarianceComparison()
+	if !(sVar > 0) || !(bVar > 0) {
+		t.Fatalf("variance comparison degenerate: %v %v", sVar, bVar)
+	}
+	buf.Reset()
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pooled") {
+		t.Fatalf("variance table missing pooled row:\n%s", buf.String())
+	}
+}
+
+func TestFig4Deterministic(t *testing.T) {
+	cfg := quickFig4()
+	cfg.Structures = cfg.Structures[:1]
+	cfg.Reps = 1
+	cfg.Fractions = []float64{0.25}
+	a, err := RunFig4(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig4(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs between identical runs:\n%+v\n%+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestRunFig4ValidatesConfig(t *testing.T) {
+	cfg := quickFig4()
+	cfg.Structures = nil
+	if _, err := RunFig4(cfg, nil); err == nil {
+		t.Fatal("empty structures should fail")
+	}
+}
+
+func quickFig5() Fig5Config {
+	cfg := DefaultFig5Config()
+	cfg.App.Requests = 400
+	cfg.App.Duration = 500
+	cfg.App.WebServers = 3
+	cfg.App.StarvedServer = 1
+	cfg.App.StarvedShare = 5.0 / 400.0
+	cfg.Fractions = []float64{0.1, 0.5}
+	cfg.EMIterations = 25
+	cfg.PostSweeps = 15
+	return cfg
+}
+
+func TestRunFig5Quick(t *testing.T) {
+	cfg := quickFig5()
+	res, err := RunFig5(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nq := 1 + 1 + cfg.App.WebServers + 1 // q0 + net + web + db
+	if len(res.QueueNames) != nq {
+		t.Fatalf("queues %d, want %d", len(res.QueueNames), nq)
+	}
+	if got := len(res.Points); got != (nq-1)*len(cfg.Fractions) {
+		t.Fatalf("points %d, want %d", got, (nq-1)*len(cfg.Fractions))
+	}
+	if res.TotalEvents != cfg.App.Requests*4 {
+		t.Fatalf("events %d, want %d", res.TotalEvents, cfg.App.Requests*4)
+	}
+	if res.StarvedQueue != webapp.WebQueue(1) {
+		t.Fatalf("starved queue %d", res.StarvedQueue)
+	}
+	for _, p := range res.Points {
+		if p.ServiceEst <= 0 || math.IsNaN(p.ServiceEst) {
+			t.Fatalf("bad service estimate %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.SeriesTable(true).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "network") || !strings.Contains(buf.String(), "truth") {
+		t.Fatalf("series table malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := res.StabilityReport().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "db") {
+		t.Fatalf("stability report malformed:\n%s", buf.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"a", "long-header"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("longer-cell", "2")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	// Columns aligned: the second column starts at the same offset.
+	idx := strings.Index(lines[1], "long-header")
+	for _, ln := range lines[3:] {
+		if len(ln) <= idx {
+			t.Fatalf("row too short: %q", ln)
+		}
+	}
+}
+
+func TestTableRowWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("only-one")
+}
+
+func TestFmtF(t *testing.T) {
+	if FmtF(math.NaN()) != "-" {
+		t.Error("NaN should render as -")
+	}
+	if got := FmtF(0.0001); !strings.Contains(got, "e") {
+		t.Errorf("tiny value %q should use scientific notation", got)
+	}
+	if got := FmtF(0.5); got != "0.5000" {
+		t.Errorf("FmtF(0.5) = %q", got)
+	}
+	if FmtPct(0.05) != "5%" {
+		t.Errorf("FmtPct(0.05) = %q", FmtPct(0.05))
+	}
+}
+
+func TestJobSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for si := 0; si < 5; si++ {
+		for rep := 0; rep < 10; rep++ {
+			for fi := 0; fi < 3; fi++ {
+				s := jobSeed(42, si, rep, fi)
+				if seen[s] {
+					t.Fatalf("seed collision at (%d,%d,%d)", si, rep, fi)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestRunSpikeQuick(t *testing.T) {
+	cfg := DefaultSpikeConfig()
+	cfg.Tasks = 500
+	cfg.EMIterations = 250
+	cfg.PostSweeps = 25
+	res, err := RunSpike(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SpikeWindows) == 0 {
+		t.Fatal("no windows overlap the spike")
+	}
+	q, wait := res.BottleneckDuringSpike()
+	if q < 1 || math.IsNaN(wait) {
+		t.Fatalf("no bottleneck found: q=%d wait=%v", q, wait)
+	}
+	// During the spike (3x load) the app tier (single replica, ρ→2)
+	// should dominate waiting.
+	if got := res.QueueNames[q]; got != "app" {
+		t.Errorf("spike bottleneck %q, want app", got)
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("table missing spike markers:\n%s", buf.String())
+	}
+}
+
+func TestRunAblationsQuick(t *testing.T) {
+	cfg := DefaultAblationConfig()
+	cfg.Reps = 2
+	cfg.Iterations = 150
+	table, results, err := RunAblations(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d ablation variants", len(results))
+	}
+	for _, r := range results {
+		if math.IsNaN(r.MeanAbsErr) || r.MeanAbsErr < 0 {
+			t.Fatalf("bad error for %s: %v", r.Variant, r.MeanAbsErr)
+		}
+	}
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "arrivals-only") {
+		t.Fatalf("ablation table incomplete:\n%s", buf.String())
+	}
+}
+
+func TestRunRobustnessQuick(t *testing.T) {
+	cfg := DefaultRobustnessConfig()
+	cfg.Tasks = 200
+	cfg.Reps = 1
+	cfg.EMIterations = 200
+	rows, table, err := RunRobustness(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, row := range rows {
+		if math.IsNaN(row.MeanAbsErr) || row.MeanAbsErr < 0 {
+			t.Fatalf("bad error in %+v", row)
+		}
+		// Errors should stay within the service scale even when
+		// misspecified — the robustness claim.
+		if row.MeanAbsErr > 0.2 {
+			t.Fatalf("estimator %s on %s diverged: %v", row.Estimator, row.TruthFamily, row.MeanAbsErr)
+		}
+	}
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hyperexp") {
+		t.Fatalf("table incomplete:\n%s", buf.String())
+	}
+}

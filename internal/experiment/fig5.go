@@ -1,0 +1,231 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+	"repro/internal/xrand"
+)
+
+// Fig5Config parameterizes the §5.2 web-application experiment: one
+// simulated trace of the three-tier movie-voting deployment, inferred at a
+// range of observation fractions.
+type Fig5Config struct {
+	App webapp.Config
+	// Fractions of tasks observed; the paper sweeps ~2%..50%.
+	Fractions []float64
+	// EMIterations and PostSweeps size the inference (defaults 60/40).
+	EMIterations, PostSweeps int
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers bounds parallel runs (default NumCPU).
+	Workers int
+}
+
+// DefaultFig5Config returns the paper-equivalent configuration.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{
+		App:          webapp.DefaultConfig(),
+		Fractions:    []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50},
+		EMIterations: 800,
+		PostSweeps:   60,
+		Seed:         20080502,
+	}
+}
+
+// Fig5Point is one queue's estimate at one observation fraction — one
+// marker of the paper's Figure 5.
+type Fig5Point struct {
+	Fraction   float64
+	Queue      int
+	QueueName  string
+	ServiceEst float64
+	WaitEst    float64
+}
+
+// Fig5Result aggregates the sweep plus the ground truth of the single
+// underlying trace.
+type Fig5Result struct {
+	Config       Fig5Config
+	Points       []Fig5Point
+	TrueService  []float64
+	TrueWait     []float64
+	QueueNames   []string
+	WebRequests  []int // realized per-web-server request counts
+	TotalEvents  int
+	StarvedQueue int // queue index of the starved web server, or -1
+}
+
+// RunFig5 simulates the web application once, then repeats inference at
+// each observation fraction on fresh masks of the same ground truth (the
+// paper's procedure: one measured trace, subsampled). progress may be nil.
+func RunFig5(cfg Fig5Config, progress io.Writer) (*Fig5Result, error) {
+	if len(cfg.Fractions) == 0 {
+		return nil, fmt.Errorf("experiment: Fig5 config has no fractions")
+	}
+	if cfg.EMIterations == 0 {
+		cfg.EMIterations = 800
+	}
+	if cfg.PostSweeps == 0 {
+		cfg.PostSweeps = 60
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	r := xrand.New(cfg.Seed)
+	truth, net, err := webapp.GenerateTrace(cfg.App, r)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{
+		Config:       cfg,
+		TrueService:  truth.MeanServiceByQueue(),
+		TrueWait:     truth.MeanWaitByQueue(),
+		QueueNames:   net.QueueNames(),
+		WebRequests:  webapp.RequestsPerWeb(cfg.App, truth),
+		TotalEvents:  len(truth.Events),
+		StarvedQueue: -1,
+	}
+	if cfg.App.StarvedServer >= 0 {
+		res.StarvedQueue = webapp.WebQueue(cfg.App.StarvedServer)
+	}
+
+	points := make([][]Fig5Point, len(cfg.Fractions))
+	errs := make([]error, len(cfg.Fractions))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	var mu sync.Mutex
+	done := 0
+	for fi, frac := range cfg.Fractions {
+		wg.Add(1)
+		go func(fi int, frac float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			points[fi], errs[fi] = runFig5Fraction(cfg, truth, frac, fi)
+			if progress != nil {
+				mu.Lock()
+				done++
+				fmt.Fprintf(progress, "\rfig5: %d/%d fractions", done, len(cfg.Fractions))
+				mu.Unlock()
+			}
+		}(fi, frac)
+	}
+	wg.Wait()
+	if progress != nil {
+		fmt.Fprintln(progress)
+	}
+	for fi := range cfg.Fractions {
+		if errs[fi] != nil {
+			return nil, fmt.Errorf("experiment: fig5 fraction %v: %w", cfg.Fractions[fi], errs[fi])
+		}
+		res.Points = append(res.Points, points[fi]...)
+	}
+	return res, nil
+}
+
+func runFig5Fraction(cfg Fig5Config, truth *trace.EventSet, frac float64, fi int) ([]Fig5Point, error) {
+	r := xrand.New(jobSeed(cfg.Seed, 1000, fi, 0))
+	working := truth.Clone()
+	working.ObserveTasks(r, frac)
+	emRes, sum, err := core.Estimate(working, r,
+		core.EMOptions{Iterations: cfg.EMIterations},
+		core.PosteriorOptions{Sweeps: cfg.PostSweeps})
+	if err != nil {
+		return nil, err
+	}
+	estMS := emRes.Params.MeanServiceTimes()
+	var pts []Fig5Point
+	for q := 1; q < truth.NumQueues; q++ {
+		pts = append(pts, Fig5Point{
+			Fraction:   frac,
+			Queue:      q,
+			QueueName:  cfg.App.QueueLabel(q),
+			ServiceEst: estMS[q],
+			WaitEst:    sum.MeanWait[q],
+		})
+	}
+	return pts, nil
+}
+
+// SeriesTable renders Figure 5 as one row per queue with a column per
+// fraction, plus the ground-truth column (svc selects service vs waiting).
+func (r *Fig5Result) SeriesTable(svc bool) *Table {
+	what := map[bool]string{true: "left: mean service time", false: "right: mean waiting time"}[svc]
+	t := &Table{
+		Title:   "Figure 5 (" + what + " vs. % traces observed)",
+		Headers: []string{"queue"},
+	}
+	for _, f := range r.Config.Fractions {
+		t.Headers = append(t.Headers, FmtPct(f))
+	}
+	t.Headers = append(t.Headers, "truth")
+	byQueue := map[int]map[float64]Fig5Point{}
+	for _, p := range r.Points {
+		if byQueue[p.Queue] == nil {
+			byQueue[p.Queue] = map[float64]Fig5Point{}
+		}
+		byQueue[p.Queue][p.Fraction] = p
+	}
+	nq := len(r.QueueNames)
+	for q := 1; q < nq; q++ {
+		row := []string{r.QueueNames[q]}
+		for _, f := range r.Config.Fractions {
+			p := byQueue[q][f]
+			if svc {
+				row = append(row, FmtF(p.ServiceEst))
+			} else {
+				row = append(row, FmtF(p.WaitEst))
+			}
+		}
+		if svc {
+			row = append(row, FmtF(r.TrueService[q]))
+		} else {
+			row = append(row, FmtF(r.TrueWait[q]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// StabilityReport summarizes the paper's qualitative claims about Figure 5:
+// the maximum relative drift of each non-starved queue's service estimate
+// between the largest fraction and each smaller one.
+func (r *Fig5Result) StabilityReport() *Table {
+	t := &Table{
+		Title:   "Figure 5 stability: relative service-estimate drift vs. the highest-fraction estimate",
+		Headers: []string{"queue", "events", "max drift ≥10%obs", "max drift all"},
+	}
+	maxFrac := r.Config.Fractions[len(r.Config.Fractions)-1]
+	ref := map[int]float64{}
+	for _, p := range r.Points {
+		if p.Fraction == maxFrac {
+			ref[p.Queue] = p.ServiceEst
+		}
+	}
+	drift10 := map[int]float64{}
+	driftAll := map[int]float64{}
+	for _, p := range r.Points {
+		rel := abs(p.ServiceEst-ref[p.Queue]) / ref[p.Queue]
+		if p.Fraction >= 0.10 && rel > drift10[p.Queue] {
+			drift10[p.Queue] = rel
+		}
+		if rel > driftAll[p.Queue] {
+			driftAll[p.Queue] = rel
+		}
+	}
+	for q := 1; q < len(r.QueueNames); q++ {
+		events := "-"
+		if q >= 2 && q < 2+len(r.WebRequests) {
+			events = fmt.Sprintf("%d", r.WebRequests[q-2])
+		}
+		t.AddRow(r.QueueNames[q], events, FmtF(drift10[q]), FmtF(driftAll[q]))
+	}
+	return t
+}

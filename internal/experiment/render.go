@@ -1,0 +1,88 @@
+// Package experiment contains the runners that regenerate every figure and
+// in-text result of the paper's evaluation (§5), along with plain-text
+// renderers for the resulting tables and series. See DESIGN.md §4 for the
+// experiment index.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it panics on width mismatch to catch runner bugs.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Headers) != 0 && len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("experiment: row has %d cells for %d headers", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, len(c))
+			} else if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		var rule []string
+		for _, w := range widths {
+			rule = append(rule, strings.Repeat("-", w))
+		}
+		writeRow(rule)
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FmtF formats a float compactly for tables, rendering NaN as "-".
+func FmtF(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	switch {
+	case v != 0 && math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// FmtPct formats a fraction as a percentage.
+func FmtPct(v float64) string { return fmt.Sprintf("%g%%", v*100) }

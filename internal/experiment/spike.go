@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// SpikeConfig parameterizes the retrospective spike-diagnosis experiment —
+// the paper's §1 motivating question ("Five minutes ago, a brief spike in
+// workload occurred. Which parts of the system were the bottleneck during
+// that spike?"), answered from a small observed fraction via time-windowed
+// posterior waiting times.
+type SpikeConfig struct {
+	// Tasks driven through the three-tier system.
+	Tasks int
+	// BaseRate, BurstFactor, SpikeStart, SpikeWidth shape the workload.
+	BaseRate, BurstFactor, SpikeStart, SpikeWidth float64
+	// Fraction of tasks observed.
+	Fraction float64
+	// Windows partitions the horizon for the report.
+	Windows int
+	// EMIterations and PostSweeps size the inference.
+	EMIterations, PostSweeps int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultSpikeConfig returns a configuration that runs in a few seconds.
+func DefaultSpikeConfig() SpikeConfig {
+	return SpikeConfig{
+		Tasks:        1500,
+		BaseRate:     4,
+		BurstFactor:  3,
+		SpikeStart:   120,
+		SpikeWidth:   60,
+		Fraction:     0.05,
+		Windows:      6,
+		EMIterations: 800,
+		PostSweeps:   60,
+		Seed:         31337,
+	}
+}
+
+// SpikeResult holds the windowed posterior estimates and ground truth.
+type SpikeResult struct {
+	Config     SpikeConfig
+	QueueNames []string
+	// Est[q][w] and Truth[q][w] are posterior and ground-truth windowed
+	// stats.
+	Est, Truth [][]trace.WindowStats
+	// SpikeWindows lists the window indices overlapping the spike.
+	SpikeWindows []int
+	// Horizon is the analyzed time range.
+	HorizonLo, HorizonHi float64
+}
+
+// RunSpike simulates the spike scenario, estimates from the observed
+// fraction, and windows the posterior waiting times.
+func RunSpike(cfg SpikeConfig, progress io.Writer) (*SpikeResult, error) {
+	if cfg.Tasks <= 0 || cfg.Windows <= 0 {
+		return nil, fmt.Errorf("experiment: incomplete spike config")
+	}
+	r := xrand.New(cfg.Seed)
+	net, err := qnet.Tiered(dist.NewExponential(cfg.BaseRate), []qnet.TierSpec{
+		{Name: "web", Replicas: 2, Service: dist.NewExponential(8)},
+		{Name: "app", Replicas: 1, Service: dist.NewExponential(6)},
+		{Name: "db", Replicas: 1, Service: dist.NewExponential(12)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.Spike(cfg.BaseRate, cfg.BurstFactor, cfg.SpikeStart, cfg.SpikeWidth)
+	entries := gen.Entries(r, cfg.Tasks)
+	truth, err := sim.Run(net, r, sim.Options{Tasks: cfg.Tasks, Entries: entries})
+	if err != nil {
+		return nil, err
+	}
+	truth.ObserveTasks(r, cfg.Fraction)
+	working := truth.Clone()
+	if progress != nil {
+		fmt.Fprintf(progress, "spike: estimating from %.0f%% of %d tasks\n", cfg.Fraction*100, cfg.Tasks)
+	}
+	emRes, err := core.StEM(working, r, core.EMOptions{Iterations: cfg.EMIterations})
+	if err != nil {
+		return nil, err
+	}
+	lo := 0.0
+	hi := entries[len(entries)-1]
+	est, err := core.PosteriorWindows(working, emRes.Params, r,
+		core.PosteriorOptions{Sweeps: cfg.PostSweeps}, lo, hi, cfg.Windows)
+	if err != nil {
+		return nil, err
+	}
+	tw, err := truth.WindowedStats(lo, hi, cfg.Windows)
+	if err != nil {
+		return nil, err
+	}
+	res := &SpikeResult{
+		Config:     cfg,
+		QueueNames: net.QueueNames(),
+		Est:        est,
+		Truth:      tw,
+		HorizonLo:  lo,
+		HorizonHi:  hi,
+	}
+	width := (hi - lo) / float64(cfg.Windows)
+	for w := 0; w < cfg.Windows; w++ {
+		wLo, wHi := lo+float64(w)*width, lo+float64(w+1)*width
+		if wLo < cfg.SpikeStart+cfg.SpikeWidth && wHi > cfg.SpikeStart {
+			res.SpikeWindows = append(res.SpikeWindows, w)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the windowed posterior mean waits, one row per queue, with
+// the ground-truth rows interleaved.
+func (r *SpikeResult) Table() *Table {
+	t := &Table{
+		Title:   "Retrospective spike diagnosis: windowed mean waiting time (posterior vs truth)",
+		Headers: []string{"queue"},
+	}
+	width := (r.HorizonHi - r.HorizonLo) / float64(r.Config.Windows)
+	for w := 0; w < r.Config.Windows; w++ {
+		mark := ""
+		for _, sw := range r.SpikeWindows {
+			if sw == w {
+				mark = "*"
+			}
+		}
+		t.Headers = append(t.Headers, fmt.Sprintf("[%.0f,%.0f)%s", r.HorizonLo+float64(w)*width, r.HorizonLo+float64(w+1)*width, mark))
+	}
+	for q := 1; q < len(r.QueueNames); q++ {
+		row := []string{r.QueueNames[q] + " est"}
+		truthRow := []string{r.QueueNames[q] + " true"}
+		for w := 0; w < r.Config.Windows; w++ {
+			row = append(row, FmtF(r.Est[q][w].MeanWait))
+			truthRow = append(truthRow, FmtF(r.Truth[q][w].MeanWait))
+		}
+		t.AddRow(row...)
+		t.AddRow(truthRow...)
+	}
+	return t
+}
+
+// BottleneckDuringSpike returns the queue with the highest posterior mean
+// wait averaged over the spike windows, and that value.
+func (r *SpikeResult) BottleneckDuringSpike() (queue int, wait float64) {
+	queue, wait = -1, math.Inf(-1)
+	for q := 1; q < len(r.QueueNames); q++ {
+		var sum float64
+		n := 0
+		for _, w := range r.SpikeWindows {
+			if v := r.Est[q][w].MeanWait; !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		if avg := sum / float64(n); avg > wait {
+			queue, wait = q, avg
+		}
+	}
+	return queue, wait
+}

@@ -1,0 +1,330 @@
+// Package fsm implements the probabilistic finite-state machine that drives
+// task routing in the queueing-network model of the paper (§2). After each
+// service completion, the FSM transitions between states according to
+// p(σ'|σ) and each state emits a queue according to p(q|σ); a task finishes
+// when the FSM reaches an absorbing final state.
+package fsm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Final is the reserved pseudo-state index returned at the end of a path.
+const Final = -1
+
+// FSM is a validated probabilistic finite-state machine. Construct with New.
+type FSM struct {
+	nstates int
+	nqueues int
+	// trans[s] is the transition distribution out of state s; index nstates
+	// means "final".
+	trans [][]float64
+	// emit[s] is the emission distribution over queues in state s.
+	emit [][]float64
+	// start is the distribution over initial states.
+	start []float64
+}
+
+// Config specifies an FSM. Trans[s] must have length NumStates+1, with the
+// final entry being the probability of terminating after state s. Emit[s]
+// has length NumQueues. Start has length NumStates.
+type Config struct {
+	NumStates int
+	NumQueues int
+	Start     []float64
+	Trans     [][]float64
+	Emit      [][]float64
+}
+
+// New validates the configuration and returns an FSM.
+func New(cfg Config) (*FSM, error) {
+	if cfg.NumStates <= 0 {
+		return nil, fmt.Errorf("fsm: NumStates %d must be positive", cfg.NumStates)
+	}
+	if cfg.NumQueues <= 0 {
+		return nil, fmt.Errorf("fsm: NumQueues %d must be positive", cfg.NumQueues)
+	}
+	if len(cfg.Start) != cfg.NumStates {
+		return nil, fmt.Errorf("fsm: Start has length %d, want %d", len(cfg.Start), cfg.NumStates)
+	}
+	if err := checkDist("Start", cfg.Start); err != nil {
+		return nil, err
+	}
+	if len(cfg.Trans) != cfg.NumStates || len(cfg.Emit) != cfg.NumStates {
+		return nil, fmt.Errorf("fsm: Trans/Emit need %d rows", cfg.NumStates)
+	}
+	f := &FSM{
+		nstates: cfg.NumStates,
+		nqueues: cfg.NumQueues,
+		trans:   make([][]float64, cfg.NumStates),
+		emit:    make([][]float64, cfg.NumStates),
+		start:   append([]float64(nil), cfg.Start...),
+	}
+	for s := 0; s < cfg.NumStates; s++ {
+		if len(cfg.Trans[s]) != cfg.NumStates+1 {
+			return nil, fmt.Errorf("fsm: Trans[%d] has length %d, want %d", s, len(cfg.Trans[s]), cfg.NumStates+1)
+		}
+		if err := checkDist(fmt.Sprintf("Trans[%d]", s), cfg.Trans[s]); err != nil {
+			return nil, err
+		}
+		if len(cfg.Emit[s]) != cfg.NumQueues {
+			return nil, fmt.Errorf("fsm: Emit[%d] has length %d, want %d", s, len(cfg.Emit[s]), cfg.NumQueues)
+		}
+		if err := checkDist(fmt.Sprintf("Emit[%d]", s), cfg.Emit[s]); err != nil {
+			return nil, err
+		}
+		f.trans[s] = append([]float64(nil), cfg.Trans[s]...)
+		f.emit[s] = append([]float64(nil), cfg.Emit[s]...)
+	}
+	if !f.canTerminate() {
+		return nil, fmt.Errorf("fsm: no state reachable from the start can terminate")
+	}
+	return f, nil
+}
+
+func checkDist(name string, p []float64) error {
+	var sum float64
+	for i, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("fsm: %s[%d] = %v is not a probability", name, i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("fsm: %s sums to %v, want 1", name, sum)
+	}
+	return nil
+}
+
+// canTerminate checks that a terminating path exists from every reachable
+// start state (so path sampling halts with probability one for irreducible
+// chains; a full a.s.-termination proof is out of scope, but reachability of
+// the final state from all reachable states is necessary and cheap).
+func (f *FSM) canTerminate() bool {
+	// Build reachable set from start states.
+	reach := make([]bool, f.nstates)
+	var stack []int
+	for s, p := range f.start {
+		if p > 0 {
+			reach[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s2 := 0; s2 < f.nstates; s2++ {
+			if f.trans[s][s2] > 0 && !reach[s2] {
+				reach[s2] = true
+				stack = append(stack, s2)
+			}
+		}
+	}
+	// From every reachable state, the final state must be reachable.
+	// Reverse reachability from "final".
+	canEnd := make([]bool, f.nstates)
+	changed := true
+	for changed {
+		changed = false
+		for s := 0; s < f.nstates; s++ {
+			if canEnd[s] {
+				continue
+			}
+			if f.trans[s][f.nstates] > 0 {
+				canEnd[s] = true
+				changed = true
+				continue
+			}
+			for s2 := 0; s2 < f.nstates; s2++ {
+				if f.trans[s][s2] > 0 && canEnd[s2] {
+					canEnd[s] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for s := 0; s < f.nstates; s++ {
+		if reach[s] && !canEnd[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumStates returns the number of (non-final) states.
+func (f *FSM) NumStates() int { return f.nstates }
+
+// NumQueues returns the number of queues the FSM can emit.
+func (f *FSM) NumQueues() int { return f.nqueues }
+
+// Step is one element of a sampled path: a state and the queue it emitted.
+type Step struct {
+	State int
+	Queue int
+}
+
+// SamplePath draws a complete state/queue path for one task. maxLen guards
+// against pathological configurations; sampling returns an error if the path
+// exceeds it.
+func (f *FSM) SamplePath(r *xrand.RNG, maxLen int) ([]Step, error) {
+	var path []Step
+	s := r.Categorical(f.start)
+	for {
+		if len(path) >= maxLen {
+			return nil, fmt.Errorf("fsm: path exceeded %d steps without terminating", maxLen)
+		}
+		q := r.Categorical(f.emit[s])
+		path = append(path, Step{State: s, Queue: q})
+		next := r.Categorical(f.trans[s])
+		if next == f.nstates {
+			return path, nil
+		}
+		s = next
+	}
+}
+
+// LogProbPath returns the log probability of a complete path (states,
+// emitted queues, and termination).
+func (f *FSM) LogProbPath(path []Step) float64 {
+	if len(path) == 0 {
+		return math.Inf(-1)
+	}
+	lp := math.Log(f.start[path[0].State])
+	for i, st := range path {
+		lp += math.Log(f.emit[st.State][st.Queue])
+		if i+1 < len(path) {
+			lp += math.Log(f.trans[st.State][path[i+1].State])
+		} else {
+			lp += math.Log(f.trans[st.State][f.nstates])
+		}
+	}
+	return lp
+}
+
+// ExpectedVisits returns the expected number of emissions to each queue per
+// task, E[# events at q], computed by solving the visit-count equations
+// v = start + Pᵀ v via iterative refinement (power iteration on the
+// substochastic transition matrix).
+func (f *FSM) ExpectedVisits() []float64 {
+	// Expected state visits: v_s = start_s + Σ_{s'} v_{s'} trans[s'][s].
+	v := append([]float64(nil), f.start...)
+	cur := append([]float64(nil), f.start...)
+	for iter := 0; iter < 10000; iter++ {
+		next := make([]float64, f.nstates)
+		var mass float64
+		for s := 0; s < f.nstates; s++ {
+			if cur[s] == 0 {
+				continue
+			}
+			for s2 := 0; s2 < f.nstates; s2++ {
+				next[s2] += cur[s] * f.trans[s][s2]
+			}
+		}
+		for s := 0; s < f.nstates; s++ {
+			v[s] += next[s]
+			mass += next[s]
+		}
+		cur = next
+		if mass < 1e-12 {
+			break
+		}
+	}
+	out := make([]float64, f.nqueues)
+	for s := 0; s < f.nstates; s++ {
+		for q := 0; q < f.nqueues; q++ {
+			out[q] += v[s] * f.emit[s][q]
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+
+// Linear returns an FSM for a fixed pipeline: state i deterministically
+// emits queue sequence[i] and advances to state i+1, terminating after the
+// last. This models a strict multi-tier request path.
+func Linear(numQueues int, sequence []int) (*FSM, error) {
+	n := len(sequence)
+	if n == 0 {
+		return nil, fmt.Errorf("fsm: empty sequence")
+	}
+	cfg := Config{
+		NumStates: n,
+		NumQueues: numQueues,
+		Start:     oneHot(n, 0),
+		Trans:     make([][]float64, n),
+		Emit:      make([][]float64, n),
+	}
+	for i, q := range sequence {
+		if q < 0 || q >= numQueues {
+			return nil, fmt.Errorf("fsm: sequence queue %d out of range", q)
+		}
+		cfg.Trans[i] = oneHot(n+1, i+1) // last state points at index n = final
+		cfg.Emit[i] = oneHot(numQueues, q)
+	}
+	return New(cfg)
+}
+
+// Tiered returns an FSM for a multi-tier service where tier t consists of
+// queues tiers[t] (replica queues) chosen with the given per-tier weights
+// (nil weights mean uniform). The task visits tiers in order, choosing one
+// replica per tier, then terminates. This is the structure of the paper's
+// Figure 1 (without network queues) and of its synthetic experiments.
+func Tiered(numQueues int, tiers [][]int, weights [][]float64) (*FSM, error) {
+	n := len(tiers)
+	if n == 0 {
+		return nil, fmt.Errorf("fsm: no tiers")
+	}
+	cfg := Config{
+		NumStates: n,
+		NumQueues: numQueues,
+		Start:     oneHot(n, 0),
+		Trans:     make([][]float64, n),
+		Emit:      make([][]float64, n),
+	}
+	for t, qs := range tiers {
+		if len(qs) == 0 {
+			return nil, fmt.Errorf("fsm: tier %d is empty", t)
+		}
+		var w []float64
+		if weights != nil && weights[t] != nil {
+			w = weights[t]
+			if len(w) != len(qs) {
+				return nil, fmt.Errorf("fsm: tier %d has %d queues but %d weights", t, len(qs), len(w))
+			}
+		}
+		emit := make([]float64, numQueues)
+		var tot float64
+		for i, q := range qs {
+			if q < 0 || q >= numQueues {
+				return nil, fmt.Errorf("fsm: tier %d queue %d out of range", t, q)
+			}
+			wi := 1.0
+			if w != nil {
+				wi = w[i]
+			}
+			emit[q] += wi
+			tot += wi
+		}
+		if tot <= 0 {
+			return nil, fmt.Errorf("fsm: tier %d has zero total weight", t)
+		}
+		for q := range emit {
+			emit[q] /= tot
+		}
+		cfg.Emit[t] = emit
+		cfg.Trans[t] = oneHot(n+1, t+1)
+	}
+	return New(cfg)
+}
+
+func oneHot(n, i int) []float64 {
+	v := make([]float64, n)
+	v[i] = 1
+	return v
+}

@@ -1,0 +1,299 @@
+package fsm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestLinearPath(t *testing.T) {
+	f, err := Linear(4, []int{2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		path, err := f.SamplePath(r, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) != 3 {
+			t.Fatalf("path length %d, want 3", len(path))
+		}
+		for j, q := range []int{2, 0, 3} {
+			if path[j].Queue != q || path[j].State != j {
+				t.Fatalf("step %d = %+v, want state %d queue %d", j, path[j], j, q)
+			}
+		}
+	}
+}
+
+func TestLinearLogProb(t *testing.T) {
+	f, err := Linear(3, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []Step{{0, 0}, {1, 1}, {2, 2}}
+	if lp := f.LogProbPath(path); lp != 0 {
+		t.Fatalf("deterministic path logprob %v, want 0", lp)
+	}
+	bad := []Step{{0, 1}, {1, 1}, {2, 2}}
+	if lp := f.LogProbPath(bad); !math.IsInf(lp, -1) {
+		t.Fatalf("impossible path logprob %v, want -Inf", lp)
+	}
+}
+
+func TestTieredEmissions(t *testing.T) {
+	// Tier 0: queues {0,1} uniform; tier 1: queue {2}.
+	f, err := Tiered(3, [][]int{{0, 1}, {2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	counts := map[int]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		path, err := f.SamplePath(r, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) != 2 || path[1].Queue != 2 {
+			t.Fatalf("unexpected path %+v", path)
+		}
+		counts[path[0].Queue]++
+	}
+	for q := 0; q <= 1; q++ {
+		frac := float64(counts[q]) / n
+		if math.Abs(frac-0.5) > 0.02 {
+			t.Errorf("tier-0 replica %d chosen %.3f of the time, want 0.5", q, frac)
+		}
+	}
+}
+
+func TestTieredWeights(t *testing.T) {
+	f, err := Tiered(2, [][]int{{0, 1}}, [][]float64{{3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	count0 := 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		path, _ := f.SamplePath(r, 5)
+		if path[0].Queue == 0 {
+			count0++
+		}
+	}
+	if got := float64(count0) / n; math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("weighted replica frequency %v, want 0.75", got)
+	}
+}
+
+func TestExpectedVisitsLinear(t *testing.T) {
+	f, err := Linear(3, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.ExpectedVisits()
+	for q, want := range []float64{1, 1, 1} {
+		if math.Abs(v[q]-want) > 1e-9 {
+			t.Errorf("visits[%d] = %v, want %v", q, v[q], want)
+		}
+	}
+}
+
+func TestExpectedVisitsWithLoop(t *testing.T) {
+	// One state, emits queue 0, repeats with prob 0.5, terminates with 0.5.
+	// Expected visits to queue 0 = 1/(1-0.5) = 2.
+	f, err := New(Config{
+		NumStates: 1,
+		NumQueues: 1,
+		Start:     []float64{1},
+		Trans:     [][]float64{{0.5, 0.5}},
+		Emit:      [][]float64{{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.ExpectedVisits()
+	if math.Abs(v[0]-2) > 1e-9 {
+		t.Fatalf("expected visits %v, want 2", v[0])
+	}
+	// Empirically verify.
+	r := xrand.New(5)
+	var total int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		p, err := f.SamplePath(r, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(p)
+	}
+	if got := float64(total) / n; math.Abs(got-2) > 0.05 {
+		t.Fatalf("empirical mean path length %v, want 2", got)
+	}
+}
+
+func TestExpectedVisitsMatchesTiered(t *testing.T) {
+	f, err := Tiered(4, [][]int{{0}, {1, 2}, {3}}, [][]float64{nil, {1, 3}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.ExpectedVisits()
+	want := []float64{1, 0.25, 0.75, 1}
+	for q := range want {
+		if math.Abs(v[q]-want[q]) > 1e-9 {
+			t.Errorf("visits[%d] = %v, want %v", q, v[q], want[q])
+		}
+	}
+}
+
+func TestLogProbPathBranching(t *testing.T) {
+	f, err := Tiered(2, [][]int{{0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := f.LogProbPath([]Step{{0, 0}})
+	if math.Abs(lp-math.Log(0.5)) > 1e-12 {
+		t.Fatalf("logprob %v, want log 0.5", lp)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero states", Config{NumStates: 0, NumQueues: 1}},
+		{"zero queues", Config{NumStates: 1, NumQueues: 0}},
+		{"bad start", Config{
+			NumStates: 1, NumQueues: 1,
+			Start: []float64{0.5},
+			Trans: [][]float64{{0, 1}},
+			Emit:  [][]float64{{1}},
+		}},
+		{"bad trans sum", Config{
+			NumStates: 1, NumQueues: 1,
+			Start: []float64{1},
+			Trans: [][]float64{{0.5, 0.4}},
+			Emit:  [][]float64{{1}},
+		}},
+		{"negative emit", Config{
+			NumStates: 1, NumQueues: 2,
+			Start: []float64{1},
+			Trans: [][]float64{{0, 1}},
+			Emit:  [][]float64{{1.5, -0.5}},
+		}},
+		{"no termination", Config{
+			NumStates: 2, NumQueues: 1,
+			Start: []float64{1, 0},
+			// State 0 -> state 0 forever; final unreachable.
+			Trans: [][]float64{{1, 0, 0}, {0, 0, 1}},
+			Emit:  [][]float64{{1}, {1}},
+		}},
+		{"wrong trans width", Config{
+			NumStates: 1, NumQueues: 1,
+			Start: []float64{1},
+			Trans: [][]float64{{1}},
+			Emit:  [][]float64{{1}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := Linear(2, nil); err == nil {
+		t.Error("Linear with empty sequence should fail")
+	}
+	if _, err := Linear(2, []int{5}); err == nil {
+		t.Error("Linear with out-of-range queue should fail")
+	}
+	if _, err := Tiered(2, nil, nil); err == nil {
+		t.Error("Tiered with no tiers should fail")
+	}
+	if _, err := Tiered(2, [][]int{{}}, nil); err == nil {
+		t.Error("Tiered with empty tier should fail")
+	}
+	if _, err := Tiered(2, [][]int{{0}}, [][]float64{{1, 2}}); err == nil {
+		t.Error("Tiered with mismatched weights should fail")
+	}
+	if _, err := Tiered(2, [][]int{{0, 1}}, [][]float64{{0, 0}}); err == nil {
+		t.Error("Tiered with zero weights should fail")
+	}
+}
+
+func TestSamplePathMaxLen(t *testing.T) {
+	// Looping FSM with tiny termination probability will exceed maxLen
+	// sometimes; verify the error path works.
+	f, err := New(Config{
+		NumStates: 1, NumQueues: 1,
+		Start: []float64{1},
+		Trans: [][]float64{{0.999, 0.001}},
+		Emit:  [][]float64{{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(9)
+	if _, err := f.SamplePath(r, 3); err == nil {
+		// Possible but astronomically unlikely to terminate within 3 steps
+		// repeatedly; try a few times.
+		ok := false
+		for i := 0; i < 20; i++ {
+			if _, err := f.SamplePath(r, 3); err != nil {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatal("expected maxLen error")
+		}
+	}
+}
+
+// TestLogProbMatchesEmpiricalFrequency verifies LogProbPath against the
+// empirical frequency of a specific branching path.
+func TestLogProbMatchesEmpiricalFrequency(t *testing.T) {
+	f, err := New(Config{
+		NumStates: 2,
+		NumQueues: 2,
+		Start:     []float64{1, 0},
+		Trans: [][]float64{
+			{0, 0.4, 0.6}, // state 0: 40% continue to state 1, 60% stop
+			{0, 0, 1},
+		},
+		Emit: [][]float64{{0.7, 0.3}, {0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := []Step{{0, 0}, {1, 1}} // queue 0 then state1/queue1
+	wantLog := f.LogProbPath(target)
+	want := math.Exp(wantLog) // 0.7 * 0.4 * 1 * 1 = 0.28
+	if math.Abs(want-0.28) > 1e-12 {
+		t.Fatalf("analytic path probability %v, want 0.28", want)
+	}
+	r := xrand.New(4)
+	const n = 200000
+	count := 0
+	for i := 0; i < n; i++ {
+		p, err := f.SamplePath(r, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) == 2 && p[0] == target[0] && p[1] == target[1] {
+			count++
+		}
+	}
+	if got := float64(count) / n; math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical path frequency %v, analytic %v", got, want)
+	}
+}

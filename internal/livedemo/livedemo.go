@@ -1,0 +1,389 @@
+// Package livedemo runs a real (in-process) three-tier HTTP application
+// and instruments it into the event-set format — the closest stdlib-only
+// analogue of the paper's §5.2 measurement setup, where a Rails
+// application behind haproxy was instrumented and traced.
+//
+// The deployment is genuinely concurrent: a load generator issues HTTP
+// requests at Poisson times to a weighted load balancer, which forwards to
+// one of several web-server HTTP servers; each performs exponential local
+// work at an explicit single-worker FIFO station and then calls a database
+// HTTP server with its own FIFO station. All timestamps are wall-clock
+// measurements taken at station enqueue/completion, so the resulting trace
+// carries true scheduler and network-stack noise — deliberate model
+// misfit, exactly like measured data.
+//
+// Because concurrent handoffs can reorder events relative to the
+// station-assigned FIFO order (by up to goroutine-scheduling latency —
+// milliseconds on a loaded single-CPU machine), assembly applies a
+// bounded repair pass that restores the FIFO identities the model
+// requires and reports how many timestamps were nudged and by how much.
+package livedemo
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Config sizes the live deployment. Service "work" is an exponential
+// sleep with the given mean; means well above a millisecond keep
+// scheduler noise small relative to the signal.
+type Config struct {
+	// WebServers is the number of web-server processes.
+	WebServers int
+	// Requests to drive through the system.
+	Requests int
+	// Rate is the Poisson arrival rate (requests/second).
+	Rate float64
+	// WebMean and DBMean are the mean local-work durations.
+	WebMean, DBMean time.Duration
+	// Weights optionally biases the load balancer (nil = uniform).
+	Weights []float64
+	// Seed drives workload and service sampling.
+	Seed uint64
+}
+
+// DefaultConfig returns a deployment that completes in a few seconds.
+func DefaultConfig() Config {
+	return Config{
+		WebServers: 3,
+		Requests:   300,
+		Rate:       60,
+		WebMean:    12 * time.Millisecond,
+		DBMean:     5 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.WebServers <= 0 || c.Requests <= 0 || c.Rate <= 0 {
+		return fmt.Errorf("livedemo: invalid config %+v", c)
+	}
+	if c.WebMean <= 0 || c.DBMean <= 0 {
+		return fmt.Errorf("livedemo: service means must be positive")
+	}
+	if c.Weights != nil && len(c.Weights) != c.WebServers {
+		return fmt.Errorf("livedemo: %d weights for %d servers", len(c.Weights), c.WebServers)
+	}
+	return nil
+}
+
+// Stats reports measurement-repair information from assembly.
+type Stats struct {
+	// Repairs counts timestamps nudged to restore FIFO identities.
+	Repairs int
+	// MaxAdjust is the largest single nudge in seconds.
+	MaxAdjust float64
+}
+
+// ---------------------------------------------------------------------------
+// FIFO station
+
+// station is a single-worker FIFO service point. Enqueue order is assigned
+// under a lock together with a strictly increasing arrival timestamp, and
+// one worker goroutine serves jobs in that order, so the model's FIFO
+// identities hold up to measurement noise at the handoffs between
+// stations.
+type station struct {
+	mu    sync.Mutex
+	queue chan *job
+	rng   *xrand.RNG
+	mean  time.Duration
+	now   func() float64
+	last  float64
+}
+
+type job struct {
+	done chan float64 // completion timestamp
+}
+
+func newStation(rng *xrand.RNG, mean time.Duration, now func() float64) *station {
+	s := &station{
+		queue: make(chan *job, 4096),
+		rng:   rng,
+		mean:  mean,
+		now:   now,
+	}
+	go s.worker()
+	return s
+}
+
+func (s *station) worker() {
+	for j := range s.queue {
+		// Sampling inside the single worker needs no lock.
+		d := time.Duration(s.rng.Exp(1/s.mean.Seconds()) * float64(time.Second))
+		time.Sleep(d)
+		j.done <- s.now()
+	}
+}
+
+// process enqueues a job and blocks until it completes, returning the
+// (strictly increasing) arrival timestamp and the completion timestamp.
+func (s *station) process() (arrive, depart float64) {
+	j := &job{done: make(chan float64, 1)}
+	s.mu.Lock()
+	arrive = s.now()
+	if arrive <= s.last {
+		arrive = s.last + 1e-9
+	}
+	s.last = arrive
+	s.queue <- j
+	s.mu.Unlock()
+	depart = <-j.done
+	return arrive, depart
+}
+
+func (s *station) close() { close(s.queue) }
+
+// ---------------------------------------------------------------------------
+// Deployment
+
+// Run starts the deployment, drives the workload, and returns the
+// assembled event set, the queue names (q0, web0.., db), and repair stats.
+func Run(cfg Config) (*trace.EventSet, []string, *Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	epoch := time.Now()
+	now := func() float64 { return time.Since(epoch).Seconds() }
+
+	// Database tier.
+	db := newStation(root.Split(), cfg.DBMean, now)
+	defer db.close()
+	dbSrv, dbURL, err := serveHTTP(func(w http.ResponseWriter, r *http.Request) {
+		a, d := db.process()
+		w.Header().Set("X-A", formatF(a))
+		w.Header().Set("X-D", formatF(d))
+		w.WriteHeader(http.StatusOK)
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer dbSrv.Close()
+
+	// Web tier: local FIFO work, then a real HTTP call to the database.
+	client := &http.Client{Timeout: time.Minute}
+	webURLs := make([]string, cfg.WebServers)
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for i := 0; i < cfg.WebServers; i++ {
+		st := newStation(root.Split(), cfg.WebMean, now)
+		stc := st
+		srv, u, err := serveHTTP(func(w http.ResponseWriter, r *http.Request) {
+			aWeb, _ := stc.process()
+			resp, err := client.Get(dbURL)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			aDB := resp.Header.Get("X-A")
+			dDB := resp.Header.Get("X-D")
+			resp.Body.Close()
+			w.Header().Set("X-AWeb", formatF(aWeb))
+			w.Header().Set("X-ADB", aDB)
+			w.Header().Set("X-DDB", dDB)
+			w.WriteHeader(http.StatusOK)
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		closers = append(closers, srv, closerFunc(func() error { stc.close(); return nil }))
+		webURLs[i] = u
+	}
+
+	// Load balancer weights.
+	weights := cfg.Weights
+	if weights == nil {
+		weights = make([]float64, cfg.WebServers)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+
+	// Drive Poisson load; collect per-task hop timestamps.
+	type taskTimes struct {
+		web       int
+		aWeb, aDB float64
+		dDB       float64
+		ok        bool
+	}
+	times := make([]taskTimes, cfg.Requests)
+	lbRng := root.Split()
+	arrRng := root.Split()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	tick := 0.0
+	for k := 0; k < cfg.Requests; k++ {
+		tick += arrRng.Exp(cfg.Rate)
+		web := lbRng.Categorical(weights)
+		for {
+			d := tick - now()
+			if d <= 0 {
+				break
+			}
+			time.Sleep(time.Duration(d * float64(time.Second)))
+		}
+		wg.Add(1)
+		go func(k, web int) {
+			defer wg.Done()
+			resp, err := client.Get(webURLs[web])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			aWeb, e1 := strconv.ParseFloat(resp.Header.Get("X-AWeb"), 64)
+			aDB, e2 := strconv.ParseFloat(resp.Header.Get("X-ADB"), 64)
+			dDB, e3 := strconv.ParseFloat(resp.Header.Get("X-DDB"), 64)
+			resp.Body.Close()
+			if e1 != nil || e2 != nil || e3 != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("livedemo: bad timestamps from web %d", web)
+				}
+				mu.Unlock()
+				return
+			}
+			times[k] = taskTimes{web: web, aWeb: aWeb, aDB: aDB, dDB: dDB, ok: true}
+		}(k, web)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, nil, firstErr
+	}
+	for k := range times {
+		if !times[k].ok {
+			return nil, nil, nil, fmt.Errorf("livedemo: task %d lost", k)
+		}
+	}
+
+	// Assemble with repair: the model requires, per queue in arrival
+	// order, non-decreasing departures and non-negative services; nudge
+	// violating timestamps up by the minimal amount. The web event is
+	// (aWeb → aDB) and the db event (aDB → dDB); bumping aDB moves both.
+	st := &Stats{}
+	for pass := 0; pass < 10; pass++ {
+		changed := false
+		// Web queues: group by server, order by aWeb, departures = aDB.
+		for w := 0; w < cfg.WebServers; w++ {
+			var ids []int
+			for k := range times {
+				if times[k].web == w {
+					ids = append(ids, k)
+				}
+			}
+			sort.Slice(ids, func(i, j int) bool { return times[ids[i]].aWeb < times[ids[j]].aWeb })
+			prev := 0.0
+			for _, k := range ids {
+				lo := times[k].aWeb
+				if prev > lo {
+					lo = prev
+				}
+				if times[k].aDB < lo {
+					// Strictly above the bound: clamping to equality
+					// creates timestamp ties whose ordering the final
+					// build may break differently.
+					st.bump(lo - times[k].aDB)
+					times[k].aDB = lo + 1e-9
+					changed = true
+				}
+				prev = times[k].aDB
+			}
+		}
+		// DB queue: order by aDB, departures = dDB.
+		ids := make([]int, cfg.Requests)
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.Slice(ids, func(i, j int) bool { return times[ids[i]].aDB < times[ids[j]].aDB })
+		prev := 0.0
+		for _, k := range ids {
+			lo := times[k].aDB
+			if prev > lo {
+				lo = prev
+			}
+			if times[k].dDB < lo {
+				st.bump(lo - times[k].dDB)
+				times[k].dDB = lo + 1e-9
+				changed = true
+			}
+			prev = times[k].dDB
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Build the trace: tasks in entry (aWeb) order.
+	order := make([]int, cfg.Requests)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return times[order[i]].aWeb < times[order[j]].aWeb })
+	b := trace.NewBuilder(cfg.WebServers + 2)
+	for _, k := range order {
+		tt := times[k]
+		task := b.StartTask(tt.aWeb)
+		if _, err := b.AddEvent(task, 0, tt.web+1, tt.aWeb, tt.aDB); err != nil {
+			return nil, nil, nil, err
+		}
+		if _, err := b.AddEvent(task, 1, cfg.WebServers+1, tt.aDB, tt.dDB); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	es, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names := make([]string, cfg.WebServers+2)
+	names[0] = "q0"
+	for i := 0; i < cfg.WebServers; i++ {
+		names[i+1] = fmt.Sprintf("web%d", i)
+	}
+	names[cfg.WebServers+1] = "db"
+	return es, names, st, nil
+}
+
+func (s *Stats) bump(amount float64) {
+	s.Repairs++
+	if amount > s.MaxAdjust {
+		s.MaxAdjust = amount
+	}
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// serveHTTP starts an HTTP server on a random localhost port and returns
+// it with its base URL.
+func serveHTTP(h http.HandlerFunc) (io.Closer, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return closerFunc(func() error { return srv.Close() }), "http://" + ln.Addr().String(), nil
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }

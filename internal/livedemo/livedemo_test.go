@@ -1,0 +1,87 @@
+package livedemo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// TestLiveTraceIsValidAndInferable drives a real HTTP deployment for a
+// couple of seconds and runs the full inference pipeline on the measured
+// trace. This is the end-to-end "it works on measured data, not just
+// simulations" check.
+func TestLiveTraceIsValidAndInferable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP demo takes a few seconds")
+	}
+	cfg := DefaultConfig()
+	cfg.Requests = 250
+	cfg.Rate = 120 // ~2s of wall clock
+	es, names, st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Validate(1e-6); err != nil {
+		t.Fatalf("measured trace invalid: %v", err)
+	}
+	if es.NumTasks != cfg.Requests {
+		t.Fatalf("tasks %d, want %d", es.NumTasks, cfg.Requests)
+	}
+	if len(names) != cfg.WebServers+2 {
+		t.Fatalf("names %v", names)
+	}
+	if st.Repairs > cfg.Requests/10 {
+		t.Fatalf("too many timestamp repairs: %d (max adjust %v)", st.Repairs, st.MaxAdjust)
+	}
+	// Handoff inversions reach goroutine-scheduling scale (milliseconds
+	// on a loaded single-CPU machine); anything beyond that indicates a
+	// real instrumentation bug.
+	if st.MaxAdjust > 0.05 {
+		t.Fatalf("repair adjustment %vs exceeds 50ms — timestamps are broken", st.MaxAdjust)
+	}
+
+	// Ground truth from the trace itself (all arrivals measured): the
+	// empirical mean service at the db should be near the configured mean
+	// (plus small scheduler overhead).
+	trueDB := es.MeanServiceByQueue()[cfg.WebServers+1]
+	wantDB := cfg.DBMean.Seconds()
+	if trueDB < wantDB || trueDB > wantDB*1.8 {
+		t.Fatalf("measured db mean service %v, configured %v", trueDB, wantDB)
+	}
+
+	// Now the paper's task: mask to 30% observation and recover.
+	r := xrand.New(9)
+	working := es.Clone()
+	working.ObserveTasks(r, 0.3)
+	res, err := core.StEM(working, r, core.EMOptions{Iterations: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.Params.MeanServiceTimes()
+	full := es.MeanServiceByQueue()
+	for q := 1; q < es.NumQueues; q++ {
+		if math.Abs(est[q]-full[q]) > 0.5*full[q]+0.003 {
+			t.Errorf("queue %s: estimated %v, measured %v", names[q], est[q], full[q])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.WebServers = 0
+	if _, _, _, err := Run(bad); err == nil {
+		t.Error("zero servers should fail")
+	}
+	bad = DefaultConfig()
+	bad.Weights = []float64{1}
+	if _, _, _, err := Run(bad); err == nil {
+		t.Error("mismatched weights should fail")
+	}
+	bad = DefaultConfig()
+	bad.DBMean = 0
+	if _, _, _, err := Run(bad); err == nil {
+		t.Error("zero service mean should fail")
+	}
+}

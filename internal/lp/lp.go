@@ -1,0 +1,508 @@
+// Package lp implements a small dense linear-programming solver: two-phase
+// primal simplex with Bland's anti-cycling rule. It exists to reproduce the
+// paper's Gibbs-sampler initialization, which minimizes Σ|s_e − µ_q| subject
+// to the deterministic constraints of the event set, and is deliberately a
+// from-scratch stdlib-only implementation.
+//
+// Problems are stated in the general form
+//
+//	minimize    cᵀx
+//	subject to  A_le x ≤ b_le,  A_eq x = b_eq,  lo ≤ x ≤ hi
+//
+// via the Problem builder, which converts to standard form internally.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+	// IterLimit means the iteration cap was exceeded.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrNotOptimal is wrapped by Solve when the status is not Optimal.
+var ErrNotOptimal = errors.New("lp: no optimal solution")
+
+const eps = 1e-9
+
+// Problem is a general-form LP under construction. Create with NewProblem,
+// add constraints, then call Solve.
+type Problem struct {
+	n      int       // number of variables
+	c      []float64 // objective
+	lo, hi []float64 // variable bounds (may be ±Inf)
+
+	rows []row
+}
+
+type row struct {
+	coef []float64 // sparse-ish: parallel arrays of (index, value)
+	idx  []int
+	rel  relation
+	rhs  float64
+}
+
+type relation int
+
+const (
+	lessEq relation = iota
+	equal
+	greaterEq
+)
+
+// NewProblem creates a problem with n variables, all with default bounds
+// [0, +Inf) and zero objective.
+func NewProblem(n int) *Problem {
+	if n <= 0 {
+		panic("lp: problem needs at least one variable")
+	}
+	p := &Problem{
+		n:  n,
+		c:  make([]float64, n),
+		lo: make([]float64, n),
+		hi: make([]float64, n),
+	}
+	for i := range p.hi {
+		p.hi[i] = math.Inf(1)
+	}
+	return p
+}
+
+// SetObjective sets the cost coefficient of variable j.
+func (p *Problem) SetObjective(j int, c float64) {
+	p.checkVar(j)
+	p.c[j] = c
+}
+
+// AddObjective adds c to the cost coefficient of variable j.
+func (p *Problem) AddObjective(j int, c float64) {
+	p.checkVar(j)
+	p.c[j] += c
+}
+
+// SetBounds sets the bounds of variable j; lo may be -Inf and hi +Inf.
+func (p *Problem) SetBounds(j int, lo, hi float64) {
+	p.checkVar(j)
+	if lo > hi {
+		panic(fmt.Sprintf("lp: bounds [%v,%v] for x%d are empty", lo, hi, j))
+	}
+	p.lo[j], p.hi[j] = lo, hi
+}
+
+func (p *Problem) checkVar(j int) {
+	if j < 0 || j >= p.n {
+		panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", j, p.n))
+	}
+}
+
+// AddLE adds the constraint Σ coef[i]·x[idx[i]] ≤ rhs.
+func (p *Problem) AddLE(idx []int, coef []float64, rhs float64) {
+	p.addRow(idx, coef, lessEq, rhs)
+}
+
+// AddGE adds the constraint Σ coef[i]·x[idx[i]] ≥ rhs.
+func (p *Problem) AddGE(idx []int, coef []float64, rhs float64) {
+	p.addRow(idx, coef, greaterEq, rhs)
+}
+
+// AddEQ adds the constraint Σ coef[i]·x[idx[i]] = rhs.
+func (p *Problem) AddEQ(idx []int, coef []float64, rhs float64) {
+	p.addRow(idx, coef, equal, rhs)
+}
+
+func (p *Problem) addRow(idx []int, coef []float64, rel relation, rhs float64) {
+	if len(idx) != len(coef) {
+		panic("lp: constraint index/coefficient length mismatch")
+	}
+	for _, j := range idx {
+		p.checkVar(j)
+	}
+	r := row{
+		idx:  append([]int(nil), idx...),
+		coef: append([]float64(nil), coef...),
+		rel:  rel,
+		rhs:  rhs,
+	}
+	p.rows = append(p.rows, r)
+}
+
+// Result holds the outcome of Solve.
+type Result struct {
+	Status    Status
+	X         []float64 // variable values (general-form space)
+	Objective float64
+	Iters     int
+}
+
+// Solve converts the problem to standard form and runs two-phase simplex.
+// A non-Optimal status is also reported via a wrapped ErrNotOptimal error.
+func (p *Problem) Solve() (Result, error) {
+	return p.SolveMaxIter(0)
+}
+
+// SolveMaxIter is Solve with an explicit simplex iteration cap
+// (0 means automatic: 50·(rows+cols)+1000).
+func (p *Problem) SolveMaxIter(maxIter int) (Result, error) {
+	std, mapBack := p.toStandard()
+	if maxIter == 0 {
+		maxIter = 50*(len(std.b)+len(std.c)) + 1000
+	}
+	x, status, iters := simplexStandard(std, maxIter)
+	res := Result{Status: status, Iters: iters}
+	if status != Optimal {
+		return res, fmt.Errorf("%w: %v", ErrNotOptimal, status)
+	}
+	res.X = mapBack(x)
+	var obj float64
+	for j, cj := range p.c {
+		obj += cj * res.X[j]
+	}
+	res.Objective = obj
+	return res, nil
+}
+
+// standard is the standard-form problem min cᵀy s.t. Ay = b, y ≥ 0, b ≥ 0.
+type standard struct {
+	a [][]float64
+	b []float64
+	c []float64
+}
+
+// toStandard shifts/splits variables to be non-negative, adds slacks, and
+// returns a function mapping standard-form solutions back to the original
+// variable space.
+func (p *Problem) toStandard() (standard, func([]float64) []float64) {
+	// Variable mapping: for each original variable j,
+	//  - finite lo: x_j = lo + y_a   (one non-negative var, plus upper-bound
+	//    row if hi finite)
+	//  - lo = -Inf, finite hi: x_j = hi - y_a
+	//  - free: x_j = y_a - y_b (two vars)
+	type vmap struct {
+		kind       int // 0: lo+y, 1: hi-y, 2: free pair
+		a, b       int // standard-form column indices
+		off        float64
+		upperBound float64 // for kind 0 with finite hi: y_a ≤ hi-lo
+		hasUB      bool
+	}
+	maps := make([]vmap, p.n)
+	ncols := 0
+	for j := 0; j < p.n; j++ {
+		switch {
+		case !math.IsInf(p.lo[j], -1):
+			m := vmap{kind: 0, a: ncols, off: p.lo[j]}
+			if !math.IsInf(p.hi[j], 1) {
+				m.hasUB = true
+				m.upperBound = p.hi[j] - p.lo[j]
+			}
+			maps[j] = m
+			ncols++
+		case !math.IsInf(p.hi[j], 1):
+			maps[j] = vmap{kind: 1, a: ncols, off: p.hi[j]}
+			ncols++
+		default:
+			maps[j] = vmap{kind: 2, a: ncols, b: ncols + 1}
+			ncols += 2
+		}
+	}
+
+	// Build rows in (idx,coef,rel,rhs) over standard columns, including
+	// upper-bound rows.
+	type srow struct {
+		dense []float64
+		rel   relation
+		rhs   float64
+	}
+	var srows []srow
+	addDense := func(idx []int, coef []float64, rel relation, rhs float64) {
+		d := make([]float64, ncols)
+		for k, j := range idx {
+			v := coef[k]
+			m := maps[j]
+			switch m.kind {
+			case 0:
+				d[m.a] += v
+				rhs -= v * m.off
+			case 1:
+				d[m.a] -= v
+				rhs -= v * m.off
+			case 2:
+				d[m.a] += v
+				d[m.b] -= v
+			}
+		}
+		srows = append(srows, srow{dense: d, rel: rel, rhs: rhs})
+	}
+	for _, r := range p.rows {
+		addDense(r.idx, r.coef, r.rel, r.rhs)
+	}
+	for j := 0; j < p.n; j++ {
+		if maps[j].hasUB {
+			d := make([]float64, ncols)
+			d[maps[j].a] = 1
+			srows = append(srows, srow{dense: d, rel: lessEq, rhs: maps[j].upperBound})
+		}
+	}
+
+	// Count slack columns.
+	nslack := 0
+	for _, r := range srows {
+		if r.rel != equal {
+			nslack++
+		}
+	}
+	tot := ncols + nslack
+	std := standard{
+		a: make([][]float64, len(srows)),
+		b: make([]float64, len(srows)),
+		c: make([]float64, tot),
+	}
+	// Objective over standard columns.
+	for j := 0; j < p.n; j++ {
+		m := maps[j]
+		switch m.kind {
+		case 0:
+			std.c[m.a] += p.c[j]
+		case 1:
+			std.c[m.a] -= p.c[j]
+		case 2:
+			std.c[m.a] += p.c[j]
+			std.c[m.b] -= p.c[j]
+		}
+	}
+	si := 0
+	for i, r := range srows {
+		rowv := make([]float64, tot)
+		copy(rowv, r.dense)
+		rhs := r.rhs
+		switch r.rel {
+		case lessEq:
+			rowv[ncols+si] = 1
+			si++
+		case greaterEq:
+			rowv[ncols+si] = -1
+			si++
+		}
+		// Standard form needs b ≥ 0.
+		if rhs < 0 {
+			for k := range rowv {
+				rowv[k] = -rowv[k]
+			}
+			rhs = -rhs
+		}
+		std.a[i] = rowv
+		std.b[i] = rhs
+	}
+
+	mapBack := func(y []float64) []float64 {
+		x := make([]float64, p.n)
+		for j := 0; j < p.n; j++ {
+			m := maps[j]
+			switch m.kind {
+			case 0:
+				x[j] = m.off + y[m.a]
+			case 1:
+				x[j] = m.off - y[m.a]
+			case 2:
+				x[j] = y[m.a] - y[m.b]
+			}
+		}
+		return x
+	}
+	return std, mapBack
+}
+
+// simplexStandard solves min cᵀy, Ay=b, y≥0 by two-phase simplex on a dense
+// tableau. It returns the solution, a status, and the iteration count.
+func simplexStandard(std standard, maxIter int) ([]float64, Status, int) {
+	m := len(std.b)
+	n := len(std.c)
+	if m == 0 {
+		// No constraints: optimum is 0 unless some c < 0 (unbounded).
+		for _, cj := range std.c {
+			if cj < -eps {
+				return nil, Unbounded, 0
+			}
+		}
+		return make([]float64, n), Optimal, 0
+	}
+
+	// Tableau with artificial variables: columns [orig | artificial | rhs].
+	width := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], std.a[i])
+		t[i][n+i] = 1
+		t[i][width-1] = std.b[i]
+	}
+	t[m] = make([]float64, width)
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	// Phase 1: minimize sum of artificials. Objective row = -(Σ rows).
+	for j := 0; j < width; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += t[i][j]
+		}
+		t[m][j] = -s
+	}
+	// Zero out artificial costs in the phase-1 row (they're basic).
+	for i := 0; i < m; i++ {
+		t[m][n+i] = 0
+	}
+
+	iters, status := pivotLoop(t, basis, n+m, maxIter)
+	if status != Optimal {
+		return nil, status, iters
+	}
+	if t[m][width-1] < -eps {
+		return nil, Infeasible, iters
+	}
+
+	// Drive any remaining artificial variables out of the basis.
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > eps {
+				pivot(t, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; harmless.
+			continue
+		}
+	}
+
+	// Phase 2: rebuild objective row from std.c, reduced by basis.
+	for j := 0; j < width; j++ {
+		t[m][j] = 0
+	}
+	for j := 0; j < n; j++ {
+		t[m][j] = std.c[j]
+	}
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		if bj < n && std.c[bj] != 0 {
+			cb := std.c[bj]
+			for j := 0; j < width; j++ {
+				t[m][j] -= cb * t[i][j]
+			}
+		}
+	}
+	// Forbid re-entry of artificial columns.
+	it2, status := pivotLoop(t, basis, n, maxIter-iters)
+	iters += it2
+	if status != Optimal {
+		return nil, status, iters
+	}
+
+	y := make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			y[bj] = t[i][width-1]
+		}
+	}
+	return y, Optimal, iters
+}
+
+// pivotLoop runs simplex pivots until optimality, unboundedness, or the
+// iteration cap, considering entering columns in [0, ncols). Bland's rule
+// (smallest eligible index) guarantees termination.
+func pivotLoop(t [][]float64, basis []int, ncols, maxIter int) (int, Status) {
+	m := len(basis)
+	width := len(t[0])
+	for it := 0; ; it++ {
+		if it >= maxIter {
+			return it, IterLimit
+		}
+		// Entering column: Bland — first j with negative reduced cost.
+		enter := -1
+		for j := 0; j < ncols; j++ {
+			if t[m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return it, Optimal
+		}
+		// Leaving row: min ratio; Bland tie-break on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a > eps {
+				ratio := t[i][width-1] / a
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return it, Unbounded
+		}
+		pivot(t, basis, leave, enter)
+	}
+}
+
+// pivot performs a Gauss–Jordan pivot on (row, col) and updates the basis.
+func pivot(t [][]float64, basis []int, row, col int) {
+	width := len(t[0])
+	pv := t[row][col]
+	inv := 1 / pv
+	for j := 0; j < width; j++ {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1 // exact
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0 // exact
+	}
+	basis[row] = col
+}

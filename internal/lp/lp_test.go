@@ -1,0 +1,306 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func solveOK(t *testing.T, p *Problem) Result {
+	t.Helper()
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func TestSimpleMin(t *testing.T) {
+	// min x0 + x1 s.t. x0 + x1 >= 2, x0 >= 0, x1 >= 0 → obj 2.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddGE([]int{0, 1}, []float64{1, 1}, 2)
+	res := solveOK(t, p)
+	if math.Abs(res.Objective-2) > 1e-7 {
+		t.Fatalf("objective %v, want 2", res.Objective)
+	}
+}
+
+func TestClassicMaximization(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Hillier-Lieberman).
+	// Optimum: x=2, y=6, obj 36. Minimize the negative.
+	p := NewProblem(2)
+	p.SetObjective(0, -3)
+	p.SetObjective(1, -5)
+	p.AddLE([]int{0}, []float64{1}, 4)
+	p.AddLE([]int{1}, []float64{2}, 12)
+	p.AddLE([]int{0, 1}, []float64{3, 2}, 18)
+	res := solveOK(t, p)
+	if math.Abs(res.Objective+36) > 1e-7 {
+		t.Fatalf("objective %v, want -36", res.Objective)
+	}
+	if math.Abs(res.X[0]-2) > 1e-7 || math.Abs(res.X[1]-6) > 1e-7 {
+		t.Fatalf("solution %v, want (2,6)", res.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min 2a + 3b s.t. a + b = 10, a - b = 2 → a=6, b=4, obj 24.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	p.AddEQ([]int{0, 1}, []float64{1, 1}, 10)
+	p.AddEQ([]int{0, 1}, []float64{1, -1}, 2)
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-6) > 1e-7 || math.Abs(res.X[1]-4) > 1e-7 {
+		t.Fatalf("solution %v, want (6,4)", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddLE([]int{0}, []float64{1}, 1)
+	p.AddGE([]int{0}, []float64{1}, 2)
+	res, err := p.Solve()
+	if !errors.Is(err, ErrNotOptimal) || res.Status != Infeasible {
+		t.Fatalf("status %v err %v, want infeasible", res.Status, err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x, x >= 0, no upper bound.
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddGE([]int{0}, []float64{1}, 0)
+	res, err := p.Solve()
+	if !errors.Is(err, ErrNotOptimal) || res.Status != Unbounded {
+		t.Fatalf("status %v err %v, want unbounded", res.Status, err)
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// min |x - 3| via epigraph: min u s.t. u >= x-3, u >= 3-x, x free,
+	// and x >= -10 only through a constraint x = y - 5 with y in [0, 20].
+	// Simpler: x free with equality x = 3 forced by nothing; add x <= 1.
+	// Then optimum x=1, u=2.
+	p := NewProblem(2) // x free, u >= 0
+	p.SetBounds(0, math.Inf(-1), math.Inf(1))
+	p.SetObjective(1, 1)
+	p.AddGE([]int{1, 0}, []float64{1, -1}, -3) // u - x >= -3 → u >= x-3
+	p.AddGE([]int{1, 0}, []float64{1, 1}, 3)   // u + x >= 3 → u >= 3-x
+	p.AddLE([]int{0}, []float64{1}, 1)
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-1) > 1e-7 || math.Abs(res.X[1]-2) > 1e-7 {
+		t.Fatalf("solution %v, want (1,2)", res.X)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// min x s.t. x >= -5 via bounds → x = -5.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.SetBounds(0, -5, 7)
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]+5) > 1e-7 {
+		t.Fatalf("x = %v, want -5", res.X[0])
+	}
+	// max x (min -x) → x = 7.
+	p2 := NewProblem(1)
+	p2.SetObjective(0, -1)
+	p2.SetBounds(0, -5, 7)
+	res2 := solveOK(t, p2)
+	if math.Abs(res2.X[0]-7) > 1e-7 {
+		t.Fatalf("x = %v, want 7", res2.X[0])
+	}
+}
+
+func TestUpperBoundOnly(t *testing.T) {
+	// Variable with (-Inf, 4]: min -x → x = 4.
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.SetBounds(0, math.Inf(-1), 4)
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-4) > 1e-7 {
+		t.Fatalf("x = %v, want 4", res.X[0])
+	}
+}
+
+func TestDegenerateCycling(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	// min -0.75x1 + 150x2 - 0.02x3 + 6x4
+	// s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+	//      0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+	//      x3 <= 1
+	// Optimum objective: -0.05 at x = (0.04? ...) — known optimum -1/20.
+	p := NewProblem(4)
+	p.SetObjective(0, -0.75)
+	p.SetObjective(1, 150)
+	p.SetObjective(2, -0.02)
+	p.SetObjective(3, 6)
+	p.AddLE([]int{0, 1, 2, 3}, []float64{0.25, -60, -0.04, 9}, 0)
+	p.AddLE([]int{0, 1, 2, 3}, []float64{0.5, -90, -0.02, 3}, 0)
+	p.AddLE([]int{2}, []float64{1}, 1)
+	res := solveOK(t, p)
+	if math.Abs(res.Objective+0.05) > 1e-7 {
+		t.Fatalf("objective %v, want -0.05", res.Objective)
+	}
+}
+
+func TestAbsoluteDeviationObjective(t *testing.T) {
+	// The paper's initializer pattern: minimize Σ|s_i - target| where
+	// s_i = d_i - t_i are differences of decision variables under ordering
+	// constraints. Small instance with known solution.
+	//
+	// Variables: d1, d2 with 0 <= d1 <= d2 (order), s1 = d1, s2 = d2 - d1.
+	// min |s1 - 1| + |s2 - 1| s.t. d2 = 3 (observed).
+	// Optimal: d1 in [1,2] gives objective |d1-1| + |3-d1-1| minimized at
+	// any d1 in [1,2] with obj 1.
+	p := NewProblem(4) // d1, d2, u1, u2
+	p.SetObjective(2, 1)
+	p.SetObjective(3, 1)
+	p.AddEQ([]int{1}, []float64{1}, 3)
+	p.AddLE([]int{0, 1}, []float64{1, -1}, 0)  // d1 <= d2
+	p.AddGE([]int{2, 0}, []float64{1, -1}, -1) // u1 >= d1 - 1
+	p.AddGE([]int{2, 0}, []float64{1, 1}, 1)   // u1 >= 1 - d1
+	p.AddGE([]int{3, 1, 0}, []float64{1, -1, 1}, -1)
+	p.AddGE([]int{3, 1, 0}, []float64{1, 1, -1}, 1)
+	res := solveOK(t, p)
+	if math.Abs(res.Objective-1) > 1e-7 {
+		t.Fatalf("objective %v, want 1", res.Objective)
+	}
+	d1 := res.X[0]
+	if d1 < 1-1e-7 || d1 > 2+1e-7 {
+		t.Fatalf("d1 = %v, want in [1,2]", d1)
+	}
+}
+
+// TestRandomProblemsFeasibilityAndOptimality generates random bounded LPs,
+// solves them, and verifies (a) constraints hold at the solution and (b) the
+// solution is no worse than a large set of random feasible points.
+func TestRandomProblemsFeasibilityAndOptimality(t *testing.T) {
+	r := xrand.New(2024)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(4)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = r.Uniform(-1, 1)
+			p.SetObjective(j, c[j])
+			p.SetBounds(j, 0, r.Uniform(0.5, 3))
+		}
+		type cons struct {
+			idx  []int
+			coef []float64
+			rhs  float64
+		}
+		var conss []cons
+		nc := 1 + r.Intn(3)
+		for k := 0; k < nc; k++ {
+			idx := []int{}
+			coef := []float64{}
+			for j := 0; j < n; j++ {
+				if r.Bernoulli(0.7) {
+					idx = append(idx, j)
+					coef = append(coef, r.Uniform(0, 1))
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			rhs := r.Uniform(0.5, 2)
+			p.AddLE(idx, coef, rhs)
+			conss = append(conss, cons{idx, coef, rhs})
+		}
+		res, err := p.Solve()
+		if err != nil {
+			// With all-nonnegative coefficients and positive rhs, x=0 is
+			// feasible, so failure is a bug.
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Feasibility.
+		for _, cs := range conss {
+			var lhs float64
+			for i, j := range cs.idx {
+				lhs += cs.coef[i] * res.X[j]
+			}
+			if lhs > cs.rhs+1e-6 {
+				t.Fatalf("trial %d: constraint violated: %v > %v", trial, lhs, cs.rhs)
+			}
+		}
+		// Compare with random feasible points.
+		for probe := 0; probe < 200; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = r.Uniform(0, 0.3)
+			}
+			feasible := true
+			for _, cs := range conss {
+				var lhs float64
+				for i, j := range cs.idx {
+					lhs += cs.coef[i] * x[j]
+				}
+				if lhs > cs.rhs {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			var obj float64
+			for j := range x {
+				obj += c[j] * x[j]
+			}
+			if obj < res.Objective-1e-6 {
+				t.Fatalf("trial %d: random point beats 'optimal' (%v < %v)", trial, obj, res.Objective)
+			}
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	p := NewProblem(2)
+	for name, fn := range map[string]func(){
+		"bad var":          func() { p.SetObjective(5, 1) },
+		"neg var":          func() { p.SetObjective(-1, 1) },
+		"empty bounds":     func() { p.SetBounds(0, 2, 1) },
+		"mismatched row":   func() { p.AddLE([]int{0, 1}, []float64{1}, 0) },
+		"zero-var problem": func() { NewProblem(0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	r := xrand.New(7)
+	n := 30
+	for i := 0; i < b.N; i++ {
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, r.Uniform(-1, 1))
+			p.SetBounds(j, 0, 5)
+		}
+		for k := 0; k < 15; k++ {
+			idx := make([]int, 0, n)
+			coef := make([]float64, 0, n)
+			for j := 0; j < n; j++ {
+				idx = append(idx, j)
+				coef = append(coef, r.Uniform(0, 1))
+			}
+			p.AddLE(idx, coef, r.Uniform(5, 20))
+		}
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package piecewise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// numericIntegral integrates exp(logpdf) over [lo,hi] with the midpoint rule.
+func numericIntegral(d *LogLinear, lo, hi float64, steps int) float64 {
+	h := (hi - lo) / float64(steps)
+	var mass float64
+	for i := 0; i < steps; i++ {
+		x := lo + (float64(i)+0.5)*h
+		mass += math.Exp(d.LogPDF(x)) * h
+	}
+	return mass
+}
+
+func mustNew(t *testing.T, breaks, slopes []float64, f0 float64) *LogLinear {
+	t.Helper()
+	d, err := New(breaks, slopes, f0)
+	if err != nil {
+		t.Fatalf("New(%v,%v): %v", breaks, slopes, err)
+	}
+	return d
+}
+
+func TestNormalization(t *testing.T) {
+	cases := []struct {
+		breaks, slopes []float64
+	}{
+		{[]float64{0, 1}, []float64{0}},
+		{[]float64{0, 1}, []float64{-2}},
+		{[]float64{0, 1}, []float64{3}},
+		{[]float64{-1, 0.5, 2, 3}, []float64{2, 0, -4}},
+		{[]float64{0, 0.1, 0.2, 5}, []float64{50, -30, 1}},
+		{[]float64{10, 11, 12}, []float64{-100, 100}},
+	}
+	for _, tc := range cases {
+		d := mustNew(t, tc.breaks, tc.slopes, 0.7)
+		mass := numericIntegral(d, d.Lo(), d.Hi(), 400000)
+		if math.Abs(mass-1) > 1e-3 {
+			t.Errorf("breaks=%v slopes=%v: density integrates to %v", tc.breaks, tc.slopes, mass)
+		}
+		var ptot float64
+		for i := 0; i < d.Pieces(); i++ {
+			ptot += d.PieceProb(i)
+		}
+		if math.Abs(ptot-1) > 1e-12 {
+			t.Errorf("piece probabilities sum to %v", ptot)
+		}
+	}
+}
+
+func TestUnboundedTail(t *testing.T) {
+	// Two pieces: flat on (0,1), then Exp decay with rate 2 on (1,∞).
+	d := mustNew(t, []float64{0, 1, math.Inf(1)}, []float64{0, -2}, 0)
+	// Masses: piece1 = 1, piece2 = 1/2 → probs 2/3, 1/3.
+	if math.Abs(d.PieceProb(0)-2.0/3) > 1e-12 {
+		t.Fatalf("piece 0 prob %v, want 2/3", d.PieceProb(0))
+	}
+	r := xrand.New(5)
+	var count, tail int
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		if x < 0 {
+			t.Fatalf("sample below support: %v", x)
+		}
+		if x > 1 {
+			tail++
+		}
+		count++
+		sum += x
+	}
+	if got := float64(tail) / n; math.Abs(got-1.0/3) > 0.01 {
+		t.Fatalf("tail mass %v, want 1/3", got)
+	}
+	// Mean = (2/3)*0.5 + (1/3)*(1+0.5) = 1/3 + 1/2 = 5/6.
+	if math.Abs(sum/n-5.0/6) > 0.01 {
+		t.Fatalf("sample mean %v, want 5/6", sum/n)
+	}
+	if math.Abs(d.Mean()-5.0/6) > 1e-12 {
+		t.Fatalf("analytic mean %v, want 5/6", d.Mean())
+	}
+}
+
+func TestSamplesMatchCDF(t *testing.T) {
+	d := mustNew(t, []float64{0, 0.5, 1.5, 2}, []float64{4, -1, 0}, -2)
+	r := xrand.New(77)
+	const n = 300000
+	checkpoints := []float64{0.2, 0.5, 0.9, 1.5, 1.9}
+	counts := make([]int, len(checkpoints))
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		if x < d.Lo() || x > d.Hi() {
+			t.Fatalf("sample %v outside support [%v,%v]", x, d.Lo(), d.Hi())
+		}
+		for j, c := range checkpoints {
+			if x <= c {
+				counts[j]++
+			}
+		}
+	}
+	for j, c := range checkpoints {
+		got := float64(counts[j]) / n
+		want := d.CDF(c)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("empirical CDF(%v) = %v, analytic %v", c, got, want)
+		}
+	}
+}
+
+func TestSampleMeanMatchesAnalytic(t *testing.T) {
+	cases := []struct {
+		breaks, slopes []float64
+	}{
+		{[]float64{0, 2}, []float64{0}},
+		{[]float64{1, 2, 4}, []float64{3, -2}},
+		{[]float64{0, 1, math.Inf(1)}, []float64{2, -5}},
+	}
+	for _, tc := range cases {
+		d := mustNew(t, tc.breaks, tc.slopes, 0)
+		r := xrand.New(99)
+		const n = 400000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.Sample(r)
+		}
+		if math.Abs(sum/n-d.Mean()) > 0.01 {
+			t.Errorf("breaks=%v slopes=%v: sample mean %v, analytic %v",
+				tc.breaks, tc.slopes, sum/n, d.Mean())
+		}
+	}
+}
+
+// TestMatchesPaperFigure3 checks that the generalized sampler reproduces the
+// three-case construction from the paper exactly: a density
+//
+//	g(a) = exp{-µe(de - max(a, dρ)) - µπ(a - C) - µπ(dN - max(a, aN))}
+//
+// on (L, U) with breakpoints A = min(aN, dρ), B = max(aN, dρ).
+func TestMatchesPaperFigure3(t *testing.T) {
+	type scenario struct {
+		name             string
+		mue, mupi        float64
+		de, drho, aN, dN float64
+		L, U             float64
+	}
+	scenarios := []scenario{
+		{"drho<aN", 2.0, 3.0, 5.0, 1.0, 2.0, 6.0, 0.5, 4.0},
+		{"aN<drho", 1.5, 0.7, 6.0, 3.0, 1.0, 7.0, 0.8, 5.0},
+		{"equal-rates", 2.0, 2.0, 5.0, 1.0, 2.0, 6.0, 0.5, 4.0},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			g := func(a float64) float64 {
+				return math.Exp(-sc.mue*(sc.de-math.Max(a, sc.drho)) -
+					sc.mupi*(a-0.3) - // C = 0.3 constant, absorbed by normalization
+					sc.mupi*(sc.dN-math.Max(a, sc.aN)))
+			}
+			A := math.Min(sc.aN, sc.drho)
+			B := math.Max(sc.aN, sc.drho)
+			// Build breakpoints clipped to (L, U).
+			breaks := []float64{sc.L}
+			slopes := []float64{}
+			// Slope contributions: term2 always -µπ; term1 +µe for a > dρ;
+			// term3 +µπ for a > aN.
+			slopeAt := func(a float64) float64 {
+				s := -sc.mupi
+				if a > sc.drho {
+					s += sc.mue
+				}
+				if a > sc.aN {
+					s += sc.mupi
+				}
+				return s
+			}
+			for _, b := range []float64{A, B} {
+				if b > breaks[len(breaks)-1] && b < sc.U {
+					mid := (breaks[len(breaks)-1] + b) / 2
+					slopes = append(slopes, slopeAt(mid))
+					breaks = append(breaks, b)
+				}
+			}
+			mid := (breaks[len(breaks)-1] + sc.U) / 2
+			slopes = append(slopes, slopeAt(mid))
+			breaks = append(breaks, sc.U)
+
+			d := mustNew(t, breaks, slopes, math.Log(g(sc.L)))
+			// The normalized piecewise density must equal g normalized.
+			var Z float64
+			const steps = 200000
+			h := (sc.U - sc.L) / steps
+			for i := 0; i < steps; i++ {
+				Z += g(sc.L+(float64(i)+0.5)*h) * h
+			}
+			for _, a := range []float64{sc.L + 0.01, A - 0.01, A + 0.01, (A + B) / 2, B + 0.01, sc.U - 0.01} {
+				if a <= sc.L || a >= sc.U {
+					continue
+				}
+				want := math.Log(g(a) / Z)
+				got := d.LogPDF(a)
+				if math.Abs(got-want) > 1e-3 {
+					t.Errorf("logpdf(%v) = %v, want %v", a, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name           string
+		breaks, slopes []float64
+		f0             float64
+	}{
+		{"no pieces", []float64{0}, nil, 0},
+		{"mismatched", []float64{0, 1, 2}, []float64{1}, 0},
+		{"non-increasing", []float64{0, 0}, []float64{1}, 0},
+		{"decreasing", []float64{1, 0}, []float64{1}, 0},
+		{"unbounded positive slope", []float64{0, math.Inf(1)}, []float64{1}, 0},
+		{"unbounded zero slope", []float64{0, math.Inf(1)}, []float64{0}, 0},
+		{"nan slope", []float64{0, 1}, []float64{math.NaN()}, 0},
+		{"nan f0", []float64{0, 1}, []float64{1}, math.NaN()},
+		{"interior inf", []float64{0, math.Inf(1), math.Inf(1)}, []float64{-1, -1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.breaks, tc.slopes, tc.f0); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestExtremeSlopesStable(t *testing.T) {
+	// Very steep slopes must not produce NaN/Inf probabilities.
+	d := mustNew(t, []float64{0, 1e-6, 1, 1000}, []float64{1e7, -500, -0.001}, 0)
+	r := xrand.New(3)
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(r)
+		if math.IsNaN(x) || x < d.Lo() || x > d.Hi() {
+			t.Fatalf("unstable sample %v", x)
+		}
+	}
+	for i := 0; i < d.Pieces(); i++ {
+		if math.IsNaN(d.PieceProb(i)) {
+			t.Fatalf("NaN piece probability")
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	d := mustNew(t, []float64{0, 1, 2, 3}, []float64{5, -5, 2}, 0)
+	if err := quick.Check(func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 3)
+		y := math.Mod(math.Abs(b), 3)
+		if x > y {
+			x, y = y, x
+		}
+		return d.CDF(x) <= d.CDF(y)+1e-12
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if d.CDF(-1) != 0 || d.CDF(4) != 1 {
+		t.Error("CDF bounds wrong")
+	}
+}
+
+func TestF0Irrelevant(t *testing.T) {
+	// Normalized density must not depend on the anchor value f0.
+	a := mustNew(t, []float64{0, 1, 2}, []float64{1, -3}, 0)
+	b := mustNew(t, []float64{0, 1, 2}, []float64{1, -3}, 123.0)
+	for _, x := range []float64{0.1, 0.9, 1.5, 1.99} {
+		if math.Abs(a.LogPDF(x)-b.LogPDF(x)) > 1e-9 {
+			t.Fatalf("f0 leaked into normalized density at %v: %v vs %v", x, a.LogPDF(x), b.LogPDF(x))
+		}
+	}
+}
+
+func BenchmarkSampleThreePieces(b *testing.B) {
+	d, err := New([]float64{0, 1, 2, 3}, []float64{2, 0, -2}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = d.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkConstructThreePieces(b *testing.B) {
+	breaks := []float64{0, 1, 2, 3}
+	slopes := []float64{2, 0, -2}
+	for i := 0; i < b.N; i++ {
+		if _, err := New(breaks, slopes, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRandomSpecsNormalize draws random piecewise specs and checks the
+// normalized density integrates to one and matches PieceProb masses.
+func TestRandomSpecsNormalize(t *testing.T) {
+	r := xrand.New(7777)
+	for trial := 0; trial < 60; trial++ {
+		np := 1 + r.Intn(4)
+		breaks := make([]float64, np+1)
+		breaks[0] = r.Uniform(-3, 3)
+		for i := 1; i <= np; i++ {
+			breaks[i] = breaks[i-1] + r.Uniform(0.05, 2)
+		}
+		slopes := make([]float64, np)
+		for i := range slopes {
+			slopes[i] = r.Uniform(-6, 6)
+		}
+		d, err := New(breaks, slopes, r.Uniform(-2, 2))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mass := numericIntegral(d, d.Lo(), d.Hi(), 200000)
+		if math.Abs(mass-1) > 5e-3 {
+			t.Fatalf("trial %d: mass %v", trial, mass)
+		}
+		// Per-piece mass matches PieceProb.
+		for p := 0; p < d.Pieces(); p++ {
+			pm := numericIntegral(d, breaks[p], breaks[p+1], 50000)
+			if math.Abs(pm-d.PieceProb(p)) > 5e-3 {
+				t.Fatalf("trial %d piece %d: mass %v vs prob %v", trial, p, pm, d.PieceProb(p))
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package qnet
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/fsm"
+	"repro/internal/trace"
+)
+
+// FromTrace reconstructs a network model from a trace and an estimated
+// rate vector: exponential service with rates[q] at each queue, and
+// routing estimated from the realized task paths under a first-order
+// Markov assumption on queues (each queue becomes one FSM state; the
+// transition matrix is the empirical queue-to-queue frequency). Because
+// the paper's model assumes paths are known even for unobserved tasks,
+// every task contributes to the routing estimate.
+//
+// The result is what capacity planning needs: re-simulating the estimated
+// network under a hypothetical workload answers the paper's "what if?"
+// questions with the parameters learned from the "what happened?" trace.
+func FromTrace(es *trace.EventSet, rates []float64, names []string) (*Network, error) {
+	if len(rates) != es.NumQueues {
+		return nil, fmt.Errorf("qnet: %d rates for %d queues", len(rates), es.NumQueues)
+	}
+	for q, r := range rates {
+		if !(r > 0) {
+			return nil, fmt.Errorf("qnet: rate[%d] = %v must be positive", q, r)
+		}
+	}
+	if names != nil && len(names) != es.NumQueues {
+		return nil, fmt.Errorf("qnet: %d names for %d queues", len(names), es.NumQueues)
+	}
+	nq := es.NumQueues
+	if nq < 2 {
+		return nil, fmt.Errorf("qnet: trace has no service queues")
+	}
+	// States 0..nq-2 correspond to queues 1..nq-1 (q0 is not routable).
+	nstates := nq - 1
+	start := make([]float64, nstates)
+	transCount := make([][]float64, nstates)
+	for s := range transCount {
+		transCount[s] = make([]float64, nstates+1)
+	}
+	for k := 0; k < es.NumTasks; k++ {
+		ids := es.ByTask[k]
+		if len(ids) < 2 {
+			return nil, fmt.Errorf("qnet: task %d has no service events", k)
+		}
+		first := es.Events[ids[1]].Queue
+		start[first-1]++
+		for j := 1; j < len(ids); j++ {
+			cur := es.Events[ids[j]].Queue - 1
+			if j+1 < len(ids) {
+				next := es.Events[ids[j+1]].Queue - 1
+				transCount[cur][next]++
+			} else {
+				transCount[cur][nstates]++ // terminate
+			}
+		}
+	}
+	normalize(start)
+	for s := range transCount {
+		var tot float64
+		for _, v := range transCount[s] {
+			tot += v
+		}
+		if tot == 0 {
+			// Unvisited state: make it absorbing-to-final so the FSM
+			// validates; it is never entered.
+			transCount[s][nstates] = 1
+			tot = 1
+		}
+		for i := range transCount[s] {
+			transCount[s][i] /= tot
+		}
+	}
+	emit := make([][]float64, nstates)
+	for s := range emit {
+		emit[s] = make([]float64, nq)
+		emit[s][s+1] = 1
+	}
+	routing, err := fsm.New(fsm.Config{
+		NumStates: nstates,
+		NumQueues: nq,
+		Start:     start,
+		Trans:     transCount,
+		Emit:      emit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("qnet: building empirical routing: %w", err)
+	}
+	queues := make([]Queue, nq)
+	for q := 0; q < nq; q++ {
+		name := fmt.Sprintf("q%d", q)
+		if names != nil {
+			name = names[q]
+		}
+		queues[q] = Queue{Name: name, Service: dist.NewExponential(rates[q]), Servers: 1}
+	}
+	return New(queues, routing)
+}
+
+func normalize(p []float64) {
+	var tot float64
+	for _, v := range p {
+		tot += v
+	}
+	if tot == 0 {
+		return
+	}
+	for i := range p {
+		p[i] /= tot
+	}
+}

@@ -1,0 +1,197 @@
+// Package qnet defines queueing-network topologies: a set of named queues
+// with ground-truth service distributions plus the FSM that routes tasks
+// among them. Queue 0 is always the designated arrival queue q0 of the
+// paper's convention — every task has an initial event that arrives at q0 at
+// time zero and departs at the task's system entry time, so the interarrival
+// distribution is simply q0's service distribution.
+package qnet
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/fsm"
+)
+
+// ArrivalQueue is the index of the designated arrival queue q0.
+const ArrivalQueue = 0
+
+// Queue is one station in the network.
+type Queue struct {
+	// Name identifies the queue in reports (e.g. "web0", "db").
+	Name string
+	// Service is the ground-truth service-time distribution used by the
+	// simulator. For q0 it is the interarrival distribution.
+	Service dist.Dist
+	// Servers is the number of parallel servers at this station. The
+	// paper's model (and the inference code) assumes 1; the simulator
+	// supports more for robustness experiments.
+	Servers int
+}
+
+// Network is a validated queueing network. Construct with New or a builder.
+type Network struct {
+	Queues []Queue
+	// Routing emits queue indices in [1, len(Queues)); it never emits q0.
+	Routing *fsm.FSM
+}
+
+// New validates and returns a network. The FSM must be defined over exactly
+// len(queues) queues and must assign zero emission probability to q0.
+func New(queues []Queue, routing *fsm.FSM) (*Network, error) {
+	if len(queues) < 2 {
+		return nil, fmt.Errorf("qnet: need q0 plus at least one service queue, got %d queues", len(queues))
+	}
+	if routing == nil {
+		return nil, fmt.Errorf("qnet: nil routing FSM")
+	}
+	if routing.NumQueues() != len(queues) {
+		return nil, fmt.Errorf("qnet: FSM emits over %d queues, network has %d", routing.NumQueues(), len(queues))
+	}
+	for i, q := range queues {
+		if q.Service == nil {
+			return nil, fmt.Errorf("qnet: queue %d (%s) has no service distribution", i, q.Name)
+		}
+		if q.Servers < 0 {
+			return nil, fmt.Errorf("qnet: queue %d (%s) has negative server count", i, q.Name)
+		}
+	}
+	visits := routing.ExpectedVisits()
+	if visits[ArrivalQueue] > 0 {
+		return nil, fmt.Errorf("qnet: routing FSM emits the arrival queue q0")
+	}
+	// Normalize zero server counts to 1.
+	qs := append([]Queue(nil), queues...)
+	for i := range qs {
+		if qs[i].Servers == 0 {
+			qs[i].Servers = 1
+		}
+	}
+	return &Network{Queues: qs, Routing: routing}, nil
+}
+
+// NumQueues returns the number of queues including q0.
+func (n *Network) NumQueues() int { return len(n.Queues) }
+
+// QueueNames returns the queue names in index order.
+func (n *Network) QueueNames() []string {
+	out := make([]string, len(n.Queues))
+	for i, q := range n.Queues {
+		out[i] = q.Name
+	}
+	return out
+}
+
+// ServiceRates returns 1/mean of each queue's service distribution (the
+// exponential rate when the distribution is exponential). Useful as the
+// ground truth µ vector in experiments.
+func (n *Network) ServiceRates() []float64 {
+	out := make([]float64, len(n.Queues))
+	for i, q := range n.Queues {
+		out[i] = 1 / q.Service.Mean()
+	}
+	return out
+}
+
+// MeanServiceTimes returns the mean service time of each queue (1/µ_q); for
+// q0 this is the mean interarrival time.
+func (n *Network) MeanServiceTimes() []float64 {
+	out := make([]float64, len(n.Queues))
+	for i, q := range n.Queues {
+		out[i] = q.Service.Mean()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+
+// TierSpec describes one tier of a multi-tier network.
+type TierSpec struct {
+	// Name prefixes replica queue names ("web" → "web0", "web1", ...).
+	Name string
+	// Replicas is the number of parallel replica queues at this tier.
+	Replicas int
+	// Service is the per-replica service distribution.
+	Service dist.Dist
+	// Weights optionally biases replica selection (nil = uniform). Length
+	// must equal Replicas.
+	Weights []float64
+}
+
+// Tiered builds the multi-tier network of the paper's experiments: tasks
+// enter according to interarrival (q0's service distribution), then visit
+// one replica of each tier in order. With exponential interarrival and
+// service this is exactly the synthetic model of paper §5.1.
+func Tiered(interarrival dist.Dist, tiers []TierSpec) (*Network, error) {
+	if interarrival == nil {
+		return nil, fmt.Errorf("qnet: nil interarrival distribution")
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("qnet: no tiers")
+	}
+	queues := []Queue{{Name: "q0", Service: interarrival, Servers: 1}}
+	tierQueues := make([][]int, len(tiers))
+	weights := make([][]float64, len(tiers))
+	for t, spec := range tiers {
+		if spec.Replicas <= 0 {
+			return nil, fmt.Errorf("qnet: tier %d (%s) has %d replicas", t, spec.Name, spec.Replicas)
+		}
+		if spec.Service == nil {
+			return nil, fmt.Errorf("qnet: tier %d (%s) has no service distribution", t, spec.Name)
+		}
+		if spec.Weights != nil && len(spec.Weights) != spec.Replicas {
+			return nil, fmt.Errorf("qnet: tier %d (%s) has %d weights for %d replicas", t, spec.Name, len(spec.Weights), spec.Replicas)
+		}
+		for rep := 0; rep < spec.Replicas; rep++ {
+			name := spec.Name
+			if spec.Replicas > 1 {
+				name = fmt.Sprintf("%s%d", spec.Name, rep)
+			}
+			tierQueues[t] = append(tierQueues[t], len(queues))
+			queues = append(queues, Queue{Name: name, Service: spec.Service, Servers: 1})
+		}
+		weights[t] = spec.Weights
+	}
+	routing, err := fsm.Tiered(len(queues), tierQueues, weights)
+	if err != nil {
+		return nil, fmt.Errorf("qnet: building routing FSM: %w", err)
+	}
+	return New(queues, routing)
+}
+
+// PaperSynthetic builds one of the synthetic three-tier structures of paper
+// §5.1: arrival rate lambda, all service rates mu, and the given number of
+// replica queues per tier. The paper uses lambda=10, mu=5 and replica
+// counts drawn from {1, 2, 4}.
+func PaperSynthetic(lambda, mu float64, replicas [3]int) (*Network, error) {
+	tiers := make([]TierSpec, 3)
+	names := [3]string{"web", "app", "db"}
+	for t := 0; t < 3; t++ {
+		tiers[t] = TierSpec{
+			Name:     names[t],
+			Replicas: replicas[t],
+			Service:  dist.NewExponential(mu),
+		}
+	}
+	return Tiered(dist.NewExponential(lambda), tiers)
+}
+
+// Tandem builds a simple series of single queues with the given service
+// distributions — the classic tandem network used in validation tests.
+func Tandem(interarrival dist.Dist, services ...dist.Dist) (*Network, error) {
+	if len(services) == 0 {
+		return nil, fmt.Errorf("qnet: tandem needs at least one queue")
+	}
+	tiers := make([]TierSpec, len(services))
+	for i, s := range services {
+		tiers[i] = TierSpec{Name: fmt.Sprintf("s%d", i), Replicas: 1, Service: s}
+	}
+	return Tiered(interarrival, tiers)
+}
+
+// SingleMM1 builds the simplest network: Poisson(lambda) arrivals into one
+// exponential(mu) queue.
+func SingleMM1(lambda, mu float64) (*Network, error) {
+	return Tandem(dist.NewExponential(lambda), dist.NewExponential(mu))
+}

@@ -1,0 +1,199 @@
+package qnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fsm"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func TestPaperSynthetic(t *testing.T) {
+	net, err := PaperSynthetic(10, 5, [3]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := net.NumQueues(), 1+1+2+4; got != want {
+		t.Fatalf("queues %d, want %d", got, want)
+	}
+	names := net.QueueNames()
+	if names[0] != "q0" || names[1] != "web" || names[2] != "app0" || names[4] != "db0" {
+		t.Fatalf("names %v", names)
+	}
+	rates := net.ServiceRates()
+	if math.Abs(rates[0]-10) > 1e-9 {
+		t.Errorf("q0 rate %v, want 10 (arrival rate)", rates[0])
+	}
+	for q := 1; q < net.NumQueues(); q++ {
+		if math.Abs(rates[q]-5) > 1e-9 {
+			t.Errorf("queue %d rate %v, want 5", q, rates[q])
+		}
+	}
+	means := net.MeanServiceTimes()
+	if math.Abs(means[1]-0.2) > 1e-9 {
+		t.Errorf("mean service %v, want 0.2", means[1])
+	}
+}
+
+func TestRoutingVisitsEachTierOnce(t *testing.T) {
+	net, err := PaperSynthetic(10, 5, [3]int{2, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := net.Routing.ExpectedVisits()
+	if v[0] != 0 {
+		t.Fatalf("q0 must never be emitted, got %v", v[0])
+	}
+	// Tier sums must each be 1.
+	if got := v[1] + v[2]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("tier 0 visit mass %v", got)
+	}
+	if got := v[3]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("tier 1 visit mass %v", got)
+	}
+	if got := v[4] + v[5] + v[6] + v[7]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("tier 2 visit mass %v", got)
+	}
+}
+
+func TestTieredWeights(t *testing.T) {
+	net, err := Tiered(dist.NewExponential(1), []TierSpec{
+		{Name: "w", Replicas: 2, Service: dist.NewExponential(2), Weights: []float64{9, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	counts := make([]int, net.NumQueues())
+	const n = 30000
+	for i := 0; i < n; i++ {
+		p, err := net.Routing.SamplePath(r, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p[0].Queue]++
+	}
+	if got := float64(counts[1]) / n; math.Abs(got-0.9) > 0.01 {
+		t.Fatalf("weighted replica frequency %v, want 0.9", got)
+	}
+}
+
+func TestTandemAndSingle(t *testing.T) {
+	net, err := Tandem(dist.NewExponential(1), dist.NewExponential(2), dist.NewExponential(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumQueues() != 3 {
+		t.Fatalf("tandem queues %d, want 3", net.NumQueues())
+	}
+	single, err := SingleMM1(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.NumQueues() != 2 {
+		t.Fatalf("single queues %d, want 2", single.NumQueues())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	exp := dist.NewExponential(1)
+	okFSM, err := fsm.Tiered(2, [][]int{{1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]Queue{{Name: "q0", Service: exp}}, okFSM); err == nil {
+		t.Error("single-queue network should fail")
+	}
+	if _, err := New([]Queue{{Name: "q0", Service: exp}, {Name: "a", Service: nil}}, okFSM); err == nil {
+		t.Error("nil service should fail")
+	}
+	if _, err := New([]Queue{{Name: "q0", Service: exp}, {Name: "a", Service: exp}}, nil); err == nil {
+		t.Error("nil FSM should fail")
+	}
+	wrongSize, err := fsm.Tiered(3, [][]int{{1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]Queue{{Name: "q0", Service: exp}, {Name: "a", Service: exp}}, wrongSize); err == nil {
+		t.Error("FSM/queue count mismatch should fail")
+	}
+	// FSM emitting q0 must be rejected.
+	emitsQ0, err := fsm.Tiered(2, [][]int{{0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]Queue{{Name: "q0", Service: exp}, {Name: "a", Service: exp}}, emitsQ0); err == nil {
+		t.Error("FSM emitting q0 should fail")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	exp := dist.NewExponential(1)
+	if _, err := Tiered(nil, []TierSpec{{Name: "a", Replicas: 1, Service: exp}}); err == nil {
+		t.Error("nil interarrival should fail")
+	}
+	if _, err := Tiered(exp, nil); err == nil {
+		t.Error("no tiers should fail")
+	}
+	if _, err := Tiered(exp, []TierSpec{{Name: "a", Replicas: 0, Service: exp}}); err == nil {
+		t.Error("zero replicas should fail")
+	}
+	if _, err := Tiered(exp, []TierSpec{{Name: "a", Replicas: 2, Service: exp, Weights: []float64{1}}}); err == nil {
+		t.Error("mismatched weights should fail")
+	}
+	if _, err := Tandem(exp); err == nil {
+		t.Error("empty tandem should fail")
+	}
+}
+
+func TestServersDefaultToOne(t *testing.T) {
+	exp := dist.NewExponential(1)
+	f, err := fsm.Tiered(2, [][]int{{1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New([]Queue{{Name: "q0", Service: exp}, {Name: "a", Service: exp}}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range net.Queues {
+		if q.Servers != 1 {
+			t.Errorf("queue %d servers %d, want 1", i, q.Servers)
+		}
+	}
+}
+
+func TestFromTraceErrors(t *testing.T) {
+	// Build a minimal 2-queue trace.
+	b := trace.NewBuilder(2)
+	task := b.StartTask(1.0)
+	if _, err := b.AddEvent(task, 0, 1, 1.0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	es, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTrace(es, []float64{1}, nil); err == nil {
+		t.Error("wrong rate count should fail")
+	}
+	if _, err := FromTrace(es, []float64{1, -1}, nil); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := FromTrace(es, []float64{1, 2}, []string{"only-one"}); err == nil {
+		t.Error("wrong name count should fail")
+	}
+	net, err := FromTrace(es, []float64{1, 2}, []string{"q0", "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Queues[1].Name != "svc" {
+		t.Errorf("name not applied: %v", net.QueueNames())
+	}
+	v := net.Routing.ExpectedVisits()
+	if math.Abs(v[1]-1) > 1e-12 {
+		t.Errorf("single-path visits %v, want 1", v[1])
+	}
+}

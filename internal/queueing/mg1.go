@@ -1,0 +1,104 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MG1 summarizes a stable M/G/1 queue: Poisson(λ) arrivals into a single
+// server whose service times have the given mean and variance (the
+// Pollaczek–Khinchine formulas depend on the service distribution only
+// through its first two moments). It validates the Gibbs sampler's
+// general-service extension against closed-form results.
+type MG1 struct {
+	Lambda  float64
+	MeanSvc float64
+	VarSvc  float64
+}
+
+// NewMG1 returns the queue, rejecting invalid or unstable parameters.
+func NewMG1(lambda, meanSvc, varSvc float64) (MG1, error) {
+	if lambda <= 0 || meanSvc <= 0 || varSvc < 0 {
+		return MG1{}, fmt.Errorf("queueing: invalid M/G/1 parameters (λ=%v, E[S]=%v, Var[S]=%v)", lambda, meanSvc, varSvc)
+	}
+	if lambda*meanSvc >= 1 {
+		return MG1{}, fmt.Errorf("queueing: unstable M/G/1 (ρ=%v >= 1)", lambda*meanSvc)
+	}
+	return MG1{Lambda: lambda, MeanSvc: meanSvc, VarSvc: varSvc}, nil
+}
+
+// Rho returns the utilization λ·E[S].
+func (q MG1) Rho() float64 { return q.Lambda * q.MeanSvc }
+
+// CV2 returns the squared coefficient of variation of the service times.
+func (q MG1) CV2() float64 { return q.VarSvc / (q.MeanSvc * q.MeanSvc) }
+
+// MeanWait returns the Pollaczek–Khinchine mean waiting time:
+// W_q = λ·E[S²] / (2(1-ρ)) with E[S²] = Var[S] + E[S]².
+func (q MG1) MeanWait() float64 {
+	es2 := q.VarSvc + q.MeanSvc*q.MeanSvc
+	return q.Lambda * es2 / (2 * (1 - q.Rho()))
+}
+
+// MeanResponse returns W_q + E[S].
+func (q MG1) MeanResponse() float64 { return q.MeanWait() + q.MeanSvc }
+
+// MeanNumber returns L = λ·W (Little's law).
+func (q MG1) MeanNumber() float64 { return q.Lambda * q.MeanResponse() }
+
+// MM1K summarizes an M/M/1/K queue: at most K jobs in the system
+// (including the one in service); arrivals finding the system full are
+// lost. Unlike the plain M/M/1 it has a steady state even for ρ >= 1,
+// which makes it the classical tool for overload analysis.
+type MM1K struct {
+	Lambda, Mu float64
+	K          int
+}
+
+// NewMM1K returns the queue, rejecting invalid parameters.
+func NewMM1K(lambda, mu float64, k int) (MM1K, error) {
+	if lambda <= 0 || mu <= 0 || k <= 0 {
+		return MM1K{}, fmt.Errorf("queueing: invalid M/M/1/K parameters (λ=%v, µ=%v, K=%d)", lambda, mu, k)
+	}
+	return MM1K{Lambda: lambda, Mu: mu, K: k}, nil
+}
+
+// Probabilities returns the steady-state distribution over the number of
+// jobs in the system, p[0..K].
+func (q MM1K) Probabilities() []float64 {
+	rho := q.Lambda / q.Mu
+	p := make([]float64, q.K+1)
+	if math.Abs(rho-1) < 1e-12 {
+		for n := range p {
+			p[n] = 1 / float64(q.K+1)
+		}
+		return p
+	}
+	norm := (1 - rho) / (1 - math.Pow(rho, float64(q.K+1)))
+	for n := range p {
+		p[n] = norm * math.Pow(rho, float64(n))
+	}
+	return p
+}
+
+// BlockingProbability returns p_K, the fraction of arrivals lost.
+func (q MM1K) BlockingProbability() float64 {
+	p := q.Probabilities()
+	return p[q.K]
+}
+
+// MeanNumber returns the steady-state mean number in system.
+func (q MM1K) MeanNumber() float64 {
+	var l float64
+	for n, pn := range q.Probabilities() {
+		l += float64(n) * pn
+	}
+	return l
+}
+
+// MeanResponse returns the mean response time of *accepted* jobs via
+// Little's law with the effective arrival rate λ(1-p_K).
+func (q MM1K) MeanResponse() float64 {
+	eff := q.Lambda * (1 - q.BlockingProbability())
+	return q.MeanNumber() / eff
+}

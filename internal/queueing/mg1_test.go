@@ -1,0 +1,143 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: Var = E[S]², so P-K must equal ρ/(µ-λ).
+	lambda, mu := 3.0, 5.0
+	mg1, err := NewMG1(lambda, 1/mu, 1/(mu*mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, err := NewMM1(lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mg1.MeanWait()-mm1.MeanWait()) > 1e-12 {
+		t.Fatalf("M/G/1 with exponential service Wq=%v, M/M/1 %v", mg1.MeanWait(), mm1.MeanWait())
+	}
+	if math.Abs(mg1.CV2()-1) > 1e-12 {
+		t.Fatalf("CV² %v, want 1", mg1.CV2())
+	}
+}
+
+func TestMG1DeterministicHalvesWaiting(t *testing.T) {
+	// M/D/1 waiting is exactly half the M/M/1 waiting at equal ρ.
+	lambda, mean := 2.0, 0.25
+	md1, err := NewMG1(lambda, mean, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, err := NewMG1(lambda, mean, mean*mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(md1.MeanWait()-mm1.MeanWait()/2) > 1e-12 {
+		t.Fatalf("M/D/1 Wq=%v, want half of %v", md1.MeanWait(), mm1.MeanWait())
+	}
+}
+
+func TestMG1LittlesLaw(t *testing.T) {
+	q, err := NewMG1(1.5, 0.3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.MeanNumber()-q.Lambda*q.MeanResponse()) > 1e-12 {
+		t.Fatal("Little's law violated")
+	}
+}
+
+func TestMG1Errors(t *testing.T) {
+	if _, err := NewMG1(4, 0.3, 0.1); err == nil {
+		t.Error("unstable M/G/1 should fail")
+	}
+	if _, err := NewMG1(1, -0.1, 0.1); err == nil {
+		t.Error("negative mean should fail")
+	}
+	if _, err := NewMG1(1, 0.1, -0.1); err == nil {
+		t.Error("negative variance should fail")
+	}
+}
+
+func TestMM1KProbabilitiesSumToOne(t *testing.T) {
+	for _, tc := range []struct {
+		lambda, mu float64
+		k          int
+	}{
+		{2, 5, 4}, {5, 5, 7}, {10, 5, 3},
+	} {
+		q, err := NewMM1K(tc.lambda, tc.mu, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := q.Probabilities()
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("λ=%v µ=%v K=%d: probabilities sum to %v", tc.lambda, tc.mu, tc.k, sum)
+		}
+	}
+}
+
+func TestMM1KCriticalLoadUniform(t *testing.T) {
+	q, err := NewMM1K(5, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Probabilities()
+	for n, v := range p {
+		if math.Abs(v-0.1) > 1e-12 {
+			t.Fatalf("p[%d] = %v, want 0.1 (uniform at ρ=1)", n, v)
+		}
+	}
+	if math.Abs(q.MeanNumber()-4.5) > 1e-12 {
+		t.Fatalf("L = %v, want 4.5", q.MeanNumber())
+	}
+}
+
+func TestMM1KOverloadBlocksHeavily(t *testing.T) {
+	q, err := NewMM1K(10, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := q.BlockingProbability()
+	// At ρ=2 most arrivals are lost: p_K = (1-2)/(1-2^6)·2^5 = 32/63.
+	if math.Abs(pb-32.0/63.0) > 1e-12 {
+		t.Fatalf("blocking %v, want %v", pb, 32.0/63.0)
+	}
+}
+
+func TestMM1KApproachesMM1ForLargeK(t *testing.T) {
+	lambda, mu := 2.0, 5.0
+	mm1, err := NewMM1(lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewMM1K(lambda, mu, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.MeanNumber()-mm1.MeanNumber()) > 1e-9 {
+		t.Fatalf("large-K M/M/1/K L=%v, M/M/1 %v", q.MeanNumber(), mm1.MeanNumber())
+	}
+	if q.BlockingProbability() > 1e-12 {
+		t.Fatalf("blocking %v should vanish for large K", q.BlockingProbability())
+	}
+}
+
+func TestMM1KErrors(t *testing.T) {
+	if _, err := NewMM1K(1, 1, 0); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := NewMM1K(0, 1, 2); err == nil {
+		t.Error("zero lambda should fail")
+	}
+}

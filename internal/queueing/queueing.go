@@ -1,0 +1,204 @@
+// Package queueing provides classical analytic results — M/M/1, M/M/c and
+// Jackson-network steady-state formulas — used as validation baselines for
+// the simulator and as the "traditional queueing theory" point of comparison
+// the paper contrasts itself against.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 summarizes a stable M/M/1 queue with arrival rate Lambda and service
+// rate Mu.
+type MM1 struct{ Lambda, Mu float64 }
+
+// NewMM1 returns the queue, with an error when parameters are invalid or
+// the queue is unstable (ρ >= 1), in which case steady-state quantities do
+// not exist.
+func NewMM1(lambda, mu float64) (MM1, error) {
+	if lambda <= 0 || mu <= 0 {
+		return MM1{}, fmt.Errorf("queueing: rates must be positive (λ=%v, µ=%v)", lambda, mu)
+	}
+	if lambda >= mu {
+		return MM1{}, fmt.Errorf("queueing: unstable M/M/1 (ρ=%v >= 1)", lambda/mu)
+	}
+	return MM1{Lambda: lambda, Mu: mu}, nil
+}
+
+// Rho returns the utilization λ/µ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanService returns E[S] = 1/µ.
+func (q MM1) MeanService() float64 { return 1 / q.Mu }
+
+// MeanWait returns the steady-state mean waiting time in queue,
+// W_q = ρ/(µ-λ).
+func (q MM1) MeanWait() float64 { return q.Rho() / (q.Mu - q.Lambda) }
+
+// MeanResponse returns W = 1/(µ-λ).
+func (q MM1) MeanResponse() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// MeanNumber returns L = ρ/(1-ρ) (Little's law: L = λW).
+func (q MM1) MeanNumber() float64 { r := q.Rho(); return r / (1 - r) }
+
+// ResponseCDF returns P(response <= t) = 1 - exp(-(µ-λ)t).
+func (q MM1) ResponseCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return -math.Expm1(-(q.Mu - q.Lambda) * t)
+}
+
+// MMC summarizes a stable M/M/c queue.
+type MMC struct {
+	Lambda, Mu float64
+	C          int
+}
+
+// NewMMC returns the queue, rejecting invalid or unstable parameters
+// (λ >= cµ).
+func NewMMC(lambda, mu float64, c int) (MMC, error) {
+	if lambda <= 0 || mu <= 0 || c <= 0 {
+		return MMC{}, fmt.Errorf("queueing: invalid M/M/c parameters (λ=%v, µ=%v, c=%d)", lambda, mu, c)
+	}
+	if lambda >= float64(c)*mu {
+		return MMC{}, fmt.Errorf("queueing: unstable M/M/c (ρ=%v >= 1)", lambda/(float64(c)*mu))
+	}
+	return MMC{Lambda: lambda, Mu: mu, C: c}, nil
+}
+
+// Rho returns the per-server utilization λ/(cµ).
+func (q MMC) Rho() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// ErlangC returns the probability an arriving job must wait (all servers
+// busy), computed with a numerically stable recurrence.
+func (q MMC) ErlangC() float64 {
+	a := q.Lambda / q.Mu // offered load
+	c := q.C
+	// Erlang B recurrence: B(0)=1, B(k) = a·B(k-1)/(k + a·B(k-1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Rho()
+	return b / (1 - rho*(1-b))
+}
+
+// MeanWait returns the steady-state mean waiting time in queue,
+// W_q = C(c,a)/(cµ - λ).
+func (q MMC) MeanWait() float64 {
+	return q.ErlangC() / (float64(q.C)*q.Mu - q.Lambda)
+}
+
+// MeanResponse returns W_q + 1/µ.
+func (q MMC) MeanResponse() float64 { return q.MeanWait() + 1/q.Mu }
+
+// ---------------------------------------------------------------------------
+// Jackson networks
+
+// Jackson is an open Jackson network: exogenous Poisson arrivals Gamma[i]
+// into each queue, routing matrix R (R[i][j] = probability of moving from
+// queue i to queue j; leftover mass exits), and service rates Mu.
+type Jackson struct {
+	Gamma []float64
+	R     [][]float64
+	Mu    []float64
+
+	lambda []float64 // solved effective arrival rates
+}
+
+// NewJackson validates the network and solves the traffic equations
+// λ = γ + Rᵀλ by fixed-point iteration (the routing matrix is substochastic
+// so the iteration converges geometrically).
+func NewJackson(gamma []float64, r [][]float64, mu []float64) (*Jackson, error) {
+	n := len(gamma)
+	if n == 0 || len(r) != n || len(mu) != n {
+		return nil, fmt.Errorf("queueing: jackson dimensions mismatch")
+	}
+	for i := 0; i < n; i++ {
+		if gamma[i] < 0 {
+			return nil, fmt.Errorf("queueing: negative exogenous rate γ[%d]", i)
+		}
+		if mu[i] <= 0 {
+			return nil, fmt.Errorf("queueing: non-positive service rate µ[%d]", i)
+		}
+		if len(r[i]) != n {
+			return nil, fmt.Errorf("queueing: routing row %d has length %d", i, len(r[i]))
+		}
+		var row float64
+		for j := 0; j < n; j++ {
+			if r[i][j] < 0 {
+				return nil, fmt.Errorf("queueing: negative routing probability R[%d][%d]", i, j)
+			}
+			row += r[i][j]
+		}
+		if row > 1+1e-9 {
+			return nil, fmt.Errorf("queueing: routing row %d sums to %v > 1", i, row)
+		}
+	}
+	j := &Jackson{Gamma: gamma, R: r, Mu: mu}
+	lam := append([]float64(nil), gamma...)
+	for iter := 0; iter < 100000; iter++ {
+		next := append([]float64(nil), gamma...)
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				next[k] += lam[i] * r[i][k]
+			}
+		}
+		var diff float64
+		for i := range next {
+			diff += math.Abs(next[i] - lam[i])
+		}
+		lam = next
+		if diff < 1e-12 {
+			break
+		}
+	}
+	j.lambda = lam
+	for i := 0; i < n; i++ {
+		if lam[i] >= mu[i] {
+			return nil, fmt.Errorf("queueing: jackson queue %d unstable (λ=%v >= µ=%v)", i, lam[i], mu[i])
+		}
+	}
+	return j, nil
+}
+
+// Lambda returns the solved effective arrival rate of each queue.
+func (j *Jackson) Lambda() []float64 {
+	return append([]float64(nil), j.lambda...)
+}
+
+// MeanWait returns the steady-state mean waiting time at each queue (by the
+// product-form result, each queue behaves as M/M/1 with its effective rate).
+func (j *Jackson) MeanWait() []float64 {
+	out := make([]float64, len(j.lambda))
+	for i := range out {
+		rho := j.lambda[i] / j.Mu[i]
+		out[i] = rho / (j.Mu[i] - j.lambda[i])
+	}
+	return out
+}
+
+// MeanNumber returns the steady-state mean number of jobs at each queue.
+func (j *Jackson) MeanNumber() []float64 {
+	out := make([]float64, len(j.lambda))
+	for i := range out {
+		rho := j.lambda[i] / j.Mu[i]
+		out[i] = rho / (1 - rho)
+	}
+	return out
+}
+
+// MeanResponseTotal returns the network-wide mean end-to-end response time
+// by Little's law: Σ L_i / Σ γ_i.
+func (j *Jackson) MeanResponseTotal() float64 {
+	var l, g float64
+	for _, v := range j.MeanNumber() {
+		l += v
+	}
+	for _, v := range j.Gamma {
+		g += v
+	}
+	return l / g
+}

@@ -1,0 +1,189 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMM1KnownValues(t *testing.T) {
+	q, err := NewMM1(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Rho(); got != 0.6 {
+		t.Errorf("rho %v, want 0.6", got)
+	}
+	if got := q.MeanService(); got != 0.2 {
+		t.Errorf("E[S] %v, want 0.2", got)
+	}
+	if got, want := q.MeanWait(), 0.6/2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Wq %v, want %v", got, want)
+	}
+	if got, want := q.MeanResponse(), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("W %v, want %v", got, want)
+	}
+	if got, want := q.MeanNumber(), 1.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("L %v, want %v", got, want)
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	q, err := NewMM1(2.7, 4.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L = λ·W.
+	if got, want := q.MeanNumber(), q.Lambda*q.MeanResponse(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Little's law violated: L=%v λW=%v", got, want)
+	}
+}
+
+func TestMM1ResponseCDF(t *testing.T) {
+	q, err := NewMM1(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ResponseCDF(-1) != 0 {
+		t.Error("CDF(-1) != 0")
+	}
+	// Median: t with CDF = 0.5 is ln2/(µ-λ).
+	tmed := math.Ln2 / 2
+	if got := q.ResponseCDF(tmed); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(median) = %v", got)
+	}
+}
+
+func TestMM1Errors(t *testing.T) {
+	if _, err := NewMM1(5, 5); err == nil {
+		t.Error("unstable queue should fail")
+	}
+	if _, err := NewMM1(-1, 5); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestMMCReducesToMM1(t *testing.T) {
+	lambda, mu := 2.0, 5.0
+	m1, err := NewMM1(lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMMC(lambda, mu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1.MeanWait()-mc.MeanWait()) > 1e-12 {
+		t.Fatalf("M/M/1 Wq %v != M/M/c(1) Wq %v", m1.MeanWait(), mc.MeanWait())
+	}
+	// Erlang C with one server is just rho.
+	if math.Abs(mc.ErlangC()-lambda/mu) > 1e-12 {
+		t.Fatalf("ErlangC(1) = %v, want %v", mc.ErlangC(), lambda/mu)
+	}
+}
+
+func TestMMCKnownValue(t *testing.T) {
+	// Classic: λ=2, µ=1.5, c=2 → a=4/3, ρ=2/3.
+	// ErlangB(2) = (a²/2)/(1+a+a²/2) = (8/9)/(1+4/3+8/9) = 8/29.
+	// ErlangC = B/(1-ρ(1-B)) = (8/29)/(1-(2/3)(21/29)) = (8/29)/(45/87)=0.5333...
+	q, err := NewMMC(2, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC := (8.0 / 29.0) / (1 - (2.0/3.0)*(21.0/29.0))
+	if got := q.ErlangC(); math.Abs(got-wantC) > 1e-12 {
+		t.Fatalf("ErlangC %v, want %v", got, wantC)
+	}
+	wantWq := wantC / (2*1.5 - 2)
+	if got := q.MeanWait(); math.Abs(got-wantWq) > 1e-12 {
+		t.Fatalf("Wq %v, want %v", got, wantWq)
+	}
+}
+
+func TestMMCErrors(t *testing.T) {
+	if _, err := NewMMC(10, 2, 4); err == nil {
+		t.Error("unstable M/M/c should fail")
+	}
+	if _, err := NewMMC(1, 1, 0); err == nil {
+		t.Error("zero servers should fail")
+	}
+}
+
+func TestJacksonTandem(t *testing.T) {
+	// Tandem: all of queue 0's output goes to queue 1.
+	j, err := NewJackson(
+		[]float64{2, 0},
+		[][]float64{{0, 1}, {0, 0}},
+		[]float64{5, 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := j.Lambda()
+	if math.Abs(lam[0]-2) > 1e-9 || math.Abs(lam[1]-2) > 1e-9 {
+		t.Fatalf("traffic equations solved to %v, want [2 2]", lam)
+	}
+	w := j.MeanWait()
+	m1a, _ := NewMM1(2, 5)
+	m1b, _ := NewMM1(2, 4)
+	if math.Abs(w[0]-m1a.MeanWait()) > 1e-9 || math.Abs(w[1]-m1b.MeanWait()) > 1e-9 {
+		t.Fatalf("jackson waits %v, want M/M/1 values [%v %v]", w, m1a.MeanWait(), m1b.MeanWait())
+	}
+}
+
+func TestJacksonFeedback(t *testing.T) {
+	// Single queue with feedback probability p=0.5: λ_eff = γ/(1-p).
+	j, err := NewJackson(
+		[]float64{1},
+		[][]float64{{0.5}},
+		[]float64{4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Lambda()[0]; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("feedback effective rate %v, want 2", got)
+	}
+}
+
+func TestJacksonThreeTierStructure(t *testing.T) {
+	// The paper's Fig-1-like structure: γ into web tier (2 replicas,
+	// uniform), then app (1), then db (1), modeled at the Jackson level.
+	j, err := NewJackson(
+		[]float64{1, 1, 0, 0}, // γ split uniformly across web replicas
+		[][]float64{
+			{0, 0, 1, 0},
+			{0, 0, 1, 0},
+			{0, 0, 0, 1},
+			{0, 0, 0, 0},
+		},
+		[]float64{5, 5, 5, 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := j.Lambda()
+	want := []float64{1, 1, 2, 2}
+	for i := range want {
+		if math.Abs(lam[i]-want[i]) > 1e-9 {
+			t.Fatalf("lambda %v, want %v", lam, want)
+		}
+	}
+	if j.MeanResponseTotal() <= 0 {
+		t.Fatal("total response must be positive")
+	}
+}
+
+func TestJacksonErrors(t *testing.T) {
+	if _, err := NewJackson([]float64{5}, [][]float64{{0}}, []float64{4}); err == nil {
+		t.Error("unstable jackson should fail")
+	}
+	if _, err := NewJackson([]float64{1}, [][]float64{{1.5}}, []float64{4}); err == nil {
+		t.Error("super-stochastic routing should fail")
+	}
+	if _, err := NewJackson([]float64{1}, [][]float64{{0, 0}}, []float64{4}); err == nil {
+		t.Error("ragged routing should fail")
+	}
+	if _, err := NewJackson([]float64{-1}, [][]float64{{0}}, []float64{4}); err == nil {
+		t.Error("negative gamma should fail")
+	}
+}

@@ -1,0 +1,152 @@
+// Package sim is the discrete-event simulator that generates ground-truth
+// traces from a queueing network. It plays the role of the instrumented
+// systems in the paper's evaluation: the synthetic three-tier networks of
+// §5.1 and (via internal/webapp) the measured web application of §5.2.
+//
+// Because every station serves in FIFO order, an event's departure depends
+// only on events that arrived earlier at the same station, so processing
+// arrivals in global time order with a binary-heap calendar yields exact
+// sample paths of the model: d_e = s_e + max(a_e, d_ρ(e)) for single-server
+// stations, with the natural c-server generalization.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/qnet"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Tasks is the number of tasks to push through the network.
+	Tasks int
+	// Entries optionally fixes the system entry times (must be sorted
+	// ascending, length == Tasks). When nil, entries are drawn from the
+	// network's q0 service distribution as cumulative interarrival gaps.
+	Entries []float64
+	// MaxPathLen bounds FSM path length per task (default 64).
+	MaxPathLen int
+}
+
+// arrival is a pending task arrival in the event calendar.
+type arrival struct {
+	time  float64
+	task  int
+	step  int // index into the task's path
+	order int // tie-break: global schedule order
+}
+
+type calendar []arrival
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].time != c[j].time {
+		return c[i].time < c[j].time
+	}
+	return c[i].order < c[j].order
+}
+func (c calendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c *calendar) Push(x any)   { *c = append(*c, x.(arrival)) }
+func (c *calendar) Pop() any {
+	old := *c
+	n := len(old)
+	it := old[n-1]
+	*c = old[:n-1]
+	return it
+}
+
+// Run simulates the network and returns the complete trace. All randomness
+// comes from r, so runs are reproducible.
+func Run(net *qnet.Network, r *xrand.RNG, opts Options) (*trace.EventSet, error) {
+	if opts.Tasks <= 0 {
+		return nil, fmt.Errorf("sim: Tasks must be positive, got %d", opts.Tasks)
+	}
+	maxPath := opts.MaxPathLen
+	if maxPath == 0 {
+		maxPath = 64
+	}
+
+	// Entry times.
+	entries := opts.Entries
+	if entries == nil {
+		entries = make([]float64, opts.Tasks)
+		t := 0.0
+		for i := range entries {
+			t += net.Queues[qnet.ArrivalQueue].Service.Sample(r)
+			entries[i] = t
+		}
+	} else {
+		if len(entries) != opts.Tasks {
+			return nil, fmt.Errorf("sim: %d entries for %d tasks", len(entries), opts.Tasks)
+		}
+		for i := 1; i < len(entries); i++ {
+			if entries[i] < entries[i-1] {
+				return nil, fmt.Errorf("sim: entries not sorted at %d", i)
+			}
+		}
+		if len(entries) > 0 && entries[0] < 0 {
+			return nil, fmt.Errorf("sim: negative entry time %v", entries[0])
+		}
+	}
+
+	// Pre-sample FSM paths.
+	paths := make([][]fsm.Step, opts.Tasks)
+	for k := range paths {
+		p, err := net.Routing.SamplePath(r, maxPath)
+		if err != nil {
+			return nil, fmt.Errorf("sim: task %d: %w", k, err)
+		}
+		paths[k] = p
+	}
+
+	// The trace model's deterministic identity d = s + max(a, d_ρ) holds
+	// only for single-server FIFO stations (multi-server stations allow
+	// departure overtaking). The paper models a c-server tier as c parallel
+	// single-server queues — use qnet.TierSpec.Replicas for that.
+	for q := range net.Queues {
+		if net.Queues[q].Servers > 1 {
+			return nil, fmt.Errorf("sim: queue %d (%s) has %d servers; model multi-server tiers as replica queues",
+				q, net.Queues[q].Name, net.Queues[q].Servers)
+		}
+	}
+
+	b := trace.NewBuilder(net.NumQueues())
+	// lastDepart[q] is the departure time of the most recent arrival at q.
+	lastDepart := make([]float64, net.NumQueues())
+
+	var cal calendar
+	order := 0
+	for k := 0; k < opts.Tasks; k++ {
+		task := b.StartTask(entries[k])
+		if task != k {
+			return nil, fmt.Errorf("sim: internal task id mismatch")
+		}
+		heap.Push(&cal, arrival{time: entries[k], task: k, step: 0, order: order})
+		order++
+	}
+
+	for cal.Len() > 0 {
+		a := heap.Pop(&cal).(arrival)
+		step := paths[a.task][a.step]
+		q := step.Queue
+		svc := net.Queues[q].Service.Sample(r)
+		start := a.time
+		if lastDepart[q] > start {
+			start = lastDepart[q]
+		}
+		depart := start + svc
+		lastDepart[q] = depart
+		if _, err := b.AddEvent(a.task, step.State, q, a.time, depart); err != nil {
+			return nil, err
+		}
+		if a.step+1 < len(paths[a.task]) {
+			heap.Push(&cal, arrival{time: depart, task: a.task, step: a.step + 1, order: order})
+			order++
+		}
+	}
+	return b.Build()
+}

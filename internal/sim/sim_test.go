@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fsm"
+	"repro/internal/qnet"
+	"repro/internal/queueing"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func TestRunProducesValidTrace(t *testing.T) {
+	net, err := qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	s, err := Run(net, r, Options{Tasks: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTasks != 500 {
+		t.Fatalf("NumTasks = %d", s.NumTasks)
+	}
+	// Each task: 1 q0 event + 3 tier events.
+	if got, want := len(s.Events), 500*4; got != want {
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	counts := s.CountByQueue()
+	if counts[0] != 500 {
+		t.Fatalf("q0 count %d, want 500", counts[0])
+	}
+	// Tier with one replica sees all tasks.
+	if counts[1] != 500 {
+		t.Fatalf("single-replica tier count %d, want 500", counts[1])
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	net, err := qnet.SingleMM1(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(net, xrand.New(42), Options{Tasks: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, xrand.New(42), Options{Tasks: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs across identical seeds", i)
+		}
+	}
+}
+
+// TestMM1MatchesAnalytic is validation experiment V1: a stable M/M/1
+// simulated for many tasks must reproduce the steady-state mean waiting
+// time ρ/(µ-λ) and service time 1/µ.
+func TestMM1MatchesAnalytic(t *testing.T) {
+	lambda, mu := 3.0, 5.0
+	net, err := qnet.SingleMM1(lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := queueing.NewMM1(lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(7)
+	s, err := Run(net, r, Options{Tasks: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discard warmup: average over the middle of the run.
+	ids := s.ByQueue[1]
+	var wait, svc float64
+	n := 0
+	for _, id := range ids[len(ids)/10:] {
+		wait += s.WaitTime(id)
+		svc += s.ServiceTime(id)
+		n++
+	}
+	wait /= float64(n)
+	svc /= float64(n)
+	if math.Abs(svc-q.MeanService()) > 0.01 {
+		t.Errorf("mean service %v, analytic %v", svc, q.MeanService())
+	}
+	if math.Abs(wait-q.MeanWait()) > 0.06 {
+		t.Errorf("mean wait %v, analytic %v", wait, q.MeanWait())
+	}
+}
+
+// TestTandemMatchesJackson checks a two-queue tandem against the Jackson
+// product-form solution (departures of an M/M/1 are Poisson, so queue 2 is
+// also M/M/1 at rate λ).
+func TestTandemMatchesJackson(t *testing.T) {
+	lambda := 2.0
+	mus := []float64{5.0, 4.0}
+	net, err := qnet.Tandem(dist.NewExponential(lambda),
+		dist.NewExponential(mus[0]), dist.NewExponential(mus[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := queueing.NewJackson(
+		[]float64{lambda, 0},
+		[][]float64{{0, 1}, {0, 0}},
+		mus,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWait := j.MeanWait()
+	s, err := Run(net, xrand.New(11), Options{Tasks: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 1; qi <= 2; qi++ {
+		ids := s.ByQueue[qi]
+		var wait float64
+		n := 0
+		for _, id := range ids[len(ids)/10:] {
+			wait += s.WaitTime(id)
+			n++
+		}
+		wait /= float64(n)
+		if math.Abs(wait-wantWait[qi-1]) > 0.05*wantWait[qi-1]+0.02 {
+			t.Errorf("queue %d mean wait %v, Jackson %v", qi, wait, wantWait[qi-1])
+		}
+	}
+}
+
+func TestOverloadedQueueGrows(t *testing.T) {
+	// ρ = 2: waiting times must grow roughly linearly with position.
+	net, err := qnet.SingleMM1(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(net, xrand.New(3), Options{Tasks: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := s.ByQueue[1]
+	early := s.WaitTime(ids[100])
+	late := s.WaitTime(ids[1900])
+	if late < early+50 {
+		t.Fatalf("overloaded queue wait did not explode: early %v late %v", early, late)
+	}
+}
+
+func TestExplicitEntries(t *testing.T) {
+	net, err := qnet.SingleMM1(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []float64{1, 2, 3, 4, 5}
+	s, err := Run(net, xrand.New(5), Options{Tasks: 5, Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range entries {
+		if got := s.TaskEntry(k); got != want {
+			t.Errorf("task %d entry %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestEntriesFromWorkloadRamp(t *testing.T) {
+	net, err := qnet.SingleMM1(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.LinearRamp(1, 10, 100)
+	r := xrand.New(8)
+	entries := gen.Entries(r, 400)
+	s, err := Run(net, r, Options{Tasks: 400, Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Arrival gaps should shrink over the ramp: compare first vs last
+	// quartile mean gap.
+	var g1, g2 float64
+	for i := 1; i < 100; i++ {
+		g1 += entries[i] - entries[i-1]
+	}
+	for i := 301; i < 400; i++ {
+		g2 += entries[i] - entries[i-1]
+	}
+	if g2 >= g1 {
+		t.Fatalf("ramp did not accelerate arrivals: early gaps %v, late gaps %v", g1/99, g2/99)
+	}
+}
+
+func TestMultiServerRejected(t *testing.T) {
+	// The trace model is single-server FIFO; multi-server stations must be
+	// modeled as replica queues and the simulator enforces this.
+	routing, err := fsm.Tiered(2, [][]int{{1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := qnet.New([]qnet.Queue{
+		{Name: "q0", Service: dist.NewExponential(4)},
+		{Name: "mmc", Service: dist.NewExponential(2), Servers: 3},
+	}, routing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(net, xrand.New(13), Options{Tasks: 10}); err == nil {
+		t.Fatal("multi-server station should be rejected by the simulator")
+	}
+}
+
+// TestReplicaSplitMatchesMM1 checks the paper's replica-queue modeling: a
+// tier of c uniformly chosen replicas under Poisson(λ) arrivals makes each
+// replica an independent M/M/1 with rate λ/c (Poisson thinning).
+func TestReplicaSplitMatchesMM1(t *testing.T) {
+	lambda, mu := 2.0, 2.0
+	c := 4
+	net, err := qnet.Tiered(dist.NewExponential(lambda), []qnet.TierSpec{
+		{Name: "w", Replicas: c, Service: dist.NewExponential(mu)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := queueing.NewMM1(lambda/float64(c), mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(net, xrand.New(17), Options{Tasks: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 1; qi <= c; qi++ {
+		ids := s.ByQueue[qi]
+		var wait float64
+		n := 0
+		for _, id := range ids[len(ids)/10:] {
+			wait += s.WaitTime(id)
+			n++
+		}
+		wait /= float64(n)
+		if math.Abs(wait-want.MeanWait()) > 0.15*want.MeanWait()+0.02 {
+			t.Errorf("replica %d mean wait %v, M/M/1(λ/c) %v", qi, wait, want.MeanWait())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	net, err := qnet.SingleMM1(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	if _, err := Run(net, r, Options{Tasks: 0}); err == nil {
+		t.Error("zero tasks should fail")
+	}
+	if _, err := Run(net, r, Options{Tasks: 2, Entries: []float64{1}}); err == nil {
+		t.Error("mismatched entries should fail")
+	}
+	if _, err := Run(net, r, Options{Tasks: 2, Entries: []float64{2, 1}}); err == nil {
+		t.Error("unsorted entries should fail")
+	}
+	if _, err := Run(net, r, Options{Tasks: 2, Entries: []float64{-1, 1}}); err == nil {
+		t.Error("negative entry should fail")
+	}
+}
+
+func BenchmarkRunThreeTier(b *testing.B) {
+	net, err := qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(net, r, Options{Tasks: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestMG1MatchesPollaczekKhinchine validates the simulator's general
+// service support against the P-K formula, for both low-variance (Erlang)
+// and high-variance (hyperexponential) service.
+func TestMG1MatchesPollaczekKhinchine(t *testing.T) {
+	lambda := 2.0
+	cases := []struct {
+		name string
+		svc  dist.Dist
+	}{
+		{"erlang4", dist.NewErlang(4, 16)},                                             // mean 0.25, CV²=0.25
+		{"hyperexp", dist.NewHyperexponential([]float64{0.9, 0.1}, []float64{8, 0.8})}, // mean 0.2375, CV²>1
+		{"deterministic", dist.NewDeterministic(0.25)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := queueing.NewMG1(lambda, tc.svc.Mean(), tc.svc.Var())
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, err := qnet.Tandem(dist.NewExponential(lambda), tc.svc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Run(net, xrand.New(99), Options{Tasks: 120000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := s.ByQueue[1]
+			var wait float64
+			n := 0
+			for _, id := range ids[len(ids)/10:] {
+				wait += s.WaitTime(id)
+				n++
+			}
+			wait /= float64(n)
+			if d := math.Abs(wait - want.MeanWait()); d > 0.07*want.MeanWait()+0.01 {
+				t.Errorf("mean wait %v, P-K %v", wait, want.MeanWait())
+			}
+		})
+	}
+}
+
+// TestLindleyRecursion checks the simulator against the Lindley recursion
+// W_{k+1} = max(0, W_k + S_k − A_{k+1}) for a single FIFO queue, the
+// defining identity of the waiting-time process.
+func TestLindleyRecursion(t *testing.T) {
+	net, err := qnet.SingleMM1(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(net, xrand.New(21), Options{Tasks: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := s.ByQueue[1]
+	for j := 1; j < len(ids); j++ {
+		prev, cur := ids[j-1], ids[j]
+		wPrev := s.WaitTime(prev)
+		sPrev := s.ServiceTime(prev)
+		gap := s.Events[cur].Arrival - s.Events[prev].Arrival
+		want := wPrev + sPrev - gap
+		if want < 0 {
+			want = 0
+		}
+		if got := s.WaitTime(cur); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("event %d: Lindley wait %v, trace wait %v", cur, want, got)
+		}
+	}
+}

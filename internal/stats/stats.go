@@ -1,0 +1,433 @@
+// Package stats provides the summary statistics used to evaluate estimators
+// (means, variances, quantiles, histograms, bootstrap confidence intervals)
+// and to diagnose MCMC output (autocorrelation, effective sample size,
+// Gelman–Rubin R-hat).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance, or NaN if len < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median, or NaN for an empty slice.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the p-quantile of xs using linear interpolation between
+// order statistics (type-7, the R default). It returns NaN for an empty
+// slice and panics if p is outside [0, 1].
+func Quantile(xs []float64, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile probability %v outside [0,1]", p))
+	}
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := p * float64(n-1)
+	i := int(math.Floor(h))
+	if i >= n-1 {
+		return s[n-1]
+	}
+	frac := h - float64(i)
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// Quantiles returns the quantiles of xs at each probability in ps.
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = quantileSorted(s, p)
+	}
+	return out
+}
+
+func quantileSorted(s []float64, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile probability %v outside [0,1]", p))
+	}
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return s[0]
+	}
+	h := p * float64(n-1)
+	i := int(math.Floor(h))
+	if i >= n-1 {
+		return s[n-1]
+	}
+	frac := h - float64(i)
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// Summary is a five-number-plus summary of a sample.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Q1, Med, Q3 float64
+	Max              float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.StdDev, s.Min, s.Q1, s.Med, s.Q3, s.Max = nan, nan, nan, nan, nan, nan, nan
+		return s
+	}
+	qs := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	s.Min, s.Q1, s.Med, s.Q3, s.Max = qs[0], qs[1], qs[2], qs[3], qs[4]
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Q1, s.Med, s.Q3, s.Max)
+}
+
+// ---------------------------------------------------------------------------
+// Online accumulation (Welford)
+
+// Online accumulates a running mean and variance in a single pass. The zero
+// value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// N returns the number of accumulated values.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean, or NaN if empty.
+func (o *Online) Mean() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.mean
+}
+
+// Var returns the running unbiased variance, or NaN if n < 2.
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return math.NaN()
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the minimum accumulated value, or NaN if empty.
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.min
+}
+
+// Max returns the maximum accumulated value, or NaN if empty.
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.max
+}
+
+// Merge combines another accumulator into o (parallel Welford merge).
+func (o *Online) Merge(p *Online) {
+	if p.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *p
+		return
+	}
+	n1, n2 := float64(o.n), float64(p.n)
+	delta := p.mean - o.mean
+	tot := n1 + n2
+	o.m2 += p.m2 + delta*delta*n1*n2/tot
+	o.mean += delta * n2 / tot
+	o.n += p.n
+	if p.min < o.min {
+		o.min = p.min
+	}
+	if p.max > o.max {
+		o.max = p.max
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); values outside the range
+// are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi      float64
+	Counts      []int
+	Under, Over int
+	total       int
+}
+
+// NewHistogram allocates a histogram with the given number of bins,
+// panicking on invalid arguments.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if !(lo < hi) || bins <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) with %d bins", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // boundary rounding
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Density returns the normalized bin heights (integrating to the in-range
+// probability mass).
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / (float64(h.total) * w)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// MCMC diagnostics
+
+// Autocorr returns the lag-k autocorrelation estimates of xs for
+// k = 0..maxLag (biased, normalized by lag-0 autocovariance).
+func Autocorr(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	m := Mean(xs)
+	var c0 float64
+	for _, x := range xs {
+		d := x - m
+		c0 += d * d
+	}
+	out := make([]float64, maxLag+1)
+	if c0 == 0 {
+		out[0] = 1
+		return out
+	}
+	for k := 0; k <= maxLag; k++ {
+		var ck float64
+		for i := 0; i+k < n; i++ {
+			ck += (xs[i] - m) * (xs[i+k] - m)
+		}
+		out[k] = ck / c0
+	}
+	return out
+}
+
+// ESS estimates the effective sample size of a correlated chain using
+// Geyer's initial positive sequence estimator.
+func ESS(xs []float64) float64 {
+	n := len(xs)
+	if n < 4 {
+		return float64(n)
+	}
+	maxLag := n / 2
+	rho := Autocorr(xs, maxLag)
+	// Sum consecutive pairs while their sum stays positive.
+	var tau float64 = 1
+	for k := 1; k+1 <= maxLag; k += 2 {
+		pair := rho[k] + rho[k+1]
+		if pair <= 0 {
+			break
+		}
+		tau += 2 * pair
+	}
+	ess := float64(n) / tau
+	if ess > float64(n) {
+		return float64(n)
+	}
+	if ess < 1 {
+		return 1
+	}
+	return ess
+}
+
+// GelmanRubin returns the potential-scale-reduction statistic R-hat for a
+// set of chains of equal length. R-hat near 1 indicates convergence. It
+// returns NaN unless there are >= 2 chains of length >= 2.
+func GelmanRubin(chains [][]float64) float64 {
+	m := len(chains)
+	if m < 2 {
+		return math.NaN()
+	}
+	n := len(chains[0])
+	for _, c := range chains {
+		if len(c) != n {
+			panic("stats: GelmanRubin chains must have equal length")
+		}
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	for i, c := range chains {
+		means[i] = Mean(c)
+		vars[i] = Variance(c)
+	}
+	w := Mean(vars)                   // within-chain variance
+	b := float64(n) * Variance(means) // between-chain variance
+	vhat := (float64(n-1)/float64(n))*w + b/float64(n)
+	if w == 0 {
+		if b == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(vhat / w)
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+
+// Resampler produces bootstrap resample indices; it is satisfied by
+// *xrand.RNG.
+type Resampler interface {
+	Intn(n int) int
+}
+
+// BootstrapCI returns the (lo, hi) percentile bootstrap confidence interval
+// of statistic f over xs with B resamples at the given confidence level
+// (e.g. 0.95).
+func BootstrapCI(xs []float64, f func([]float64) float64, b int, level float64, r Resampler) (lo, hi float64) {
+	if len(xs) == 0 || b <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	if !(level > 0 && level < 1) {
+		panic(fmt.Sprintf("stats: bootstrap level %v outside (0,1)", level))
+	}
+	stats := make([]float64, b)
+	buf := make([]float64, len(xs))
+	for i := 0; i < b; i++ {
+		for j := range buf {
+			buf[j] = xs[r.Intn(len(xs))]
+		}
+		stats[i] = f(buf)
+	}
+	alpha := (1 - level) / 2
+	return Quantile(stats, alpha), Quantile(stats, 1-alpha)
+}
+
+// MeanAbsError returns mean(|est - truth|) over paired slices; it panics on
+// mismatched lengths.
+func MeanAbsError(est, truth []float64) float64 {
+	if len(est) != len(truth) {
+		panic("stats: MeanAbsError length mismatch")
+	}
+	if len(est) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range est {
+		sum += math.Abs(est[i] - truth[i])
+	}
+	return sum / float64(len(est))
+}
+
+// AbsErrors returns |est[i] - truth[i]| elementwise.
+func AbsErrors(est, truth []float64) []float64 {
+	if len(est) != len(truth) {
+		panic("stats: AbsErrors length mismatch")
+	}
+	out := make([]float64, len(est))
+	for i := range est {
+		out[i] = math.Abs(est[i] - truth[i])
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestEmptyAndSmall(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single element should be NaN")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3, 2},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.p); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	r := xrand.New(1)
+	if err := quick.Check(func(seed uint64) bool {
+		n := int(seed%30) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Norm()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0001; p += 0.05 {
+			pp := math.Min(p, 1)
+			q := Quantile(xs, pp)
+			if q < prev-1e-12 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Med != 3 || s.Mean != 3 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty summary should be NaN-filled: %+v", empty)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := xrand.New(9)
+	if err := quick.Check(func(seed uint64) bool {
+		n := int(seed%100) + 2
+		xs := make([]float64, n)
+		var o Online
+		for i := range xs {
+			xs[i] = r.Norm()*3 + 1
+			o.Add(xs[i])
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return almostEq(o.Mean(), Mean(xs), 1e-9) &&
+			almostEq(o.Var(), Variance(xs), 1e-9) &&
+			o.Min() == sorted[0] && o.Max() == sorted[n-1] && o.N() == n
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	r := xrand.New(10)
+	xs := make([]float64, 500)
+	var a, b, whole Online
+	for i := range xs {
+		xs[i] = r.Exp(1.5)
+		whole.Add(xs[i])
+		if i < 200 {
+			a.Add(xs[i])
+		} else {
+			b.Add(xs[i])
+		}
+	}
+	a.Merge(&b)
+	if !almostEq(a.Mean(), whole.Mean(), 1e-9) || !almostEq(a.Var(), whole.Var(), 1e-9) {
+		t.Fatalf("merged (%v,%v) != whole (%v,%v)", a.Mean(), a.Var(), whole.Mean(), whole.Var())
+	}
+	if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged extremes mismatch")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d count %d, want 1", i, c)
+		}
+	}
+	if h.Under != 1 || h.Over != 1 || h.Total() != 12 {
+		t.Errorf("under=%d over=%d total=%d", h.Under, h.Over, h.Total())
+	}
+	dens := h.Density()
+	var mass float64
+	for _, d := range dens {
+		mass += d * 1.0 // bin width 1
+	}
+	if !almostEq(mass, 10.0/12.0, 1e-12) {
+		t.Errorf("in-range mass %v, want %v", mass, 10.0/12.0)
+	}
+}
+
+func TestHistogramBoundary(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0)                    // first bin
+	h.Add(math.Nextafter(1, 0)) // last bin
+	h.Add(1)                    // over
+	if h.Counts[0] != 1 || h.Counts[3] != 1 || h.Over != 1 {
+		t.Fatalf("boundary handling wrong: %+v", h)
+	}
+}
+
+func TestAutocorrWhiteNoise(t *testing.T) {
+	r := xrand.New(21)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	rho := Autocorr(xs, 5)
+	if !almostEq(rho[0], 1, 1e-12) {
+		t.Fatalf("rho[0] = %v, want 1", rho[0])
+	}
+	for k := 1; k <= 5; k++ {
+		if math.Abs(rho[k]) > 0.03 {
+			t.Errorf("white noise rho[%d] = %v, want ~0", k, rho[k])
+		}
+	}
+}
+
+func TestAutocorrAR1(t *testing.T) {
+	// AR(1) with coefficient phi has rho[k] ~ phi^k.
+	r := xrand.New(22)
+	phi := 0.8
+	xs := make([]float64, 50000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = phi*xs[i-1] + r.Norm()
+	}
+	rho := Autocorr(xs, 3)
+	for k := 1; k <= 3; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(rho[k]-want) > 0.05 {
+			t.Errorf("AR1 rho[%d] = %v, want ~%v", k, rho[k], want)
+		}
+	}
+}
+
+func TestESSIndependent(t *testing.T) {
+	r := xrand.New(23)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	ess := ESS(xs)
+	if ess < 3000 {
+		t.Fatalf("ESS of iid chain = %v, want close to %d", ess, len(xs))
+	}
+}
+
+func TestESSCorrelated(t *testing.T) {
+	r := xrand.New(24)
+	phi := 0.95
+	xs := make([]float64, 5000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = phi*xs[i-1] + r.Norm()
+	}
+	ess := ESS(xs)
+	// Theoretical ESS factor for AR(1): (1-phi)/(1+phi) ~ 0.0256 → ~128.
+	if ess > 1000 {
+		t.Fatalf("ESS of sticky chain = %v, want far below n", ess)
+	}
+}
+
+func TestGelmanRubinConverged(t *testing.T) {
+	r := xrand.New(25)
+	chains := make([][]float64, 4)
+	for c := range chains {
+		chains[c] = make([]float64, 2000)
+		for i := range chains[c] {
+			chains[c][i] = r.Norm()
+		}
+	}
+	rhat := GelmanRubin(chains)
+	if math.Abs(rhat-1) > 0.02 {
+		t.Fatalf("R-hat for identical-target chains = %v, want ~1", rhat)
+	}
+}
+
+func TestGelmanRubinDiverged(t *testing.T) {
+	r := xrand.New(26)
+	chains := make([][]float64, 3)
+	for c := range chains {
+		chains[c] = make([]float64, 500)
+		for i := range chains[c] {
+			chains[c][i] = r.Norm() + float64(c)*10
+		}
+	}
+	if rhat := GelmanRubin(chains); rhat < 1.5 {
+		t.Fatalf("R-hat for separated chains = %v, want >> 1", rhat)
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	r := xrand.New(27)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = r.Exp(2) // true mean 0.5
+	}
+	lo, hi := BootstrapCI(xs, Mean, 500, 0.95, r)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Fatalf("95%% CI (%v,%v) misses truth 0.5 (flaky only with prob <5%%)", lo, hi)
+	}
+	if hi-lo > 0.3 {
+		t.Fatalf("CI (%v,%v) implausibly wide", lo, hi)
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	got := MeanAbsError([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if !almostEq(got, 1, 1e-12) {
+		t.Fatalf("MeanAbsError = %v, want 1", got)
+	}
+	errs := AbsErrors([]float64{1, 5}, []float64{4, 4})
+	if errs[0] != 3 || errs[1] != 1 {
+		t.Fatalf("AbsErrors = %v", errs)
+	}
+}
+
+func TestGelmanRubinPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged chains")
+		}
+	}()
+	GelmanRubin([][]float64{{1, 2, 3}, {1, 2}})
+}
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	r := xrand.New(61)
+	if err := quick.Check(func(seed uint64) bool {
+		n := int(seed%40) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Exp(1)
+		}
+		ps := []float64{0, 0.25, 0.5, 0.9, 1}
+		got := Quantiles(xs, ps...)
+		for i, p := range ps {
+			if math.Abs(got[i]-Quantile(xs, p)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutocorrEdgeCases(t *testing.T) {
+	// Constant series: rho[0] = 1, no NaN.
+	rho := Autocorr([]float64{2, 2, 2, 2}, 2)
+	if rho[0] != 1 {
+		t.Fatalf("constant series rho[0] = %v", rho[0])
+	}
+	if got := Autocorr(nil, 3); got != nil {
+		t.Fatalf("empty series should return nil, got %v", got)
+	}
+	// maxLag beyond length clamps.
+	rho = Autocorr([]float64{1, 2, 3}, 99)
+	if len(rho) != 3 {
+		t.Fatalf("clamped autocorr length %d", len(rho))
+	}
+}
+
+func TestESSTinyChains(t *testing.T) {
+	if got := ESS([]float64{1, 2}); got != 2 {
+		t.Fatalf("ESS of length-2 chain = %v, want 2", got)
+	}
+	if got := ESS(nil); got != 0 {
+		t.Fatalf("ESS(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file provides read-only analysis utilities over event sets: queue
+// utilization, busy periods, and time-windowed summaries. They operate on
+// both ground-truth traces and posterior imputations (which is how the
+// diagnosis examples and the online estimator use them).
+
+// Span returns the time range covered by the events at queue q: the first
+// arrival and the last departure. It returns (0, 0) for an empty queue.
+func (s *EventSet) Span(q int) (first, last float64) {
+	ids := s.ByQueue[q]
+	if len(ids) == 0 {
+		return 0, 0
+	}
+	first = s.Events[ids[0]].Arrival
+	for _, id := range ids {
+		if d := s.Events[id].Depart; d > last {
+			last = d
+		}
+	}
+	return first, last
+}
+
+// Utilization returns the fraction of the queue's active span during which
+// its server was busy: Σ s_e / (last departure − first arrival). It
+// returns NaN for queues with fewer than one event or a zero span.
+func (s *EventSet) Utilization(q int) float64 {
+	first, last := s.Span(q)
+	if last <= first {
+		return math.NaN()
+	}
+	var busy float64
+	for _, id := range s.ByQueue[q] {
+		busy += s.ServiceTime(id)
+	}
+	return busy / (last - first)
+}
+
+// BusyPeriod is a maximal interval during which a queue's server is
+// continuously busy.
+type BusyPeriod struct {
+	Start, End float64
+	Events     int
+}
+
+// BusyPeriods returns the busy periods of queue q in time order. Because
+// the FIFO identity makes service start max(a_e, d_ρ(e)), a busy period
+// ends exactly when the next event's arrival exceeds the current
+// departure.
+func (s *EventSet) BusyPeriods(q int) []BusyPeriod {
+	ids := s.ByQueue[q]
+	if len(ids) == 0 {
+		return nil
+	}
+	var out []BusyPeriod
+	cur := BusyPeriod{Start: s.Events[ids[0]].Arrival, End: s.Events[ids[0]].Depart, Events: 1}
+	for _, id := range ids[1:] {
+		e := &s.Events[id]
+		if e.Arrival > cur.End {
+			out = append(out, cur)
+			cur = BusyPeriod{Start: e.Arrival, End: e.Depart, Events: 1}
+			continue
+		}
+		cur.End = e.Depart
+		cur.Events++
+	}
+	return append(out, cur)
+}
+
+// WindowStats summarizes one queue over one time window.
+type WindowStats struct {
+	Queue       int
+	Lo, Hi      float64
+	Events      int
+	MeanService float64
+	MeanWait    float64
+}
+
+// WindowedStats partitions [lo, hi) into n equal windows and summarizes
+// each queue's events by their arrival time. This is the basis of the
+// retrospective "what happened during the spike?" diagnosis.
+func (s *EventSet) WindowedStats(lo, hi float64, n int) ([][]WindowStats, error) {
+	if !(lo < hi) || n <= 0 {
+		return nil, fmt.Errorf("trace: invalid windows [%v,%v) x %d", lo, hi, n)
+	}
+	out := make([][]WindowStats, s.NumQueues)
+	width := (hi - lo) / float64(n)
+	for q := range out {
+		out[q] = make([]WindowStats, n)
+		for w := range out[q] {
+			out[q][w] = WindowStats{Queue: q, Lo: lo + float64(w)*width, Hi: lo + float64(w+1)*width}
+		}
+		for _, id := range s.ByQueue[q] {
+			a := s.Events[id].Arrival
+			if a < lo || a >= hi {
+				continue
+			}
+			w := int((a - lo) / width)
+			if w >= n {
+				w = n - 1
+			}
+			ws := &out[q][w]
+			ws.Events++
+			ws.MeanService += s.ServiceTime(id)
+			ws.MeanWait += s.WaitTime(id)
+		}
+		for w := range out[q] {
+			if c := out[q][w].Events; c > 0 {
+				out[q][w].MeanService /= float64(c)
+				out[q][w].MeanWait /= float64(c)
+			} else {
+				out[q][w].MeanService = math.NaN()
+				out[q][w].MeanWait = math.NaN()
+			}
+		}
+	}
+	return out, nil
+}
+
+// SlowestTasks returns the ids of the k tasks with the largest end-to-end
+// response times, worst first.
+func (s *EventSet) SlowestTasks(k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > s.NumTasks {
+		k = s.NumTasks
+	}
+	ids := make([]int, s.NumTasks)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ra := s.TaskExit(ids[a]) - s.TaskEntry(ids[a])
+		rb := s.TaskExit(ids[b]) - s.TaskEntry(ids[b])
+		return ra > rb
+	})
+	return ids[:k]
+}
+
+// TaskTimeByQueue decomposes the given tasks' total time in system into
+// per-queue shares (waiting plus service at each queue, excluding q0).
+// The returned slice sums to 1 over service queues when total time is
+// positive.
+func (s *EventSet) TaskTimeByQueue(tasks []int) []float64 {
+	shares := make([]float64, s.NumQueues)
+	var total float64
+	for _, k := range tasks {
+		for _, id := range s.ByTask[k] {
+			if s.Events[id].Queue == 0 {
+				continue
+			}
+			dt := s.ResponseTime(id)
+			shares[s.Events[id].Queue] += dt
+			total += dt
+		}
+	}
+	if total > 0 {
+		for q := range shares {
+			shares[q] /= total
+		}
+	}
+	return shares
+}

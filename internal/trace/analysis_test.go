@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// buildBusy constructs a queue-1 trace with two busy periods:
+//
+//	task0: a=1 d=2 (busy 1-2), task1: a=1.5 d=3 (extends to 3),
+//	task2: a=5 d=6 (new period).
+func buildBusy(t *testing.T) *EventSet {
+	t.Helper()
+	b := NewBuilder(2)
+	t0 := b.StartTask(1.0)
+	t1 := b.StartTask(1.5)
+	t2 := b.StartTask(5.0)
+	mustAdd(t, b, t0, 1, 1.0, 2.0)
+	mustAdd(t, b, t1, 1, 1.5, 3.0)
+	mustAdd(t, b, t2, 1, 5.0, 6.0)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustAdd(t *testing.T, b *Builder, task, q int, a, d float64) {
+	t.Helper()
+	if _, err := b.AddEvent(task, 0, q, a, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanAndUtilization(t *testing.T) {
+	s := buildBusy(t)
+	first, last := s.Span(1)
+	if first != 1.0 || last != 6.0 {
+		t.Fatalf("span (%v,%v), want (1,6)", first, last)
+	}
+	// Services: 1.0 (t0), 1.0 (t1, starts at 2 after wait), 1.0 (t2).
+	// Utilization = 3/5.
+	if got := s.Utilization(1); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("utilization %v, want 0.6", got)
+	}
+}
+
+func TestBusyPeriods(t *testing.T) {
+	s := buildBusy(t)
+	bp := s.BusyPeriods(1)
+	if len(bp) != 2 {
+		t.Fatalf("got %d busy periods, want 2: %+v", len(bp), bp)
+	}
+	if bp[0].Start != 1.0 || bp[0].End != 3.0 || bp[0].Events != 2 {
+		t.Errorf("first busy period %+v", bp[0])
+	}
+	if bp[1].Start != 5.0 || bp[1].End != 6.0 || bp[1].Events != 1 {
+		t.Errorf("second busy period %+v", bp[1])
+	}
+	// Busy time from periods equals Σ services here (no idle inside).
+	var busy float64
+	for _, p := range bp {
+		busy += p.End - p.Start
+	}
+	if math.Abs(busy-3.0) > 1e-12 {
+		t.Errorf("busy time %v, want 3", busy)
+	}
+}
+
+func TestWindowedStats(t *testing.T) {
+	s := buildBusy(t)
+	ws, err := s.WindowedStats(0, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows of width 2: [0,2): tasks arriving at 1.0, 1.5 → 2 events.
+	w0 := ws[1][0]
+	if w0.Events != 2 {
+		t.Fatalf("window 0 events %d, want 2", w0.Events)
+	}
+	// Mean wait in window 0: t0 waits 0, t1 waits 0.5 → 0.25.
+	if math.Abs(w0.MeanWait-0.25) > 1e-12 {
+		t.Fatalf("window 0 mean wait %v, want 0.25", w0.MeanWait)
+	}
+	// Window [4,6): task at 5 → 1 event, no wait.
+	w2 := ws[1][2]
+	if w2.Events != 1 || w2.MeanWait != 0 {
+		t.Fatalf("window 2 %+v", w2)
+	}
+	// Empty window → NaN means.
+	if !math.IsNaN(ws[1][3].MeanService) {
+		t.Fatalf("empty window mean should be NaN")
+	}
+	if _, err := s.WindowedStats(5, 5, 3); err == nil {
+		t.Fatal("degenerate window range should fail")
+	}
+	if _, err := s.WindowedStats(0, 1, 0); err == nil {
+		t.Fatal("zero windows should fail")
+	}
+}
+
+func TestSlowestTasksAndShares(t *testing.T) {
+	s := buildBusy(t)
+	// Responses: t0: 2-1=1, t1: 3-1.5=1.5, t2: 6-5=1.
+	slow := s.SlowestTasks(1)
+	if len(slow) != 1 || slow[0] != 1 {
+		t.Fatalf("slowest task %v, want [1]", slow)
+	}
+	all := s.SlowestTasks(99)
+	if len(all) != 3 {
+		t.Fatalf("clamped slowest count %d, want 3", len(all))
+	}
+	if s.SlowestTasks(0) != nil {
+		t.Fatal("zero k should return nil")
+	}
+	shares := s.TaskTimeByQueue([]int{0, 1, 2})
+	if math.Abs(shares[1]-1.0) > 1e-12 {
+		t.Fatalf("all time is at queue 1, got share %v", shares[1])
+	}
+}
+
+func TestUtilizationEmptyQueue(t *testing.T) {
+	b := NewBuilder(3)
+	t0 := b.StartTask(1)
+	mustAdd(t, b, t0, 1, 1, 2)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.Utilization(2)) {
+		t.Fatal("empty queue utilization should be NaN")
+	}
+	if bp := s.BusyPeriods(2); bp != nil {
+		t.Fatal("empty queue should have no busy periods")
+	}
+}
+
+func TestTimeShift(t *testing.T) {
+	s := buildBusy(t)
+	before := s.Clone()
+	if err := s.TimeShift(-0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Events {
+		e, o := &s.Events[i], &before.Events[i]
+		if e.Initial() {
+			if e.Arrival != 0 || e.Depart != o.Depart-0.5 {
+				t.Fatalf("initial event %d shifted wrong: %+v", i, e)
+			}
+			continue
+		}
+		if e.Arrival != o.Arrival-0.5 || e.Depart != o.Depart-0.5 {
+			t.Fatalf("event %d shifted wrong: %+v", i, e)
+		}
+		// Services are shift-invariant.
+		if math.Abs(s.ServiceTime(i)-before.ServiceTime(i)) > 1e-12 {
+			t.Fatalf("service time changed under shift")
+		}
+	}
+	if err := s.TimeShift(-100); err == nil {
+		t.Fatal("shift below zero should fail")
+	}
+}

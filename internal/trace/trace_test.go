@@ -1,0 +1,329 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// buildTandem constructs a tiny hand-checked trace: 2 tasks through a
+// single queue (queue 1), with known times.
+//
+// Task 0: enters at 1.0, service 2.0 → departs 3.0.
+// Task 1: enters at 2.0, waits until 3.0, service 1.0 → departs 4.0.
+func buildTandem(t *testing.T) *EventSet {
+	t.Helper()
+	b := NewBuilder(2)
+	t0 := b.StartTask(1.0)
+	t1 := b.StartTask(2.0)
+	if _, err := b.AddEvent(t0, 0, 1, 1.0, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddEvent(t1, 0, 1, 2.0, 4.0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuilderLinks(t *testing.T) {
+	s := buildTandem(t)
+	if len(s.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(s.Events))
+	}
+	// Events: 0 = task0 q0, 1 = task1 q0, 2 = task0 queue1, 3 = task1 queue1.
+	e2, e3 := s.Events[2], s.Events[3]
+	if e2.PrevQ != None || e2.NextQ != 3 {
+		t.Errorf("event 2 queue links: prev=%d next=%d", e2.PrevQ, e2.NextQ)
+	}
+	if e3.PrevQ != 2 || e3.NextQ != None {
+		t.Errorf("event 3 queue links: prev=%d next=%d", e3.PrevQ, e3.NextQ)
+	}
+	if e2.PrevT != 0 || e3.PrevT != 1 {
+		t.Errorf("task links wrong: %d %d", e2.PrevT, e3.PrevT)
+	}
+	// q0 links: task0's initial event arrived "before" task1's (tie at 0,
+	// broken by id).
+	if s.Events[0].NextQ != 1 || s.Events[1].PrevQ != 0 {
+		t.Errorf("q0 links wrong")
+	}
+}
+
+func TestServiceAndWait(t *testing.T) {
+	s := buildTandem(t)
+	if got := s.ServiceTime(2); got != 2.0 {
+		t.Errorf("task0 service %v, want 2", got)
+	}
+	if got := s.WaitTime(2); got != 0 {
+		t.Errorf("task0 wait %v, want 0", got)
+	}
+	if got := s.ServiceTime(3); got != 1.0 {
+		t.Errorf("task1 service %v, want 1", got)
+	}
+	if got := s.WaitTime(3); got != 1.0 {
+		t.Errorf("task1 wait %v, want 1", got)
+	}
+	// q0 service times are interarrival gaps: first task entry 1.0 (gap 1),
+	// second departs 2.0 after first's 1.0 → service 1.0.
+	if got := s.ServiceTime(0); got != 1.0 {
+		t.Errorf("q0 first service %v, want 1", got)
+	}
+	if got := s.ServiceTime(1); got != 1.0 {
+		t.Errorf("q0 second service %v, want 1", got)
+	}
+	if got := s.ResponseTime(3); got != 2.0 {
+		t.Errorf("task1 response %v, want 2", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*EventSet)
+	}{
+		{"negative service", func(s *EventSet) { s.Events[2].Depart = 0.5 }},
+		{"arrival != prev depart", func(s *EventSet) { s.Events[2].Arrival = 1.5 }},
+		{"initial not at zero", func(s *EventSet) { s.Events[0].Arrival = 0.5 }},
+		{"queue order broken", func(s *EventSet) {
+			// Swap the two queue-1 events' arrival ordering without
+			// relinking: event 2 now arrives after event 3.
+			s.Events[2].Arrival = 5
+			s.Events[0].Depart = 5
+			s.Events[2].Depart = 6
+		}},
+		{"broken mirror", func(s *EventSet) { s.Events[3].PrevQ = None }},
+		{"nan time", func(s *EventSet) { s.Events[2].Depart = math.NaN() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := buildTandem(t)
+			tc.corrupt(s)
+			if err := s.Validate(1e-9); err == nil {
+				t.Fatal("expected validation failure")
+			}
+		})
+	}
+}
+
+func TestSetArrivalKeepsInvariant(t *testing.T) {
+	s := buildTandem(t)
+	s.SetArrival(2, 1.2)
+	if s.Events[0].Depart != 1.2 {
+		t.Fatalf("predecessor departure not updated")
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatalf("still valid set got: %v", err)
+	}
+}
+
+func TestMeansAndCounts(t *testing.T) {
+	s := buildTandem(t)
+	ms := s.MeanServiceByQueue()
+	if ms[0] != 1.0 || ms[1] != 1.5 {
+		t.Errorf("mean services %v", ms)
+	}
+	mw := s.MeanWaitByQueue()
+	if mw[1] != 0.5 {
+		t.Errorf("mean wait at queue 1 = %v, want 0.5", mw[1])
+	}
+	counts := s.CountByQueue()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("counts %v", counts)
+	}
+}
+
+func TestTaskEntryExit(t *testing.T) {
+	s := buildTandem(t)
+	if s.TaskEntry(0) != 1.0 || s.TaskEntry(1) != 2.0 {
+		t.Errorf("entries %v %v", s.TaskEntry(0), s.TaskEntry(1))
+	}
+	if s.TaskExit(0) != 3.0 || s.TaskExit(1) != 4.0 {
+		t.Errorf("exits %v %v", s.TaskExit(0), s.TaskExit(1))
+	}
+}
+
+func TestObserveTasks(t *testing.T) {
+	s := buildTandem(t)
+	r := xrand.New(1)
+	ids := s.ObserveTasks(r, 0.5)
+	if len(ids) != 1 {
+		t.Fatalf("observed %d tasks, want 1", len(ids))
+	}
+	obsTask := ids[0]
+	for i := range s.Events {
+		e := &s.Events[i]
+		wantArr := e.Task == obsTask || e.Initial()
+		if e.ObsArrival != wantArr {
+			t.Errorf("event %d ObsArrival = %v, want %v", i, e.ObsArrival, wantArr)
+		}
+	}
+	if s.NumObservedArrivals() != 1 {
+		t.Errorf("NumObservedArrivals = %d, want 1 (q0 events excluded)", s.NumObservedArrivals())
+	}
+}
+
+func TestObserveFractions(t *testing.T) {
+	// Build 100 single-event tasks and check fraction rounding.
+	b := NewBuilder(2)
+	tm := 0.0
+	for k := 0; k < 100; k++ {
+		tm += 1.0
+		id := b.StartTask(tm)
+		if _, err := b.AddEvent(id, 0, 1, tm, tm+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	ids := s.ObserveTasks(r, 0.25)
+	if len(ids) != 25 {
+		t.Fatalf("observed %d tasks, want 25", len(ids))
+	}
+	// All observed → everything pinned.
+	s.ObserveTaskIDs(allInts(100))
+	if got := s.NumObservedArrivals(); got != 100 {
+		t.Fatalf("full observation has %d observed arrivals, want 100", got)
+	}
+	// Zero fraction.
+	ids = s.ObserveTasks(r, 0)
+	if len(ids) != 0 || s.NumObservedArrivals() != 0 {
+		t.Fatal("zero-fraction observation should clear everything")
+	}
+}
+
+func allInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestObserveEvents(t *testing.T) {
+	b := NewBuilder(2)
+	tm := 0.0
+	for k := 0; k < 200; k++ {
+		tm += 1.0
+		id := b.StartTask(tm)
+		if _, err := b.AddEvent(id, 0, 1, tm, tm+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(5)
+	n := s.ObserveEvents(r, 0.3)
+	if n < 30 || n > 90 {
+		t.Fatalf("event-level observation count %d far from expectation 60", n)
+	}
+	if n != s.NumObservedArrivals() {
+		t.Fatalf("returned count %d != recount %d", n, s.NumObservedArrivals())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := buildTandem(t)
+	c := s.Clone()
+	c.SetArrival(2, 1.7)
+	if s.Events[2].Arrival == 1.7 || s.Events[0].Depart == 1.7 {
+		t.Fatal("clone shares storage with original")
+	}
+	if err := s.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if _, err := b.AddEvent(99, 0, 1, 0, 1); err == nil {
+		t.Error("AddEvent for unknown task should fail")
+	}
+	id := b.StartTask(1.0)
+	if _, err := b.AddEvent(id, 0, 0, 1.0, 2.0); err == nil {
+		t.Error("AddEvent to q0 should fail")
+	}
+	if _, err := b.AddEvent(id, 0, 5, 1.0, 2.0); err == nil {
+		t.Error("AddEvent to out-of-range queue should fail")
+	}
+	if _, err := b.AddEvent(id, 0, 1, 1.5, 2.0); err == nil {
+		t.Error("AddEvent with mismatched arrival should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := buildTandem(t)
+	r := xrand.New(2)
+	s.ObserveTasks(r, 0.5)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Events) != len(s.Events) || s2.NumQueues != s.NumQueues || s2.NumTasks != s.NumTasks {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for i := range s.Events {
+		a, b := s.Events[i], s2.Events[i]
+		if a.Task != b.Task || a.Queue != b.Queue || a.Arrival != b.Arrival ||
+			a.Depart != b.Depart || a.ObsArrival != b.ObsArrival || a.ObsDepart != b.ObsDepart {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if err := s2.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Event before its initial event.
+	bad := `{"num_queues":2,"num_tasks":1,"events":[{"task":0,"state":0,"queue":1,"arrival":1,"depart":2}]}`
+	if _, err := ReadJSON(bytes.NewBufferString(bad)); err == nil {
+		t.Error("orphan event should fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := buildTandem(t)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte("\n"))
+	if lines != 5 { // header + 4 events
+		t.Fatalf("CSV has %d lines, want 5", lines)
+	}
+}
+
+func TestObserveTasksArrivalsOnly(t *testing.T) {
+	s := buildTandem(t)
+	r := xrand.New(4)
+	ids := s.ObserveTasksArrivalsOnly(r, 1.0)
+	if len(ids) != 2 {
+		t.Fatalf("observed %d tasks, want 2", len(ids))
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		if !e.ObsArrival {
+			t.Fatalf("event %d arrival should be observed", i)
+		}
+		if e.Final() && e.ObsDepart {
+			t.Fatalf("event %d final departure should stay latent", i)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package webapp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDefaultConfigShape(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.EndRate(); got <= cfg.StartRate {
+		t.Fatalf("end rate %v not above start rate", got)
+	}
+	if u := PeakUtilization(cfg); u >= 1 {
+		t.Fatalf("default config peak utilization %v >= 1 (unstable)", u)
+	}
+}
+
+func TestBuildTopology(t *testing.T) {
+	cfg := DefaultConfig()
+	net, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q0 + network + 10 web + db = 13 queues.
+	if got := net.NumQueues(); got != 13 {
+		t.Fatalf("queues %d, want 13", got)
+	}
+	names := net.QueueNames()
+	if names[NetworkQueue] != "network" || names[WebQueue(0)] != "web0" || names[cfg.DBQueue()] != "db" {
+		t.Fatalf("names %v", names)
+	}
+	if cfg.QueueLabel(NetworkQueue) != "network" || cfg.QueueLabel(cfg.DBQueue()) != "db" ||
+		cfg.QueueLabel(WebQueue(3)) != "web3" || cfg.QueueLabel(0) != "q0" {
+		t.Fatal("QueueLabel mismatch")
+	}
+}
+
+func TestGenerateTraceMatchesPaperCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	es, _, err := GenerateTrace(cfg, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 5759 requests yield 23036 arrival events in the model.
+	if got := len(es.Events); got != 23036 {
+		t.Fatalf("events %d, want 23036", got)
+	}
+	if es.NumTasks != 5759 {
+		t.Fatalf("tasks %d, want 5759", es.NumTasks)
+	}
+	if err := es.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarvedServerGetsFewRequests(t *testing.T) {
+	cfg := DefaultConfig()
+	es, _, err := GenerateTrace(cfg, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := RequestsPerWeb(cfg, es)
+	starved := counts[cfg.StarvedServer]
+	// Expected ≈ 19; allow Poisson-ish slack.
+	if starved < 5 || starved > 45 {
+		t.Fatalf("starved server handled %d requests, want ≈19", starved)
+	}
+	for i, c := range counts {
+		if i == cfg.StarvedServer {
+			continue
+		}
+		if c < 400 {
+			t.Fatalf("healthy server %d handled only %d requests", i, c)
+		}
+	}
+}
+
+func TestRampIncreasesLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 2000
+	cfg.Duration = 2500
+	es, _, err := GenerateTrace(cfg, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean response in the first tenth of tasks vs the last tenth: waiting
+	// grows with load, so later requests should be slower on average.
+	firstEntry := es.TaskEntry(0)
+	lastEntry := es.TaskEntry(es.NumTasks - 1)
+	span := lastEntry - firstEntry
+	early := MeanResponseOverWindow(es, firstEntry, firstEntry+span/4)
+	late := MeanResponseOverWindow(es, lastEntry-span/4, lastEntry+1)
+	if math.IsNaN(early) || math.IsNaN(late) {
+		t.Fatal("windows empty")
+	}
+	if late <= early {
+		t.Fatalf("response did not grow with ramped load: early %v late %v", early, late)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	for name, mutate := range map[string]func(*Config){
+		"zero web servers": func(c *Config) { c.WebServers = 0 },
+		"zero requests":    func(c *Config) { c.Requests = 0 },
+		"zero duration":    func(c *Config) { c.Duration = 0 },
+		"bad network mean": func(c *Config) { c.NetworkMean = 0 },
+		"starved range":    func(c *Config) { c.StarvedServer = 99 },
+		"starved share":    func(c *Config) { c.StarvedShare = 0.5 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			mutate(&cfg)
+			if _, err := Build(cfg); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+	// Anomaly disabled is valid.
+	cfg := base
+	cfg.StarvedServer = -1
+	if _, err := Build(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanResponseWindowEmpty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 100
+	cfg.Duration = 150
+	es, _, err := GenerateTrace(cfg, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(MeanResponseOverWindow(es, -10, -5)) {
+		t.Fatal("empty window should be NaN")
+	}
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func checkIncreasing(t *testing.T, xs []float64) {
+	t.Helper()
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("entries not strictly increasing at %d: %v <= %v", i, xs[i], xs[i-1])
+		}
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	g := NewPoisson(4)
+	r := xrand.New(1)
+	entries := g.Entries(r, 40000)
+	checkIncreasing(t, entries)
+	// Mean gap should be 1/4.
+	gap := entries[len(entries)-1] / float64(len(entries))
+	if math.Abs(gap-0.25) > 0.005 {
+		t.Fatalf("mean gap %v, want 0.25", gap)
+	}
+}
+
+func TestPoissonGapCV(t *testing.T) {
+	// Exponential gaps have coefficient of variation 1.
+	g := NewPoisson(2)
+	r := xrand.New(2)
+	entries := g.Entries(r, 50000)
+	var sum, sumsq float64
+	prev := 0.0
+	for _, e := range entries {
+		gap := e - prev
+		prev = e
+		sum += gap
+		sumsq += gap * gap
+	}
+	n := float64(len(entries))
+	mean := sum / n
+	cv2 := (sumsq/n - mean*mean) / (mean * mean)
+	if math.Abs(cv2-1) > 0.05 {
+		t.Fatalf("gap CV² = %v, want 1", cv2)
+	}
+}
+
+func TestLinearRampAccelerates(t *testing.T) {
+	g := LinearRamp(1, 10, 100)
+	r := xrand.New(3)
+	entries := g.Entries(r, 2000)
+	checkIncreasing(t, entries)
+	// Count arrivals in [0,20) vs [80,100): intensity ratio should be about
+	// (1+3)/2 : (8.2+10)/2 ≈ 2 : 9.1.
+	early, late := 0, 0
+	for _, e := range entries {
+		if e < 20 {
+			early++
+		} else if e >= 80 && e < 100 {
+			late++
+		}
+	}
+	if late < 3*early {
+		t.Fatalf("ramp intensity wrong: early %d late %d", early, late)
+	}
+}
+
+func TestLinearRampHoldsAfterDuration(t *testing.T) {
+	g := LinearRamp(1, 5, 10)
+	if got := g.Rate(20); got != 5 {
+		t.Fatalf("rate after ramp %v, want 5", got)
+	}
+	if got := g.Rate(5); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("mid-ramp rate %v, want 3", got)
+	}
+}
+
+func TestSpikeWindow(t *testing.T) {
+	g := Spike(2, 5, 10, 3)
+	if got := g.Rate(9.99); got != 2 {
+		t.Fatalf("pre-spike rate %v", got)
+	}
+	if got := g.Rate(10); got != 10 {
+		t.Fatalf("spike rate %v, want 10", got)
+	}
+	if got := g.Rate(13); got != 2 {
+		t.Fatalf("post-spike rate %v", got)
+	}
+	r := xrand.New(4)
+	entries := g.Entries(r, 2000)
+	checkIncreasing(t, entries)
+	inSpike := 0
+	for _, e := range entries {
+		if e >= 10 && e < 13 {
+			inSpike++
+		}
+	}
+	// Expect about 30 arrivals in 3s at rate 10.
+	if inSpike < 15 || inSpike > 50 {
+		t.Fatalf("spike arrivals %d, want ~30", inSpike)
+	}
+}
+
+func TestSinusoidBounds(t *testing.T) {
+	g := Sinusoid(5, 3, 10)
+	for _, tt := range []float64{0, 2.5, 5, 7.5, 110} {
+		rate := g.Rate(tt)
+		if rate < 2-1e-9 || rate > 8+1e-9 {
+			t.Fatalf("sinusoid rate %v at t=%v outside [2,8]", rate, tt)
+		}
+	}
+	r := xrand.New(5)
+	entries := g.Entries(r, 3000)
+	checkIncreasing(t, entries)
+}
+
+func TestThinningPreservesMeanRate(t *testing.T) {
+	// A "ramp" with equal start and end rate is homogeneous Poisson.
+	g := LinearRamp(3, 3, 10)
+	r := xrand.New(6)
+	entries := g.Entries(r, 30000)
+	gap := entries[len(entries)-1] / float64(len(entries))
+	if math.Abs(gap-1.0/3) > 0.01 {
+		t.Fatalf("thinned homogeneous mean gap %v, want 1/3", gap)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"poisson zero":       func() { NewPoisson(0) },
+		"ramp zero duration": func() { LinearRamp(1, 2, 0) },
+		"ramp zero end":      func() { LinearRamp(1, 0, 5) },
+		"spike factor<1":     func() { Spike(1, 0.5, 0, 1) },
+		"sinusoid amp>=mean": func() { Sinusoid(2, 2, 5) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, g := range []Generator{
+		NewPoisson(1), LinearRamp(1, 2, 3), Spike(1, 2, 3, 4), Sinusoid(5, 1, 2),
+	} {
+		if g.String() == "" {
+			t.Errorf("%T has empty String()", g)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package queueinf is the public API of this repository: probabilistic
+// inference in queueing networks, reproducing Sutton & Jordan's
+// "Probabilistic Inference in Queueing Networks" (2008).
+//
+// The package treats a network of M/M/1 FIFO queues as a latent-variable
+// probabilistic model. Given a trace in which only a subset of arrival and
+// departure times were measured (but per-queue arrival order is known), it
+//
+//   - samples the posterior over the unobserved times with a Gibbs sampler,
+//   - estimates the arrival rate λ and per-queue service rates µ_q with
+//     stochastic EM, and
+//   - reports per-queue mean service and waiting times, which localize
+//     performance problems: a queue with a disproportionate waiting time is
+//     load-bound; one with a large service time is intrinsically slow.
+//
+// # Quick start
+//
+//	rng := queueinf.NewRNG(1)
+//	net, _ := queueinf.ThreeTier(10, 5, [3]int{1, 2, 4})
+//	truth, _ := queueinf.Simulate(net, rng, 1000)
+//	working := truth.Clone()
+//	working.ObserveTasks(rng, 0.10) // keep 10% of tasks' arrivals
+//	em, post, _ := queueinf.Estimate(working, rng,
+//	    queueinf.EMOptions{}, queueinf.PosteriorOptions{})
+//	fmt.Println(em.Params.MeanServiceTimes(), post.MeanWait)
+//
+// The deeper layers are exposed as type aliases so that applications can
+// compose them directly: the generative model (Network, EventSet), the
+// simulator, the sampler (Gibbs), the estimators (StEM, MCEM, Posterior)
+// and the experiment harness used to regenerate the paper's figures lives
+// under cmd/qexperiments.
+package queueinf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Re-exported core types. See the respective internal packages for full
+// documentation; the aliases make them part of the public API surface.
+type (
+	// RNG is the deterministic random-number generator all APIs consume.
+	RNG = xrand.RNG
+	// Dist is a service-time (or interarrival) distribution.
+	Dist = dist.Dist
+	// Network is a queueing-network topology.
+	Network = qnet.Network
+	// Queue is one station of a network.
+	Queue = qnet.Queue
+	// TierSpec describes one tier of a multi-tier network.
+	TierSpec = qnet.TierSpec
+	// EventSet is a linked trace of task events.
+	EventSet = trace.EventSet
+	// Event is one arrival/departure record.
+	Event = trace.Event
+	// Params is the rate vector (λ, µ_1, ..., µ_n).
+	Params = core.Params
+	// Gibbs is the posterior sampler over unobserved times.
+	Gibbs = core.Gibbs
+	// Initializer constructs feasible starting states.
+	Initializer = core.Initializer
+	// OrderInitializer is the fast feasibility construction.
+	OrderInitializer = core.OrderInitializer
+	// LPInitializer is the paper's linear-programming initialization.
+	LPInitializer = core.LPInitializer
+	// EMOptions configures StEM/MCEM.
+	EMOptions = core.EMOptions
+	// EMResult is a parameter-estimation outcome.
+	EMResult = core.EMResult
+	// PosteriorOptions configures posterior summarization.
+	PosteriorOptions = core.PosteriorOptions
+	// PosteriorSummary holds posterior-mean service/waiting estimates.
+	PosteriorSummary = core.PosteriorSummary
+	// WebAppConfig describes the simulated three-tier web application of
+	// the paper's §5.2.
+	WebAppConfig = webapp.Config
+	// WorkloadGenerator produces task entry-time sequences.
+	WorkloadGenerator = workload.Generator
+)
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// Exponential returns an exponential distribution with the given rate.
+func Exponential(rate float64) Dist { return dist.NewExponential(rate) }
+
+// Tiered builds a multi-tier network with the given interarrival
+// distribution (queue q0's service distribution).
+func Tiered(interarrival Dist, tiers []TierSpec) (*Network, error) {
+	return qnet.Tiered(interarrival, tiers)
+}
+
+// ThreeTier builds one of the paper's synthetic three-tier structures:
+// Poisson(lambda) arrivals, exponential(mu) service at every queue, and the
+// given replica counts per tier.
+func ThreeTier(lambda, mu float64, replicas [3]int) (*Network, error) {
+	return qnet.PaperSynthetic(lambda, mu, replicas)
+}
+
+// MM1 builds the single-queue network: Poisson(lambda) into exponential(mu).
+func MM1(lambda, mu float64) (*Network, error) { return qnet.SingleMM1(lambda, mu) }
+
+// WebApp builds the paper's §5.2 web-application deployment and returns a
+// simulated instrumented trace for it.
+func WebApp(cfg WebAppConfig, rng *RNG) (*EventSet, *Network, error) {
+	return webapp.GenerateTrace(cfg, rng)
+}
+
+// DefaultWebAppConfig returns the paper-equivalent web-application setup.
+func DefaultWebAppConfig() WebAppConfig { return webapp.DefaultConfig() }
+
+// Simulate pushes tasks through the network with Poisson-style entries
+// drawn from q0's service distribution and returns the complete trace.
+func Simulate(net *Network, rng *RNG, tasks int) (*EventSet, error) {
+	return sim.Run(net, rng, sim.Options{Tasks: tasks})
+}
+
+// SimulateEntries is Simulate with explicit task entry times (e.g. from a
+// ramped or spiked workload generator).
+func SimulateEntries(net *Network, rng *RNG, entries []float64) (*EventSet, error) {
+	return sim.Run(net, rng, sim.Options{Tasks: len(entries), Entries: entries})
+}
+
+// PoissonWorkload, RampWorkload and SpikeWorkload expose the workload
+// generators used in the paper's experiments and motivating scenarios.
+func PoissonWorkload(rate float64) WorkloadGenerator { return workload.NewPoisson(rate) }
+
+// RampWorkload ramps the arrival rate linearly over duration, then holds.
+func RampWorkload(startRate, endRate, duration float64) WorkloadGenerator {
+	return workload.LinearRamp(startRate, endRate, duration)
+}
+
+// SpikeWorkload multiplies the base rate by burstFactor on
+// [start, start+width).
+func SpikeWorkload(baseRate, burstFactor, start, width float64) WorkloadGenerator {
+	return workload.Spike(baseRate, burstFactor, start, width)
+}
+
+// StEM estimates the rate parameters from a partially observed trace with
+// stochastic EM (paper §4). The event set is mutated in place.
+func StEM(es *EventSet, rng *RNG, opts EMOptions) (*EMResult, error) {
+	return core.StEM(es, rng, opts)
+}
+
+// MCEM is the Monte Carlo EM variant with multiple Gibbs sweeps per E-step.
+func MCEM(es *EventSet, rng *RNG, sweepsPerE int, opts EMOptions) (*EMResult, error) {
+	return core.MCEM(es, rng, sweepsPerE, opts)
+}
+
+// Posterior summarizes the posterior over the unobserved times with the
+// given parameters held fixed.
+func Posterior(es *EventSet, params Params, rng *RNG, opts PosteriorOptions) (*PosteriorSummary, error) {
+	return core.Posterior(es, params, rng, opts)
+}
+
+// Estimate runs the full pipeline: StEM for the rates, then the posterior
+// pass with those rates fixed.
+func Estimate(es *EventSet, rng *RNG, em EMOptions, post PosteriorOptions) (*EMResult, *PosteriorSummary, error) {
+	return core.Estimate(es, rng, em, post)
+}
+
+// LoadTraceJSON reads a trace written by SaveTraceJSON (or cmd/qsim).
+func LoadTraceJSON(r io.Reader) (*EventSet, error) { return trace.ReadJSON(r) }
+
+// SaveTraceJSON writes the trace in the JSON interchange format.
+func SaveTraceJSON(es *EventSet, w io.Writer) error { return es.WriteJSON(w) }
+
+// ---------------------------------------------------------------------------
+// Performance localization
+
+// QueueDiagnosis classifies one queue's estimated behaviour.
+type QueueDiagnosis struct {
+	Queue       int
+	Name        string
+	MeanService float64
+	MeanWait    float64
+	// LoadFraction is wait/(wait+service): near 1 means the latency is
+	// load-induced queueing, near 0 means intrinsic service cost.
+	LoadFraction float64
+}
+
+// Diagnosis ranks queues by estimated mean waiting time — the paper's
+// performance-localization use case ("which parts of the system were the
+// bottleneck?") — and distinguishes load-induced waiting from intrinsic
+// service cost.
+type Diagnosis struct {
+	// Ranked is sorted by MeanWait, worst first, excluding q0.
+	Ranked []QueueDiagnosis
+}
+
+// Bottleneck returns the worst queue.
+func (d *Diagnosis) Bottleneck() QueueDiagnosis { return d.Ranked[0] }
+
+// Render writes a human-readable localization report.
+func (d *Diagnosis) Render(w io.Writer) error {
+	for i, q := range d.Ranked {
+		kind := "service-bound (intrinsic cost)"
+		if q.LoadFraction > 0.5 {
+			kind = "load-bound (queueing delay)"
+		}
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		if _, err := fmt.Fprintf(w, "%s %-10s wait=%-9.4f service=%-9.4f load-fraction=%.2f  %s\n",
+			marker, q.Name, q.MeanWait, q.MeanService, q.LoadFraction, kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Diagnose builds a Diagnosis from posterior estimates. names must have one
+// entry per queue (Network.QueueNames()).
+func Diagnose(sum *PosteriorSummary, names []string) (*Diagnosis, error) {
+	if len(names) != len(sum.MeanWait) {
+		return nil, fmt.Errorf("queueinf: %d names for %d queues", len(names), len(sum.MeanWait))
+	}
+	var d Diagnosis
+	for q := 1; q < len(names); q++ {
+		wait, svc := sum.MeanWait[q], sum.MeanService[q]
+		if math.IsNaN(wait) || math.IsNaN(svc) {
+			continue
+		}
+		lf := 0.0
+		if wait+svc > 0 {
+			lf = wait / (wait + svc)
+		}
+		d.Ranked = append(d.Ranked, QueueDiagnosis{
+			Queue: q, Name: names[q],
+			MeanService: svc, MeanWait: wait, LoadFraction: lf,
+		})
+	}
+	if len(d.Ranked) == 0 {
+		return nil, fmt.Errorf("queueinf: no queues with estimates")
+	}
+	sort.Slice(d.Ranked, func(i, j int) bool { return d.Ranked[i].MeanWait > d.Ranked[j].MeanWait })
+	return &d, nil
+}

@@ -1,0 +1,182 @@
+package queueinf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	rng := NewRNG(5)
+	net, err := ThreeTier(10, 5, [3]int{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := truth.Clone()
+	working.ObserveTasks(rng, 0.25)
+	em, post, err := Estimate(working, rng, EMOptions{Iterations: 200}, PosteriorOptions{Sweeps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(em.Params.Rates) != truth.NumQueues || len(post.MeanWait) != truth.NumQueues {
+		t.Fatal("result shapes wrong")
+	}
+	for q := 1; q < truth.NumQueues; q++ {
+		if !(em.Params.MeanServiceTimes()[q] > 0) {
+			t.Fatalf("queue %d: non-positive service estimate", q)
+		}
+	}
+}
+
+func TestSaveLoadTrace(t *testing.T) {
+	rng := NewRNG(6)
+	net, err := MM1(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := Simulate(net, rng, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.ObserveTasks(rng, 0.5)
+	var buf bytes.Buffer
+	if err := SaveTraceJSON(es, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(es.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got.Events), len(es.Events))
+	}
+}
+
+func TestSimulateEntriesWithWorkload(t *testing.T) {
+	rng := NewRNG(7)
+	net, err := MM1(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := SpikeWorkload(2, 4, 10, 5)
+	entries := gen.Entries(rng, 120)
+	es, err := SimulateEntries(net, rng, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.NumTasks != 120 {
+		t.Fatalf("tasks %d", es.NumTasks)
+	}
+	if err := es.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagnoseIdentifiesOverloadedQueue(t *testing.T) {
+	rng := NewRNG(8)
+	// Tier 1 (single replica) is overloaded at ρ=2.
+	net, err := ThreeTier(10, 5, [3]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := truth.Clone()
+	working.ObserveTasks(rng, 0.25)
+	_, post, err := Estimate(working, rng, EMOptions{Iterations: 300}, PosteriorOptions{Sweeps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := Diagnose(post, net.QueueNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := diag.Bottleneck()
+	if b.Name != "web" {
+		t.Fatalf("bottleneck %q, want the overloaded web tier", b.Name)
+	}
+	if b.LoadFraction < 0.5 {
+		t.Fatalf("overloaded queue classified as service-bound (load fraction %v)", b.LoadFraction)
+	}
+	var buf bytes.Buffer
+	if err := diag.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "load-bound") {
+		t.Fatalf("report missing classification:\n%s", buf.String())
+	}
+}
+
+func TestDiagnoseErrors(t *testing.T) {
+	if _, err := Diagnose(&PosteriorSummary{MeanWait: []float64{1, 2}, MeanService: []float64{1, 2}}, []string{"a"}); err == nil {
+		t.Fatal("mismatched names should fail")
+	}
+	nan := math.NaN()
+	if _, err := Diagnose(&PosteriorSummary{MeanWait: []float64{nan, nan}, MeanService: []float64{nan, nan}}, []string{"q0", "a"}); err == nil {
+		t.Fatal("all-NaN summary should fail")
+	}
+}
+
+func TestWebAppPublicAPI(t *testing.T) {
+	cfg := DefaultWebAppConfig()
+	cfg.Requests = 300
+	cfg.Duration = 400
+	cfg.WebServers = 3
+	cfg.StarvedServer = -1
+	rng := NewRNG(9)
+	es, net, err := WebApp(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.NumTasks != 300 || net.NumQueues() != 1+1+3+1 {
+		t.Fatalf("unexpected shapes: %d tasks, %d queues", es.NumTasks, net.NumQueues())
+	}
+}
+
+func TestTieredAndWorkloadBuilders(t *testing.T) {
+	net, err := Tiered(Exponential(2), []TierSpec{
+		{Name: "a", Replicas: 2, Service: Exponential(5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumQueues() != 3 {
+		t.Fatalf("queues %d", net.NumQueues())
+	}
+	if PoissonWorkload(1).String() == "" || RampWorkload(1, 2, 3).String() == "" {
+		t.Fatal("workload builders broken")
+	}
+}
+
+func TestStEMAndMCEMPublic(t *testing.T) {
+	rng := NewRNG(10)
+	net, err := MM1(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := Simulate(net, rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := truth.Clone()
+	a.ObserveTasks(rng, 0.5)
+	em, err := StEM(a, rng, EMOptions{Iterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(em.Params.Rates[1]-5) > 2.5 {
+		t.Fatalf("µ̂ = %v far from 5", em.Params.Rates[1])
+	}
+	b := truth.Clone()
+	b.ObserveTasks(rng, 0.5)
+	if _, err := MCEM(b, rng, 3, EMOptions{Iterations: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
