@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	qinfer -in trace.json
-//	qinfer -in trace.json -observe 0.05   # re-mask to 5% before inference
+//	qsim ... | qinfer -in -              # read the trace from stdin
+//	qinfer -in trace.json -observe 0.05  # re-mask to 5% before inference
 //	qinfer -in trace.json -iters 2000 -sweeps 100 -json
 package main
 
@@ -13,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -27,29 +29,39 @@ type output struct {
 }
 
 func main() {
-	in := flag.String("in", "", "input trace JSON (required; - for stdin)")
-	observe := flag.Float64("observe", -1, "re-mask observations to this task fraction before inference (default: keep the file's mask)")
-	iters := flag.Int("iters", 1000, "StEM iterations")
-	sweeps := flag.Int("sweeps", 60, "posterior sweeps for waiting-time estimates")
-	seed := flag.Uint64("seed", 1, "RNG seed")
-	asJSON := flag.Bool("json", false, "emit JSON instead of a table")
-	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "qinfer: -in is required")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qinfer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input trace JSON (required; - for stdin)")
+	observe := fs.Float64("observe", -1, "re-mask observations to this task fraction before inference (default: keep the file's mask)")
+	iters := fs.Int("iters", 1000, "StEM iterations")
+	sweeps := fs.Int("sweeps", 60, "posterior sweeps for waiting-time estimates")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	r := os.Stdin
+	if *in == "" {
+		fmt.Fprintln(stderr, "qinfer: -in is required")
+		return 2
+	}
+	r := stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "qinfer: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		r = f
 	}
 	es, err := queueinf.LoadTraceJSON(r)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "qinfer: %v\n", err)
+		return 1
 	}
 	rng := queueinf.NewRNG(*seed)
 	if *observe >= 0 {
@@ -59,7 +71,8 @@ func main() {
 		queueinf.EMOptions{Iterations: *iters},
 		queueinf.PosteriorOptions{Sweeps: *sweeps})
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "qinfer: %v\n", err)
+		return 1
 	}
 	res := output{
 		Lambda:      em.Params.Rates[0],
@@ -69,21 +82,18 @@ func main() {
 		Events:      len(es.Events),
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "qinfer: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
-	fmt.Printf("events: %d   observed arrivals: %d   estimated λ: %.4f\n\n", res.Events, res.Observed, res.Lambda)
-	fmt.Printf("%-6s  %-12s  %-12s\n", "queue", "mean service", "mean wait")
+	fmt.Fprintf(stdout, "events: %d   observed arrivals: %d   estimated λ: %.4f\n\n", res.Events, res.Observed, res.Lambda)
+	fmt.Fprintf(stdout, "%-6s  %-12s  %-12s\n", "queue", "mean service", "mean wait")
 	for q := 1; q < len(res.MeanService); q++ {
-		fmt.Printf("q%-5d  %-12.4f  %-12.4f\n", q, res.MeanService[q], res.MeanWait[q])
+		fmt.Fprintf(stdout, "q%-5d  %-12.4f  %-12.4f\n", q, res.MeanService[q], res.MeanWait[q])
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "qinfer: %v\n", err)
-	os.Exit(1)
+	return 0
 }

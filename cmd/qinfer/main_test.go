@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// traceJSON simulates a small M/M/1 trace and serializes it the way qsim
+// does, so the CLI tests exercise the real wire format.
+func traceJSON(t *testing.T) []byte {
+	t.Helper()
+	net, err := queueinf.MM1(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := queueinf.Simulate(net, queueinf.NewRNG(11), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := queueinf.SaveTraceJSON(es, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunReadsStdin pins the documented `-in -` contract: the trace comes
+// from standard input, nothing is opened from disk.
+func TestRunReadsStdin(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(
+		[]string{"-in", "-", "-observe", "0.5", "-iters", "60", "-sweeps", "10", "-json"},
+		bytes.NewReader(traceJSON(t)), &stdout, &stderr,
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var out struct {
+		Lambda      float64   `json:"lambda"`
+		MeanService []float64 `json:"mean_service"`
+		Events      int       `json:"events"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, stdout.String())
+	}
+	if out.Lambda <= 0 || out.Events == 0 || len(out.MeanService) != 2 {
+		t.Errorf("implausible estimate: %+v", out)
+	}
+}
+
+func TestRunTableOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(
+		[]string{"-in", "-", "-iters", "60", "-sweeps", "10"},
+		bytes.NewReader(traceJSON(t)), &stdout, &stderr,
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"estimated λ:", "mean service", "q1"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("missing -in: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-in is required") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-in", "-"}, strings.NewReader("not json"), &stdout, &stderr); code != 1 {
+		t.Errorf("bad stdin: exit %d, want 1", code)
+	}
+	if code := run([]string{"-in", "/nonexistent/trace.json"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

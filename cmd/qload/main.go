@@ -1,0 +1,124 @@
+// Command qload replays a recorded trace (cmd/qsim's JSON format) against
+// a running qserved daemon, in real, accelerated, or unpaced time, then
+// waits for the daemon's estimate to cover the replayed tasks and prints
+// it. Together with qserved it turns any simulated scenario — the §5.2
+// webapp, ramps, spikes — into an end-to-end live-serving demo:
+//
+//	qsim -tiers 1,2 -lambda 4 -mu 10 -tasks 1000 -observe 0.25 -out t.json
+//	qserved -addr :8645 &
+//	qload -addr http://localhost:8645 -in t.json -stream demo -speed 20
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8645", "qserved base URL")
+	in := flag.String("in", "", "input trace JSON (required; - for stdin)")
+	stream := flag.String("stream", "default", "target stream id")
+	speed := flag.Float64("speed", 0, "time acceleration (1 = real time, 20 = 20x, 0 = unpaced)")
+	batch := flag.Int("batch", 256, "max events per POST")
+	observe := flag.Float64("observe", -1, "re-mask observations to this task fraction before replay")
+	seed := flag.Uint64("seed", 1, "RNG seed for -observe")
+	window := flag.Int("window", 0, "stream window size (0 = server default)")
+	emIters := flag.Int("em-iters", 0, "stream StEM iterations (0 = server default)")
+	wait := flag.Duration("wait", 60*time.Second, "how long to wait for the estimate to catch up")
+	asJSON := flag.Bool("json", false, "emit the final estimate as JSON")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "qload: -in is required")
+		os.Exit(2)
+	}
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	es, err := queueinf.LoadTraceJSON(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *observe >= 0 {
+		es.ObserveTasks(queueinf.NewRNG(*seed), *observe)
+	}
+
+	ctx := context.Background()
+	client := serve.NewClient(*addr)
+	if err := client.Healthz(ctx); err != nil {
+		fatal(fmt.Errorf("daemon not reachable at %s: %w", *addr, err))
+	}
+	cfg := serve.StreamConfig{NumQueues: es.NumQueues, WindowTasks: *window, EMIters: *emIters}
+	if err := client.CreateStream(ctx, *stream, cfg); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "qload: replaying %d tasks (%d queues) to stream %q at speed %g\n",
+		es.NumTasks, es.NumQueues, *stream, *speed)
+	last := time.Now()
+	stats, err := serve.Replay(ctx, client, es, serve.ReplayOptions{
+		Stream: *stream,
+		Speed:  *speed,
+		Batch:  *batch,
+		Progress: func(sent, total int) {
+			if time.Since(last) > time.Second {
+				last = time.Now()
+				fmt.Fprintf(os.Stderr, "qload: %d/%d events sent\n", sent, total)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "qload: sent %d events in %d batches (%d accepted, %d rejected) in %.1fs\n",
+		stats.Events, stats.Batches, stats.Accepted, stats.Rejected, stats.Duration.Seconds())
+
+	wctx, cancel := context.WithTimeout(ctx, *wait)
+	defer cancel()
+	est, err := client.WaitForEpoch(wctx, *stream, uint64(stats.Tasks))
+	if err != nil {
+		if est == nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "qload: %v (printing last estimate)\n", err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(est); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("stream %s  seq %d  window %d tasks / %d events  [%.2f, %.2f)  staleness %.0fms\n",
+		est.Stream, est.Seq, est.WindowTasks, est.WindowEvents, est.WindowStart, est.WindowEnd, est.StalenessMS)
+	fmt.Printf("estimated λ: %.4f\n\n", est.Lambda)
+	fmt.Printf("%-6s  %-10s  %-12s  %-12s\n", "queue", "rate µ̂", "mean service", "mean wait")
+	for q := 1; q < len(est.Rates); q++ {
+		marker := "  "
+		if q == est.Bottleneck {
+			marker = "->"
+		}
+		fmt.Printf("%s q%-3d  %-10.4f  %-12.4f  %-12.4f\n",
+			marker, q, est.Rates[q], float64(est.MeanService[q]), float64(est.MeanWait[q]))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command qserved is the online inference daemon: it ingests observed
+// arrival/departure events as NDJSON over HTTP, maintains a bounded
+// sliding window of recent tasks per stream, and continuously serves
+// rolling queueing estimates (λ̂, per-queue µ̂ and mean wait, windowed
+// bottleneck stats) computed with warm-started stochastic EM.
+//
+// Usage:
+//
+//	qserved -addr :8645
+//	qserved -addr :8645 -window 1000 -interval 500ms -em-iters 500
+//
+// Then, from a client (see cmd/qload for a trace replayer):
+//
+//	curl -X PUT localhost:8645/v1/streams/web -d '{"num_queues":4}'
+//	cat events.ndjson | curl -X POST --data-binary @- localhost:8645/v1/streams/web/events
+//	curl localhost:8645/v1/streams/web/estimate
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// inference before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8645", "listen address")
+	window := flag.Int("window", 500, "default sliding window size (sealed tasks per stream)")
+	minTasks := flag.Int("min-tasks", 40, "default minimum sealed tasks before estimating")
+	interval := flag.Duration("interval", 250*time.Millisecond, "default estimation cadence")
+	emIters := flag.Int("em-iters", 300, "default StEM iterations per window")
+	postSweeps := flag.Int("post-sweeps", 40, "default posterior sweeps per window")
+	windows := flag.Int("windows", 6, "default windowed-stats buckets")
+	windowSweeps := flag.Int("window-sweeps", 30, "default windowed-stats sweeps")
+	seed := flag.Uint64("seed", 1, "default stream RNG seed")
+	quiet := flag.Bool("quiet", false, "suppress per-estimate logging")
+	flag.Parse()
+
+	srv := serve.New(serve.StreamConfig{
+		WindowTasks:  *window,
+		MinTasks:     *minTasks,
+		IntervalMS:   int(interval.Milliseconds()),
+		EMIters:      *emIters,
+		PostSweeps:   *postSweeps,
+		Windows:      *windows,
+		WindowSweeps: *windowSweeps,
+		Seed:         *seed,
+	})
+	if !*quiet {
+		srv.SetLogf(log.Printf)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("qserved: signal received, shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("qserved: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("qserved: listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("qserved: %v", err)
+	}
+	// The listener is closed; drain the stream workers (an in-flight
+	// estimation pass finishes, then every worker exits).
+	srv.Close()
+	log.Printf("qserved: drained, bye")
+}

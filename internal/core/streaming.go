@@ -40,6 +40,89 @@ type StreamingOptions struct {
 	PostSweeps int
 }
 
+// OnlineEstimator estimates successive windows of an event stream,
+// warm-starting each StEM run from the previous window's estimate. It is
+// the reusable hook behind both StreamingEstimate (consecutive blocks of
+// one trace) and the qserved daemon (sliding windows of a live stream).
+// It is not safe for concurrent use; serialize calls per stream.
+type OnlineEstimator struct {
+	// EM configures every StEM run. InitialParams seeds only the first
+	// window; later windows warm-start from their predecessor's estimate.
+	EM EMOptions
+	// Post sizes the per-window posterior pass.
+	Post PosteriorOptions
+
+	warm *Params
+}
+
+// NewOnlineEstimator returns an estimator with the given per-window
+// options and no warm-start state.
+func NewOnlineEstimator(em EMOptions, post PosteriorOptions) *OnlineEstimator {
+	return &OnlineEstimator{EM: em, Post: post}
+}
+
+// WarmParams returns a copy of the parameters the next Estimate call will
+// warm-start from, or nil before the first call (or after Reset).
+func (o *OnlineEstimator) WarmParams() *Params {
+	if o.warm == nil {
+		return nil
+	}
+	w := o.warm.Clone()
+	return &w
+}
+
+// Reset discards the warm-start state, so the next window is estimated
+// from scratch (EM.InitialParams or InitialRates).
+func (o *OnlineEstimator) Reset() { o.warm = nil }
+
+// Estimate shifts the window toward time zero, runs StEM (warm-started
+// when a previous estimate exists) and the fixed-parameter posterior pass,
+// and records the new estimate as the next warm start. The event set is
+// mutated in place (shifted, then imputed).
+func (o *OnlineEstimator) Estimate(es *trace.EventSet, rng *xrand.RNG) (*EMResult, *PosteriorSummary, error) {
+	if err := shiftTowardZero(es); err != nil {
+		return nil, nil, err
+	}
+	emOpts := o.EM
+	if o.warm != nil {
+		w := o.warm.Clone()
+		emOpts.InitialParams = &w
+	}
+	emRes, err := StEM(es, rng, emOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	post, err := Posterior(es, emRes.Params, rng, o.Post)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := emRes.Params.Clone()
+	o.warm = &w
+	return emRes, post, nil
+}
+
+// shiftTowardZero translates a window cut from a longer trace so that the
+// first task's interarrival gap is a typical one rather than the offset of
+// the whole window — otherwise the window's λ̂ is diluted by the time
+// before it. The shift lands the first entry on the window's mean
+// interarrival gap (non-negative by construction, so TimeShift cannot
+// underflow), and windows already starting near zero are left alone.
+func shiftTowardZero(es *trace.EventSet) error {
+	if es.NumTasks == 0 {
+		return nil
+	}
+	startTime := es.TaskEntry(0)
+	endTime := es.TaskEntry(es.NumTasks - 1)
+	gap := 0.0
+	if es.NumTasks > 1 {
+		gap = (endTime - startTime) / float64(es.NumTasks-1)
+	}
+	if delta := gap - startTime; delta < 0 {
+		return es.TimeShift(delta)
+	}
+	return nil
+}
+
 // StreamingEstimate splits the trace into consecutive task blocks and
 // estimates each one, warm-starting from its predecessor.
 func StreamingEstimate(es *trace.EventSet, rng *xrand.RNG, opts StreamingOptions) ([]BlockEstimate, error) {
@@ -52,8 +135,8 @@ func StreamingEstimate(es *trace.EventSet, rng *xrand.RNG, opts StreamingOptions
 	if opts.PostSweeps == 0 {
 		opts.PostSweeps = 30
 	}
+	est := NewOnlineEstimator(opts.EM, PosteriorOptions{Sweeps: opts.PostSweeps})
 	var out []BlockEstimate
-	var warm *Params
 	for b := 0; b < opts.Blocks; b++ {
 		from := b * es.NumTasks / opts.Blocks
 		to := (b + 1) * es.NumTasks / opts.Blocks
@@ -63,43 +146,18 @@ func StreamingEstimate(es *trace.EventSet, rng *xrand.RNG, opts StreamingOptions
 		}
 		startTime := sub.TaskEntry(0)
 		endTime := sub.TaskEntry(sub.NumTasks - 1)
-		// Shift the block toward zero so the first task's interarrival gap
-		// is a typical one rather than the offset of the whole block —
-		// otherwise the block's λ̂ is diluted by the time before it.
-		gap := 0.0
-		if sub.NumTasks > 1 {
-			gap = (endTime - startTime) / float64(sub.NumTasks-1)
-		}
-		if delta := gap - startTime; delta < 0 {
-			if err := sub.TimeShift(delta); err != nil {
-				return nil, fmt.Errorf("core: block %d shift: %w", b, err)
-			}
-		}
-		emOpts := opts.EM
-		if warm != nil {
-			w := warm.Clone()
-			emOpts.InitialParams = &w
-		}
-		r := rng.Split()
-		emRes, err := StEM(sub, r, emOpts)
+		emRes, post, err := est.Estimate(sub, rng.Split())
 		if err != nil {
 			return nil, fmt.Errorf("core: block %d: %w", b, err)
 		}
-		post, err := Posterior(sub, emRes.Params, r, PosteriorOptions{Sweeps: opts.PostSweeps})
-		if err != nil {
-			return nil, fmt.Errorf("core: block %d posterior: %w", b, err)
-		}
-		be := BlockEstimate{
+		out = append(out, BlockEstimate{
 			FromTask:  from,
 			ToTask:    to,
 			StartTime: startTime,
 			EndTime:   endTime,
 			Params:    emRes.Params,
 			MeanWait:  post.MeanWait,
-		}
-		out = append(out, be)
-		w := emRes.Params.Clone()
-		warm = &w
+		})
 	}
 	return out, nil
 }
@@ -121,7 +179,6 @@ func PosteriorWindows(es *trace.EventSet, params Params, rng *xrand.RNG, opts Po
 	}
 	var acc [][]trace.WindowStats
 	counts := make([][]int, 0)
-	kept := 0
 	for sweep := 0; sweep < opts.Sweeps; sweep++ {
 		g.Sweep()
 		if sweep < opts.BurnIn {
@@ -154,7 +211,6 @@ func PosteriorWindows(es *trace.EventSet, params Params, rng *xrand.RNG, opts Po
 				counts[q][w]++
 			}
 		}
-		kept++
 	}
 	for q := range acc {
 		for w := range acc[q] {
@@ -166,9 +222,11 @@ func PosteriorWindows(es *trace.EventSet, params Params, rng *xrand.RNG, opts Po
 			c := float64(counts[q][w])
 			acc[q][w].MeanService /= c
 			acc[q][w].MeanWait /= c
-			acc[q][w].Events /= counts[q][w]
+			// Events is an int, so the per-sweep average (over the sweeps
+			// that populated the cell) is rounded to nearest rather than
+			// truncated toward zero.
+			acc[q][w].Events = int(math.Round(float64(acc[q][w].Events) / c))
 		}
 	}
-	_ = kept
 	return acc, nil
 }

@@ -94,6 +94,243 @@ func TestStreamingTracksRateShift(t *testing.T) {
 	}
 }
 
+// TestStreamingWarmStartsFromPreviousBlock pins the warm-start contract:
+// block b>0 must be estimated with InitialParams equal to block b-1's
+// estimate (not EMOptions.InitialParams). The test replays
+// StreamingEstimate's exact RNG-split sequence by hand, threading the warm
+// start explicitly, and demands bit-identical parameters; a cold-started
+// control must diverge.
+func TestStreamingWarmStartsFromPreviousBlock(t *testing.T) {
+	net := must(qnet.SingleMM1(3, 8))
+	r := xrand.New(7001)
+	truth, err := sim.Run(net, r, sim.Options{Tasks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(r, 0.5)
+	em := EMOptions{Iterations: 80}
+
+	blocks, err := StreamingEstimate(truth.Clone(), xrand.New(9), StreamingOptions{
+		Blocks: 2, EM: em, PostSweeps: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manual replication with the warm start threaded by hand.
+	rng := xrand.New(9)
+	sub0, err := truth.SubsetTasks(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := rng.Split()
+	if err := shiftTowardZero(sub0); err != nil {
+		t.Fatal(err)
+	}
+	em0, err := StEM(sub0, r0, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Posterior(sub0, em0.Params, r0, PosteriorOptions{Sweeps: 10}); err != nil {
+		t.Fatal(err)
+	}
+	sub1, err := truth.SubsetTasks(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rng.Split()
+	if err := shiftTowardZero(sub1); err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := em
+	w := em0.Params.Clone()
+	warmOpts.InitialParams = &w
+	em1, err := StEM(sub1.Clone(), r1, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, rate := range em1.Params.Rates {
+		if blocks[1].Params.Rates[q] != rate {
+			t.Errorf("block 1 rate[%d] = %v, manual warm-started run got %v", q, blocks[1].Params.Rates[q], rate)
+		}
+	}
+
+	// Cold control: the same block-1 data and RNG stream without the warm
+	// start must not reproduce the streaming estimate.
+	rngCold := xrand.New(9)
+	rngCold.Split() // consume block 0's split
+	r1cold := rngCold.Split()
+	em1cold, err := StEM(sub1.Clone(), r1cold, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for q, rate := range em1cold.Params.Rates {
+		if blocks[1].Params.Rates[q] != rate {
+			same = false
+		}
+	}
+	if same {
+		t.Error("cold-started block 1 reproduced the streaming estimate; warm start is not taking effect")
+	}
+}
+
+func TestOnlineEstimatorWarmState(t *testing.T) {
+	net := must(qnet.SingleMM1(3, 8))
+	working, _, _ := simulateObserved(t, net, 80, 0.5, 7002)
+	est := NewOnlineEstimator(EMOptions{Iterations: 60}, PosteriorOptions{Sweeps: 10})
+	if est.WarmParams() != nil {
+		t.Fatal("fresh estimator has warm params")
+	}
+	emRes, post, err := est.Estimate(working.Clone(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post == nil || post.Sweeps == 0 {
+		t.Fatal("posterior pass missing")
+	}
+	warm := est.WarmParams()
+	if warm == nil {
+		t.Fatal("no warm params after Estimate")
+	}
+	for q, rate := range emRes.Params.Rates {
+		if warm.Rates[q] != rate {
+			t.Errorf("warm rate[%d] = %v, want %v", q, warm.Rates[q], rate)
+		}
+	}
+	// WarmParams returns a copy: mutating it must not corrupt the state.
+	warm.Rates[0] = -1
+	if est.WarmParams().Rates[0] == -1 {
+		t.Error("WarmParams exposed internal state")
+	}
+	est.Reset()
+	if est.WarmParams() != nil {
+		t.Error("Reset did not clear warm state")
+	}
+}
+
+// TestShiftTowardZeroKeepsEntriesNonNegative covers the streaming shift's
+// safety property: landing the first entry on the mean interarrival gap can
+// never drive any entry time negative, so TimeShift must always succeed on
+// a block cut from a longer trace.
+func TestShiftTowardZeroKeepsEntriesNonNegative(t *testing.T) {
+	net := must(qnet.SingleMM1(5, 9))
+	r := xrand.New(7003)
+	truth, err := sim.Run(net, r, sim.Options{Tasks: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(r, 0.4)
+	// A late block: entries start far from zero.
+	sub, err := truth.SubsetTasks(250, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sub.TaskEntry(0)
+	if before <= 1 {
+		t.Fatalf("test needs a late block, first entry %v", before)
+	}
+	if err := shiftTowardZero(sub); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < sub.NumTasks; k++ {
+		if e := sub.TaskEntry(k); e < 0 {
+			t.Fatalf("task %d entry %v negative after shift", k, e)
+		}
+	}
+	if err := sub.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Shifting further than the first entry must be rejected by TimeShift,
+	// not silently produce a negative entry.
+	first := sub.TaskEntry(0)
+	if err := sub.TimeShift(-(first + 1)); err == nil {
+		t.Error("TimeShift past zero should fail")
+	}
+	for k := 0; k < sub.NumTasks; k++ {
+		if e := sub.TaskEntry(k); e < 0 {
+			t.Fatalf("failed TimeShift mutated entries: task %d at %v", k, e)
+		}
+	}
+}
+
+// TestPosteriorWindowsEventRounding replicates PosteriorWindows' sweep loop
+// with an identical sampler (same seed, same cloned state) and float64
+// accumulators, and demands that the returned integer Events equal the
+// rounded — not truncated — per-sweep averages.
+func TestPosteriorWindowsEventRounding(t *testing.T) {
+	net := must(qnet.SingleMM1(3, 6))
+	r := xrand.New(7004)
+	truth, err := sim.Run(net, r, sim.Options{Tasks: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(r, 0.3)
+	working := truth.Clone()
+	emRes, err := StEM(working, r, EMOptions{Iterations: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		lo, hi = 0.0, 30.0
+		n      = 5
+	)
+	opts := PosteriorOptions{Sweeps: 40, BurnIn: 10}
+	ws, err := PosteriorWindows(working.Clone(), emRes.Params, xrand.New(77), opts, lo, hi, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica with float64 accumulators.
+	es := working.Clone()
+	g, err := NewGibbs(es, emRes.Params, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([][]float64, es.NumQueues)
+	counts := make([][]int, es.NumQueues)
+	for q := range sums {
+		sums[q] = make([]float64, n)
+		counts[q] = make([]int, n)
+	}
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		g.Sweep()
+		if sweep < opts.BurnIn {
+			continue
+		}
+		stats, err := es.WindowedStats(lo, hi, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := range stats {
+			for w := range stats[q] {
+				if cell := stats[q][w]; cell.Events > 0 && !math.IsNaN(cell.MeanWait) {
+					sums[q][w] += float64(cell.Events)
+					counts[q][w]++
+				}
+			}
+		}
+	}
+	sawFractional := false
+	for q := range sums {
+		for w := 0; w < n; w++ {
+			if counts[q][w] == 0 {
+				continue
+			}
+			avg := sums[q][w] / float64(counts[q][w])
+			if avg != math.Trunc(avg) {
+				sawFractional = true
+			}
+			if want := int(math.Round(avg)); ws[q][w].Events != want {
+				t.Errorf("queue %d window %d: Events = %d, want round(%v) = %d", q, w, ws[q][w].Events, avg, want)
+			}
+		}
+	}
+	if !sawFractional {
+		t.Log("warning: no fractional per-sweep averages; rounding path not distinguished from truncation")
+	}
+}
+
 func TestStreamingValidation(t *testing.T) {
 	net := must(qnet.SingleMM1(2, 5))
 	working, _, _ := simulateObserved(t, net, 20, 0.5, 3003)

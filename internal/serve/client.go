@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrNotReady is returned by Client.Estimate and Client.Windows while the
+// stream has not yet published a snapshot (HTTP 503).
+var ErrNotReady = errors.New("serve: estimate not ready")
+
+// Client is a minimal client for the qserved HTTP API, shared by
+// cmd/qload, the examples, and the end-to-end tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8645"). A nil-safe default http.Client is used.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		return ErrNotReady
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateStream creates (or idempotently re-creates) a stream.
+func (c *Client) CreateStream(ctx context.Context, id string, cfg StreamConfig) error {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPut, "/v1/streams/"+id, bytes.NewReader(body), nil)
+}
+
+// PostEvents sends a batch of events as NDJSON.
+func (c *Client) PostEvents(ctx context.Context, id string, events []IngestEvent) (*IngestSummary, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return nil, err
+		}
+	}
+	var sum IngestSummary
+	if err := c.do(ctx, http.MethodPost, "/v1/streams/"+id+"/events", &buf, &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+// Estimate fetches the stream's current estimate snapshot.
+func (c *Client) Estimate(ctx context.Context, id string) (*Estimate, error) {
+	var est Estimate
+	if err := c.do(ctx, http.MethodGet, "/v1/streams/"+id+"/estimate", nil, &est); err != nil {
+		return nil, err
+	}
+	return &est, nil
+}
+
+// Windows fetches the stream's windowed bottleneck snapshot.
+func (c *Client) Windows(ctx context.Context, id string) (*WindowsSnapshot, error) {
+	var ws WindowsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/streams/"+id+"/windows", nil, &ws); err != nil {
+		return nil, err
+	}
+	return &ws, nil
+}
+
+// Healthz checks daemon liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// WaitForEpoch polls the estimate endpoint until a snapshot covering at
+// least the given sealed-task epoch is published (or ctx expires). It
+// returns the qualifying estimate.
+func (c *Client) WaitForEpoch(ctx context.Context, id string, epoch uint64) (*Estimate, error) {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		est, err := c.Estimate(ctx, id)
+		if err == nil && est.Epoch >= epoch {
+			return est, nil
+		}
+		if err != nil && !errors.Is(err, ErrNotReady) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			if est != nil {
+				return est, fmt.Errorf("serve: timed out at epoch %d < %d: %w", est.Epoch, epoch, ctx.Err())
+			}
+			return nil, fmt.Errorf("serve: no estimate before deadline: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+}

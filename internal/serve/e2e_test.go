@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/qnet"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// TestEndToEndTandemReplay is the acceptance test of the daemon: start
+// qserved on a random port, replay a partially observed two-queue tandem
+// trace through the ingest API exactly as cmd/qload does, poll the
+// estimate endpoint until it covers the replayed tasks, and check λ̂ and
+// the per-queue µ̂ against the simulator's ground truth.
+func TestEndToEndTandemReplay(t *testing.T) {
+	const (
+		lambda = 4.0
+		mu1    = 12.0
+		mu2    = 9.0
+		tasks  = 600
+	)
+	net, err := qnet.Tiered(dist.NewExponential(lambda), []qnet.TierSpec{
+		{Name: "app", Replicas: 1, Service: dist.NewExponential(mu1)},
+		{Name: "db", Replicas: 1, Service: dist.NewExponential(mu2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(42)
+	truth, err := sim.Run(net, rng, sim.Options{Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(rng, 0.3)
+
+	srv := New(StreamConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	cfg := StreamConfig{
+		NumQueues: truth.NumQueues, WindowTasks: tasks, MinTasks: 50,
+		IntervalMS: 50, EMIters: 250, PostSweeps: 30, Windows: 4, WindowSweeps: 10,
+	}
+	if err := c.CreateStream(ctx, "tandem", cfg); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Replay(ctx, c, truth, ReplayOptions{Stream: "tandem", Batch: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rejected != 0 {
+		t.Fatalf("replay rejected %d events", stats.Rejected)
+	}
+	if stats.Tasks != tasks || stats.Accepted != stats.Events {
+		t.Fatalf("replay stats %+v", stats)
+	}
+
+	wctx, cancel := context.WithTimeout(ctx, 90*time.Second)
+	defer cancel()
+	est, err := c.WaitForEpoch(wctx, "tandem", tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.WindowTasks != tasks {
+		t.Fatalf("estimate window %d tasks, want %d", est.WindowTasks, tasks)
+	}
+
+	checkWithin := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s = %.4f, want within %.0f%% of %.4f", name, got, tol*100, want)
+		}
+	}
+	checkWithin("λ̂", est.Lambda, lambda, 0.25)
+	checkWithin("µ̂_1", est.Rates[1], mu1, 0.25)
+	checkWithin("µ̂_2", est.Rates[2], mu2, 0.25)
+
+	// Mean service follows 1/µ; the posterior pass must agree with the
+	// rates to the same tolerance.
+	checkWithin("mean service q1", float64(est.MeanService[1]), 1/mu1, 0.25)
+	checkWithin("mean service q2", float64(est.MeanService[2]), 1/mu2, 0.25)
+
+	// The windowed snapshot is published alongside the estimate.
+	ws, err := c.Windows(ctx, "tandem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Epoch != est.Epoch || len(ws.Queues) != truth.NumQueues || len(ws.Queues[1]) != cfg.Windows {
+		t.Fatalf("windows snapshot shape: epoch=%d queues=%d buckets=%d", ws.Epoch, len(ws.Queues), len(ws.Queues[1]))
+	}
+	totalEvents := 0
+	for _, cell := range ws.Queues[1] {
+		totalEvents += cell.Events
+	}
+	if totalEvents == 0 {
+		t.Error("windowed snapshot has no events at queue 1")
+	}
+
+	// Counters reflect the run.
+	st := srv.lookup("tandem")
+	if got := st.c.TasksSealed.Load(); got != tasks {
+		t.Errorf("tasks_sealed=%d, want %d", got, tasks)
+	}
+	if st.c.Estimates.Load() == 0 || st.c.SweepsRun.Load() == 0 {
+		t.Error("estimate counters not advanced")
+	}
+}

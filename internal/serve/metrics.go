@@ -1,0 +1,27 @@
+package serve
+
+import "sync/atomic"
+
+// counters is the /varz-style instrumentation block, kept per stream and
+// aggregated daemon-wide by the fan-in collector.
+type counters struct {
+	EventsIngested atomic.Uint64
+	EventsRejected atomic.Uint64
+	TasksSealed    atomic.Uint64
+	Estimates      atomic.Uint64
+	EstimateErrors atomic.Uint64
+	SkippedRuns    atomic.Uint64
+	SweepsRun      atomic.Uint64
+}
+
+func (c *counters) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"events_ingested": c.EventsIngested.Load(),
+		"events_rejected": c.EventsRejected.Load(),
+		"tasks_sealed":    c.TasksSealed.Load(),
+		"estimates":       c.Estimates.Load(),
+		"estimate_errors": c.EstimateErrors.Load(),
+		"skipped_runs":    c.SkippedRuns.Load(),
+		"sweeps_run":      c.SweepsRun.Load(),
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Replay streams a recorded trace into a qserved stream the way a live
+// monitoring agent would: each event is emitted at its departure time (the
+// moment a real instrumentation point would have both timestamps), in
+// global departure order, with the trace's observation mask carried along.
+
+// ReplayOptions configures Replay.
+type ReplayOptions struct {
+	// Stream is the target stream id (required).
+	Stream string
+	// Speed is the time-acceleration factor: 1 replays in real time, 10
+	// replays ten trace seconds per wall second, and <= 0 disables pacing
+	// entirely (as fast as the daemon accepts).
+	Speed float64
+	// Batch is the maximum events per POST (default 256).
+	Batch int
+	// Progress, when set, is called after each flushed batch.
+	Progress func(sent, total int)
+}
+
+// ReplayStats summarizes a replay.
+type ReplayStats struct {
+	Events   int
+	Tasks    int
+	Batches  int
+	Accepted int
+	Rejected int
+	Duration time.Duration
+}
+
+// Replay sends every non-initial event of es to the daemon. Task ids are
+// "t<index>". It returns once all events are flushed; poll the estimate
+// endpoint (e.g. Client.WaitForEpoch) to wait for inference to catch up.
+func Replay(ctx context.Context, c *Client, es *trace.EventSet, opts ReplayOptions) (*ReplayStats, error) {
+	if opts.Stream == "" {
+		return nil, fmt.Errorf("serve: replay needs a stream id")
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 256
+	}
+	type emission struct {
+		due float64
+		ev  IngestEvent
+	}
+	var emits []emission
+	tasks := 0
+	for k := 0; k < es.NumTasks; k++ {
+		ids := es.ByTask[k]
+		if len(ids) < 2 {
+			continue // a task with only its synthetic q0 entry has no events
+		}
+		tasks++
+		name := "t" + strconv.Itoa(k)
+		for j, id := range ids[1:] {
+			e := &es.Events[id]
+			emits = append(emits, emission{
+				due: e.Depart,
+				ev: IngestEvent{
+					Task:       name,
+					State:      e.State,
+					Queue:      e.Queue,
+					Arrival:    e.Arrival,
+					Depart:     e.Depart,
+					ObsArrival: e.ObsArrival,
+					ObsDepart:  e.ObsDepart,
+					Final:      j == len(ids)-2,
+				},
+			})
+		}
+	}
+	sort.SliceStable(emits, func(i, j int) bool { return emits[i].due < emits[j].due })
+
+	stats := &ReplayStats{Events: len(emits), Tasks: tasks}
+	start := time.Now()
+	defer func() { stats.Duration = time.Since(start) }()
+
+	batch := make([]IngestEvent, 0, opts.Batch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		sum, err := c.PostEvents(ctx, opts.Stream, batch)
+		if err != nil {
+			return err
+		}
+		stats.Batches++
+		stats.Accepted += sum.Accepted
+		stats.Rejected += sum.Rejected
+		batch = batch[:0]
+		if opts.Progress != nil {
+			opts.Progress(stats.Accepted+stats.Rejected, stats.Events)
+		}
+		return nil
+	}
+
+	var t0 float64
+	if len(emits) > 0 {
+		t0 = emits[0].due
+	}
+	for _, em := range emits {
+		if opts.Speed > 0 {
+			due := start.Add(time.Duration((em.due - t0) / opts.Speed * float64(time.Second)))
+			if wait := time.Until(due); wait > 0 {
+				// Ship what is already due before sleeping, so the daemon
+				// sees events roughly when they "happen".
+				if err := flush(); err != nil {
+					return stats, err
+				}
+				select {
+				case <-ctx.Done():
+					return stats, ctx.Err()
+				case <-time.After(wait):
+				}
+			}
+		}
+		batch = append(batch, em.ev)
+		if len(batch) >= opts.Batch {
+			if err := flush(); err != nil {
+				return stats, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

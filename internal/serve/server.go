@@ -1,0 +1,368 @@
+// Package serve implements qserved, the online inference daemon: it
+// ingests observed arrival/departure events over HTTP as NDJSON, keeps a
+// bounded sliding window of recent tasks per stream, and continuously
+// re-estimates each stream's arrival rate, per-queue service rates, and
+// posterior waiting times with warm-started StEM (internal/core's
+// OnlineEstimator), publishing immutable snapshots that are served without
+// blocking ingest.
+//
+// API:
+//
+//	PUT  /v1/streams/{id}           create/configure a stream (StreamConfig JSON)
+//	POST /v1/streams/{id}/events    ingest NDJSON IngestEvent lines
+//	GET  /v1/streams/{id}/estimate  current Estimate snapshot (503 until ready)
+//	GET  /v1/streams/{id}/windows   windowed bottleneck stats (503 until ready)
+//	GET  /v1/streams                list streams
+//	GET  /healthz                   liveness
+//	GET  /varz (also /debug/vars)   ingest/inference counters
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stream is one event stream: its store, its worker's published
+// snapshots, and its counters.
+type stream struct {
+	id       string
+	cfg      StreamConfig
+	store    *store
+	kick     chan struct{}
+	estimate atomic.Pointer[Estimate]
+	windows  atomic.Pointer[WindowsSnapshot]
+	c        counters
+}
+
+// Server is the qserved daemon core, independent of the HTTP listener: it
+// owns the streams, their worker goroutines, and the fan-in collector.
+// Create with New, mount Handler on an http.Server, and Close to drain.
+type Server struct {
+	defaults StreamConfig
+
+	mu      sync.RWMutex
+	streams map[string]*stream
+
+	totals struct {
+		estimates  atomic.Uint64
+		sweeps     atomic.Uint64
+		errors     atomic.Uint64
+		lastErr    atomic.Pointer[string]
+		lastErrDat atomic.Pointer[time.Time]
+	}
+
+	ctx         context.Context
+	cancel      context.CancelFunc
+	results     chan workerResult
+	workersWG   sync.WaitGroup
+	collectorWG sync.WaitGroup
+	closeOnce   sync.Once
+
+	start time.Time
+	mux   *http.ServeMux
+	logf  func(format string, args ...any)
+}
+
+// New returns a running Server (collector started, no streams yet). The
+// defaults seed every stream's unset StreamConfig fields.
+func New(defaults StreamConfig) *Server {
+	s := &Server{
+		defaults: defaults,
+		streams:  make(map[string]*stream),
+		results:  make(chan workerResult, 64),
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+		logf:     func(string, ...any) {},
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.collectorWG.Add(1)
+	go s.collect()
+	s.routes()
+	return s
+}
+
+// SetLogf installs a logger for worker errors and lifecycle events.
+func (s *Server) SetLogf(logf func(format string, args ...any)) { s.logf = logf }
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops every stream worker, waits for in-flight inference to
+// drain, and shuts down the collector. It is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		s.workersWG.Wait()
+		close(s.results)
+		s.collectorWG.Wait()
+	})
+}
+
+// collect is the fan-in point: every worker's per-pass result arrives on
+// one channel and is folded into the daemon-wide totals.
+func (s *Server) collect() {
+	defer s.collectorWG.Done()
+	for res := range s.results {
+		if res.err != nil {
+			s.totals.errors.Add(1)
+			msg := fmt.Sprintf("stream %s: %v", res.stream, res.err)
+			now := time.Now()
+			s.totals.lastErr.Store(&msg)
+			s.totals.lastErrDat.Store(&now)
+			s.logf("serve: estimate error on stream %s: %v", res.stream, res.err)
+			continue
+		}
+		s.totals.estimates.Add(1)
+		s.totals.sweeps.Add(res.sweeps)
+		s.logf("serve: stream %s estimate seq=%d epoch=%d in %s", res.stream, res.seq, res.epoch, res.elapsed)
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreate)
+	s.mux.HandleFunc("POST /v1/streams/{id}/events", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/streams/{id}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/streams/{id}/windows", s.handleWindows)
+	s.mux.HandleFunc("GET /v1/streams", s.handleList)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVarz)
+}
+
+func (s *Server) lookup(id string) *stream {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.streams[id]
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleCreate creates a stream and starts its worker. Re-creating with an
+// identical config is idempotent; a different config is a conflict.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cfg := s.defaults
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, "bad stream config: %v", err)
+			return
+		}
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if st, ok := s.streams[id]; ok {
+		if st.cfg == cfg {
+			writeJSON(w, http.StatusOK, cfg)
+			return
+		}
+		writeError(w, http.StatusConflict, "stream %q already exists with a different config", id)
+		return
+	}
+	st := &stream{
+		id:    id,
+		cfg:   cfg,
+		store: newStore(cfg.NumQueues, cfg.WindowTasks),
+		kick:  make(chan struct{}, 1),
+	}
+	s.streams[id] = st
+	wk := newWorker(st, s.results)
+	ctx := s.ctx
+	s.workersWG.Add(1)
+	go func() {
+		defer s.workersWG.Done()
+		wk.run(ctx)
+	}()
+	s.logf("serve: stream %q created (queues=%d window=%d interval=%dms)", id, cfg.NumQueues, cfg.WindowTasks, cfg.IntervalMS)
+	writeJSON(w, http.StatusCreated, cfg)
+}
+
+// maxIngestBody bounds one ingest request (64 MiB of NDJSON).
+const maxIngestBody = 64 << 20
+
+// handleIngest appends NDJSON events to the stream's window. Invalid lines
+// are rejected individually; valid lines in the same body are kept. The
+// response reports both counts (400 only when nothing was accepted).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown stream %q (PUT /v1/streams/{id} first)", r.PathValue("id"))
+		return
+	}
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var sum IngestSummary
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev IngestEvent
+		err := json.Unmarshal(raw, &ev)
+		var sealed bool
+		if err == nil {
+			sealed, err = st.store.append(ev)
+		}
+		if err != nil {
+			sum.Rejected++
+			if len(sum.Errors) < 5 {
+				sum.Errors = append(sum.Errors, fmt.Sprintf("line %d: %v", line, err))
+			}
+			continue
+		}
+		sum.Accepted++
+		if sealed {
+			sum.SealedTasks++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	st.c.EventsIngested.Add(uint64(sum.Accepted))
+	st.c.EventsRejected.Add(uint64(sum.Rejected))
+	st.c.TasksSealed.Add(uint64(sum.SealedTasks))
+	sum.WindowTasks, sum.OpenTasks, _ = st.store.counts()
+	if sum.SealedTasks > 0 {
+		select {
+		case st.kick <- struct{}{}:
+		default:
+		}
+	}
+	code := http.StatusOK
+	if sum.Accepted == 0 && sum.Rejected > 0 {
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, sum)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("id"))
+		return
+	}
+	est := st.estimate.Load()
+	if est == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "estimate not ready (stream needs %d sealed tasks)", st.cfg.MinTasks)
+		return
+	}
+	out := *est
+	out.StalenessMS = float64(time.Since(est.ComputedAt)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, &out)
+}
+
+func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("id"))
+		return
+	}
+	ws := st.windows.Load()
+	if ws == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "windowed stats not ready")
+		return
+	}
+	out := *ws
+	out.StalenessMS = float64(time.Since(ws.ComputedAt)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, &out)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	type streamInfo struct {
+		ID          string       `json:"id"`
+		Config      StreamConfig `json:"config"`
+		SealedTasks int          `json:"sealed_tasks"`
+		OpenTasks   int          `json:"open_tasks"`
+		Epoch       uint64       `json:"epoch"`
+		EstimateSeq uint64       `json:"estimate_seq"`
+	}
+	s.mu.RLock()
+	out := make([]streamInfo, 0, len(s.streams))
+	for _, st := range s.streams {
+		sealed, open, epoch := st.store.counts()
+		info := streamInfo{ID: st.id, Config: st.cfg, SealedTasks: sealed, OpenTasks: open, Epoch: epoch}
+		if est := st.estimate.Load(); est != nil {
+			info.EstimateSeq = est.Seq
+		}
+		out = append(out, info)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"streams": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
+
+// handleVarz serves the debug counters: daemon totals plus one block per
+// stream, including estimate staleness and window drop counts.
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{
+		"uptime_ms":           float64(time.Since(s.start)) / float64(time.Millisecond),
+		"estimates_published": s.totals.estimates.Load(),
+		"sweeps_run":          s.totals.sweeps.Load(),
+		"estimate_errors":     s.totals.errors.Load(),
+	}
+	if msg := s.totals.lastErr.Load(); msg != nil {
+		out["last_error"] = *msg
+		if at := s.totals.lastErrDat.Load(); at != nil {
+			out["last_error_at"] = at.Format(time.RFC3339Nano)
+		}
+	}
+	streams := map[string]any{}
+	s.mu.RLock()
+	for id, st := range s.streams {
+		vars := st.c.snapshot()
+		slid, evicted := st.store.dropStats()
+		block := map[string]any{}
+		for k, v := range vars {
+			block[k] = v
+		}
+		block["tasks_slid_off_window"] = slid
+		block["open_tasks_evicted"] = evicted
+		sealed, open, epoch := st.store.counts()
+		block["window_tasks"] = sealed
+		block["open_tasks"] = open
+		block["epoch"] = epoch
+		if est := st.estimate.Load(); est != nil {
+			block["estimate_seq"] = est.Seq
+			block["estimate_staleness_ms"] = float64(time.Since(est.ComputedAt)) / float64(time.Millisecond)
+		}
+		streams[id] = block
+	}
+	s.mu.RUnlock()
+	out["streams"] = streams
+	writeJSON(w, http.StatusOK, out)
+}

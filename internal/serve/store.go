@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// timeTol is the tolerance for the path-order constraint a_e == d_{π(e)}
+// on ingested events (matches the builder's tolerance).
+const timeTol = 1e-6
+
+// taskBuf accumulates one task's events in path order until it is sealed.
+type taskBuf struct {
+	id     string
+	seq    uint64 // creation order, for stale-open eviction
+	events []IngestEvent
+}
+
+// store is the bounded sliding window of one stream: open tasks still
+// receiving events, and sealed tasks eligible for estimation. The window
+// retains the most recent windowTasks sealed tasks; older ones slide off.
+type store struct {
+	mu          sync.Mutex
+	numQueues   int
+	windowTasks int
+
+	nextSeq uint64
+	open    map[string]*taskBuf
+	sealed  []*taskBuf
+	// epoch counts tasks sealed over the stream's lifetime; workers use it
+	// to skip re-estimating an unchanged window.
+	epoch uint64
+
+	slidTasks   uint64 // sealed tasks that slid off the window
+	evictedOpen uint64 // open tasks evicted for exceeding the open cap
+}
+
+func newStore(numQueues, windowTasks int) *store {
+	return &store{
+		numQueues:   numQueues,
+		windowTasks: windowTasks,
+		open:        make(map[string]*taskBuf),
+	}
+}
+
+// append validates one ingested event and adds it to its task, sealing the
+// task when the event is final. It reports whether the event sealed a task.
+func (s *store) append(ev IngestEvent) (sealed bool, err error) {
+	if ev.Task == "" {
+		return false, fmt.Errorf("missing task id")
+	}
+	if ev.Queue < 1 || ev.Queue >= s.numQueues {
+		return false, fmt.Errorf("task %s: queue %d out of range [1,%d)", ev.Task, ev.Queue, s.numQueues)
+	}
+	if math.IsNaN(ev.Arrival) || math.IsInf(ev.Arrival, 0) || math.IsNaN(ev.Depart) || math.IsInf(ev.Depart, 0) {
+		return false, fmt.Errorf("task %s: non-finite event times", ev.Task)
+	}
+	if ev.Depart < ev.Arrival-timeTol {
+		return false, fmt.Errorf("task %s: departure %v before arrival %v", ev.Task, ev.Depart, ev.Arrival)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tb, ok := s.open[ev.Task]
+	if !ok {
+		if ev.Arrival < 0 {
+			return false, fmt.Errorf("task %s: negative entry time %v", ev.Task, ev.Arrival)
+		}
+		tb = &taskBuf{id: ev.Task, seq: s.nextSeq}
+		s.nextSeq++
+		s.open[ev.Task] = tb
+		s.capOpenLocked()
+	} else {
+		prev := tb.events[len(tb.events)-1]
+		if math.Abs(prev.Depart-ev.Arrival) > timeTol {
+			return false, fmt.Errorf("task %s: arrival %v != previous departure %v (events must be in path order)",
+				ev.Task, ev.Arrival, prev.Depart)
+		}
+	}
+	tb.events = append(tb.events, ev)
+	if !ev.Final {
+		return false, nil
+	}
+	delete(s.open, ev.Task)
+	s.sealed = append(s.sealed, tb)
+	s.epoch++
+	if over := len(s.sealed) - s.windowTasks; over > 0 {
+		s.sealed = append(s.sealed[:0:0], s.sealed[over:]...)
+		s.slidTasks += uint64(over)
+	}
+	return true, nil
+}
+
+// capOpenLocked evicts the stalest open task when the open map outgrows
+// the window bound, so tasks that never finalize cannot leak memory.
+func (s *store) capOpenLocked() {
+	if len(s.open) <= s.windowTasks {
+		return
+	}
+	var oldest *taskBuf
+	for _, tb := range s.open {
+		if oldest == nil || tb.seq < oldest.seq {
+			oldest = tb
+		}
+	}
+	delete(s.open, oldest.id)
+	s.evictedOpen++
+}
+
+// counts returns (sealed tasks in window, open tasks, epoch).
+func (s *store) counts() (sealed, open int, epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sealed), len(s.open), s.epoch
+}
+
+// dropStats returns the cumulative slid/evicted counters.
+func (s *store) dropStats() (slid, evictedOpen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slidTasks, s.evictedOpen
+}
+
+// window assembles the sealed tasks, ordered by entry time, into a fresh
+// EventSet carrying the ingested observation mask. It returns the epoch
+// the window corresponds to.
+func (s *store) window() (*trace.EventSet, uint64, error) {
+	s.mu.Lock()
+	tasks := append([]*taskBuf(nil), s.sealed...)
+	epoch := s.epoch
+	s.mu.Unlock()
+	if len(tasks) == 0 {
+		return nil, epoch, fmt.Errorf("serve: no sealed tasks")
+	}
+	sort.SliceStable(tasks, func(i, j int) bool {
+		return tasks[i].events[0].Arrival < tasks[j].events[0].Arrival
+	})
+	b := trace.NewBuilder(s.numQueues)
+	type flag struct{ arr, dep bool }
+	var flags []flag
+	for _, tb := range tasks {
+		entry := tb.events[0]
+		k := b.StartTask(entry.Arrival)
+		// The initial q0 event's departure is the first real event's
+		// arrival (the same latent variable), so its mask follows it.
+		flags = append(flags, flag{true, entry.ObsArrival})
+		for _, ev := range tb.events {
+			if _, err := b.AddEvent(k, ev.State, ev.Queue, ev.Arrival, ev.Depart); err != nil {
+				return nil, epoch, err
+			}
+			flags = append(flags, flag{ev.ObsArrival, ev.ObsDepart})
+		}
+	}
+	es, err := b.Build()
+	if err != nil {
+		return nil, epoch, err
+	}
+	for i := range es.Events {
+		es.Events[i].ObsArrival = flags[i].arr || es.Events[i].Initial()
+		es.Events[i].ObsDepart = flags[i].dep
+	}
+	return es, epoch, nil
+}

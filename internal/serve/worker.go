@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// workerResult is the fan-in record every estimation pass sends to the
+// server's collector goroutine, which aggregates daemon-wide totals.
+type workerResult struct {
+	stream  string
+	seq     uint64
+	epoch   uint64
+	sweeps  uint64
+	elapsed time.Duration
+	err     error
+}
+
+// worker owns one stream's inference loop: a goroutine that wakes on a
+// ticker or an ingest kick, assembles the store's window, runs the
+// warm-started estimator, and publishes immutable snapshots.
+type worker struct {
+	st      *stream
+	results chan<- workerResult
+	est     *core.OnlineEstimator
+	rng     *xrand.RNG
+	seq     uint64
+	// lastEpoch is the store epoch of the last published estimate; the
+	// worker skips passes where no new task has been sealed.
+	lastEpoch uint64
+}
+
+func newWorker(st *stream, results chan<- workerResult) *worker {
+	cfg := st.cfg
+	return &worker{
+		st:      st,
+		results: results,
+		est: core.NewOnlineEstimator(
+			core.EMOptions{Iterations: cfg.EMIters},
+			core.PosteriorOptions{Sweeps: cfg.PostSweeps},
+		),
+		rng: xrand.New(cfg.Seed),
+	}
+}
+
+func (w *worker) run(ctx context.Context) {
+	ticker := time.NewTicker(time.Duration(w.st.cfg.IntervalMS) * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		case <-w.st.kick:
+		}
+		w.runOnce(ctx)
+	}
+}
+
+// runOnce performs one estimation pass if the window grew since the last
+// one. Panics from the numerical stack are contained: a daemon must not
+// die because one window was degenerate.
+func (w *worker) runOnce(ctx context.Context) {
+	sealed, _, epoch := w.st.store.counts()
+	if epoch == w.lastEpoch || sealed < w.st.cfg.MinTasks {
+		w.st.c.SkippedRuns.Add(1)
+		return
+	}
+	start := time.Now()
+	res := workerResult{stream: w.st.id, epoch: epoch}
+	defer func() {
+		if r := recover(); r != nil {
+			res.err = fmt.Errorf("estimation panic: %v", r)
+		}
+		res.elapsed = time.Since(start)
+		if res.err != nil {
+			w.st.c.EstimateErrors.Add(1)
+		}
+		select {
+		case w.results <- res:
+		case <-ctx.Done():
+		}
+	}()
+
+	es, epoch, err := w.st.store.window()
+	if err != nil {
+		res.err = err
+		return
+	}
+	origStart := es.TaskEntry(0)
+	origEnd := es.TaskEntry(es.NumTasks - 1)
+
+	emRes, post, err := w.est.Estimate(es, w.rng)
+	if err != nil {
+		res.err = err
+		return
+	}
+	// Estimate shifted the window toward zero; offset maps shifted times
+	// back to stream time.
+	offset := origStart - es.TaskEntry(0)
+	cfg := w.st.cfg
+	w.seq++
+	meanWait := make([]float64, len(post.MeanWait))
+	copy(meanWait, post.MeanWait)
+	est := &Estimate{
+		Stream:       w.st.id,
+		Seq:          w.seq,
+		Epoch:        epoch,
+		Lambda:       emRes.Params.Rates[0],
+		Rates:        append([]float64(nil), emRes.Params.Rates...),
+		MeanService:  toJSONFloats(post.MeanService),
+		MeanWait:     toJSONFloats(post.MeanWait),
+		Bottleneck:   bottleneckOf(meanWait),
+		WindowTasks:  es.NumTasks,
+		WindowEvents: len(es.Events) - es.NumTasks, // exclude the synthetic q0 entries
+		WindowStart:  origStart,
+		WindowEnd:    origEnd,
+		ComputedAt:   time.Now(),
+		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+	}
+
+	var ws *WindowsSnapshot
+	if cfg.Windows > 0 {
+		ws, err = w.windowed(es, emRes.Params, offset, epoch)
+		if err != nil {
+			res.err = fmt.Errorf("windowed stats: %w", err)
+			return
+		}
+	}
+
+	// Publish the estimate only after every pass succeeded, so the two
+	// snapshots never disagree about seq/epoch.
+	w.st.estimate.Store(est)
+	if ws != nil {
+		w.st.windows.Store(ws)
+	}
+	w.lastEpoch = epoch
+	w.st.c.Estimates.Add(1)
+	res.seq = w.seq
+	res.sweeps = uint64(cfg.EMIters + cfg.PostSweeps + cfg.WindowSweeps)
+	w.st.c.SweepsRun.Add(res.sweeps)
+}
+
+// windowed runs the fixed-parameter windowed posterior pass over the
+// (shifted) window and rebases the bucket bounds to stream time.
+func (w *worker) windowed(es *trace.EventSet, params core.Params, offset float64, epoch uint64) (*WindowsSnapshot, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for q := 1; q < es.NumQueues; q++ {
+		first, last := es.Span(q)
+		if len(es.ByQueue[q]) == 0 {
+			continue
+		}
+		lo = math.Min(lo, first)
+		hi = math.Max(hi, last)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("degenerate window span [%v,%v)", lo, hi)
+	}
+	cfg := w.st.cfg
+	stats, err := core.PosteriorWindows(es, params, w.rng,
+		core.PosteriorOptions{Sweeps: cfg.WindowSweeps}, lo, hi, cfg.Windows)
+	if err != nil {
+		return nil, err
+	}
+	ws := &WindowsSnapshot{
+		Stream:     w.st.id,
+		Seq:        w.seq,
+		Epoch:      epoch,
+		Queues:     make([][]WindowCell, len(stats)),
+		Bottleneck: make([]int, cfg.Windows),
+		ComputedAt: time.Now(),
+	}
+	for q := range stats {
+		ws.Queues[q] = make([]WindowCell, len(stats[q]))
+		for i, cell := range stats[q] {
+			ws.Queues[q][i] = WindowCell{
+				Queue:       cell.Queue,
+				Lo:          cell.Lo + offset,
+				Hi:          cell.Hi + offset,
+				Events:      cell.Events,
+				MeanService: JSONFloat(cell.MeanService),
+				MeanWait:    JSONFloat(cell.MeanWait),
+			}
+		}
+	}
+	for i := 0; i < cfg.Windows; i++ {
+		col := make([]float64, len(stats))
+		for q := range stats {
+			col[q] = stats[q][i].MeanWait
+		}
+		ws.Bottleneck[i] = bottleneckOf(col)
+	}
+	return ws, nil
+}

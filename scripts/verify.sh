@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Full verification gate: vet, build everything (commands and examples
+# included), then run the test suite under the race detector.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
