@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench
+.PHONY: build test race verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -14,5 +14,10 @@ race:
 verify:
 	sh scripts/verify.sh
 
+# bench runs the Gibbs-engine worker-grid benchmarks and writes
+# BENCH_gibbs.json; bench-all smoke-runs every benchmark once.
 bench:
+	sh scripts/bench.sh
+
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -7,7 +7,9 @@ package queueinf
 // regeneration of each figure lives in cmd/qexperiments.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -33,6 +35,23 @@ func benchFig4Config() experiment.Fig4Config {
 // service-time absolute error versus observation fraction.
 func BenchmarkFig4ServiceError(b *testing.B) {
 	cfg := benchFig4Config()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig4(cfg, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if svc, _ := res.MedianErrors(0.25); svc > 0.15 {
+			b.Fatalf("median service error %v implausibly large", svc)
+		}
+	}
+}
+
+// BenchmarkFig4ServiceErrorParallel is the same artifact regenerated with
+// the chromatic parallel sweep engine inside each run (GibbsWorkers =
+// NumCPU, run-level Workers = 1 so the samplers own the cores).
+func BenchmarkFig4ServiceErrorParallel(b *testing.B) {
+	cfg := benchFig4Config()
+	cfg.GibbsWorkers = runtime.NumCPU()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFig4(cfg, io.Discard)
 		if err != nil {
@@ -129,27 +148,107 @@ func BenchmarkSimulate(b *testing.B) {
 	}
 }
 
-// BenchmarkGibbsSweep measures one systematic Gibbs sweep over a 4000-event
-// trace at 10% observation — the unit the paper's running-time discussion
-// is about ("the sampler scales primarily in the number of unobserved
-// arrival events").
+// benchTraceLarge builds the parallel-sweep workload: an 11-queue
+// three-tier network (tiers {2,4,4}), 2000 tasks (22000 events), masked at
+// 10% — the scale where chromatic sharding has enough independent moves
+// per color class to keep several workers busy.
+func benchTraceLarge(b *testing.B) (*EventSet, *Network) {
+	b.Helper()
+	rng := xrand.New(1)
+	net, err := ThreeTier(10, 5, [3]int{2, 4, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth, err := sim.Run(net, rng, sim.Options{Tasks: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth.ObserveTasks(rng, 0.10)
+	return truth, net
+}
+
+// benchWorkerGrid is the worker axis shared by the sweep and posterior
+// benchmarks: the legacy sequential scan (seq), the chromatic engine at 1
+// and 2 workers, and at one worker per CPU.
+func benchWorkerGrid() []struct {
+	name    string
+	workers int
+} {
+	grid := []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 0},
+		{"chromatic-w1", 1},
+		{"chromatic-w2", 2},
+	}
+	if n := runtime.NumCPU(); n > 2 {
+		grid = append(grid, struct {
+			name    string
+			workers int
+		}{fmt.Sprintf("chromatic-w%d", n), n})
+	}
+	return grid
+}
+
+// BenchmarkGibbsSweep measures one systematic Gibbs sweep over a
+// 22000-event trace at 10% observation — the unit the paper's running-time
+// discussion is about ("the sampler scales primarily in the number of
+// unobserved arrival events") — across the sweep engines: the sequential
+// scan and the chromatic parallel engine at 1, 2, and NumCPU workers. The
+// chromatic variants produce bit-identical chains at every worker count.
 func BenchmarkGibbsSweep(b *testing.B) {
-	truth, net := benchTrace(b)
-	working := truth.Clone()
+	truth, net := benchTraceLarge(b)
 	params, err := core.NewParams(net.ServiceRates())
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := (core.OrderInitializer{}).Initialize(working, params); err != nil {
-		b.Fatal(err)
+	for _, bc := range benchWorkerGrid() {
+		b.Run(bc.name, func(b *testing.B) {
+			working := truth.Clone()
+			if err := (core.OrderInitializer{}).Initialize(working, params); err != nil {
+				b.Fatal(err)
+			}
+			var g *core.Gibbs
+			if bc.workers == 0 {
+				g, err = core.NewGibbs(working, params, xrand.New(2))
+			} else {
+				g, err = core.NewParallelGibbs(working, params, xrand.New(2), bc.workers)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Sweep()
+			}
+		})
 	}
-	g, err := core.NewGibbs(working, params, xrand.New(2))
+}
+
+// BenchmarkPosterior measures the full fixed-parameter posterior pass (30
+// sweeps, incremental per-queue statistics) across the same worker grid.
+func BenchmarkPosterior(b *testing.B) {
+	truth, net := benchTraceLarge(b)
+	params, err := core.NewParams(net.ServiceRates())
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g.Sweep()
+	base := truth.Clone()
+	if err := (core.OrderInitializer{}).Initialize(base, params); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range benchWorkerGrid() {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				working := base.Clone()
+				if _, err := core.Posterior(working, params, xrand.New(3), core.PosteriorOptions{
+					Sweeps: 30, Workers: bc.workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -41,6 +41,7 @@ func main() {
 	postSweeps := flag.Int("post-sweeps", 40, "default posterior sweeps per window")
 	windows := flag.Int("windows", 6, "default windowed-stats buckets")
 	windowSweeps := flag.Int("window-sweeps", 30, "default windowed-stats sweeps")
+	workers := flag.Int("workers", 0, "default Gibbs sweep workers per stream (0 sequential, -1 one per CPU)")
 	seed := flag.Uint64("seed", 1, "default stream RNG seed")
 	quiet := flag.Bool("quiet", false, "suppress per-estimate logging")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		PostSweeps:   *postSweeps,
 		Windows:      *windows,
 		WindowSweeps: *windowSweeps,
+		Workers:      *workers,
 		Seed:         *seed,
 	})
 	if !*quiet {

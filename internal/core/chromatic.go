@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// The chromatic parallel engine. Each latent move (an arrival or a final
+// departure) reads and writes only a bounded neighborhood of the event
+// graph: itself, its within-task predecessor π(e), and the within-queue
+// neighbors ρ/ρ⁻¹ of both. Because the π/ρ links are fixed for the whole
+// run (only times change), the moves form a static conflict graph that is
+// colored once at construction; moves sharing a color touch disjoint
+// neighborhoods and can be resampled concurrently without changing any
+// conditional another same-color move sees. A sweep is a barrier-
+// synchronized pass over the color classes.
+//
+// Determinism: each color class is partitioned into fixed-size shards
+// whose boundaries depend only on the event set (never on the worker
+// count), and every shard owns a private RNG stream split from the
+// caller's seed in canonical shard order. Which worker happens to execute
+// a shard is irrelevant — the shard's moves always run in the same order
+// against the same stream — so a fixed seed yields a bit-identical chain
+// at any worker count, including 1.
+
+// shardChunk is the maximum number of moves per shard. It balances
+// scheduling granularity (more shards, better load balance) against
+// per-shard RNG state and dispatch overhead.
+const shardChunk = 64
+
+// gmove identifies one latent move.
+type gmove struct {
+	ev      int32
+	arrival bool // true: arrival move at ev; false: final-departure move
+}
+
+// gshard is a fixed slice of one color class with its private context.
+type gshard struct {
+	moves []int32 // move ids in canonical (ascending) order
+	ctx   moveCtx
+}
+
+// schedule is the immutable chromatic execution plan.
+type schedule struct {
+	moves  []gmove
+	color  []int32 // color of each move
+	colors int
+	shards []gshard
+	// classShards[c] indexes the shards of color class c, in canonical
+	// order (shards never span classes).
+	classShards [][]int
+}
+
+// touched appends the event indices whose times move m reads or writes
+// (its conflict neighborhood) to buf and returns it. Duplicates are fine;
+// callers treat the result as a set.
+func (m gmove) touched(es *trace.EventSet, buf []int32) []int32 {
+	i := int(m.ev)
+	e := &es.Events[i]
+	buf = append(buf, m.ev)
+	if e.PrevQ != trace.None {
+		buf = append(buf, int32(e.PrevQ))
+	}
+	if e.NextQ != trace.None {
+		buf = append(buf, int32(e.NextQ))
+	}
+	if !m.arrival {
+		return buf
+	}
+	p := e.PrevT
+	pe := &es.Events[p]
+	buf = append(buf, int32(p))
+	if pe.PrevQ != trace.None {
+		buf = append(buf, int32(pe.PrevQ))
+	}
+	if pe.NextQ != trace.None {
+		buf = append(buf, int32(pe.NextQ))
+	}
+	return buf
+}
+
+// writers returns, for every event, the moves that write one of its times:
+// an arrival move at e writes a_e and d_{π(e)}; a departure move at e
+// writes d_e. At most two moves write any event.
+func writersByEvent(es *trace.EventSet, moves []gmove) [][2]int32 {
+	w := make([][2]int32, len(es.Events))
+	for i := range w {
+		w[i] = [2]int32{-1, -1}
+	}
+	add := func(ev int, m int32) {
+		if w[ev][0] == -1 {
+			w[ev][0] = m
+		} else {
+			w[ev][1] = m
+		}
+	}
+	for mi, m := range moves {
+		if m.arrival {
+			add(int(m.ev), int32(mi))
+			add(es.Events[m.ev].PrevT, int32(mi))
+		} else {
+			add(int(m.ev), int32(mi))
+		}
+	}
+	return w
+}
+
+// buildSchedule colors the conflict graph and carves the color classes
+// into shards, splitting one RNG stream per shard from rng (consumed
+// deterministically, in shard order).
+func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xrand.RNG) *schedule {
+	s := &schedule{}
+	s.moves = make([]gmove, 0, len(arrivalMoves)+len(departMoves))
+	for _, i := range arrivalMoves {
+		s.moves = append(s.moves, gmove{ev: int32(i), arrival: true})
+	}
+	for _, i := range departMoves {
+		s.moves = append(s.moves, gmove{ev: int32(i), arrival: false})
+	}
+
+	writers := writersByEvent(es, s.moves)
+	// Adjacency: m conflicts with every writer of every event it touches
+	// (touch sets include the move's own writes, so write-write conflicts
+	// are covered symmetrically).
+	adj := make([][]int32, len(s.moves))
+	var buf []int32
+	for mi := range s.moves {
+		buf = s.moves[mi].touched(es, buf[:0])
+		for _, ev := range buf {
+			for _, w := range writers[ev] {
+				if w < 0 || w == int32(mi) {
+					continue
+				}
+				adj[mi] = append(adj[mi], w)
+				adj[w] = append(adj[w], int32(mi))
+			}
+		}
+	}
+
+	// Greedy coloring in canonical move order. usedBy stamps colors with
+	// the move currently probing them, avoiding a clear per move.
+	s.color = make([]int32, len(s.moves))
+	usedBy := make([]int32, 0, 16)
+	for mi := range s.moves {
+		// Mark neighbor colors (only already-colored neighbors matter).
+		for _, n := range adj[mi] {
+			if int(n) >= mi {
+				continue
+			}
+			c := s.color[n]
+			for int(c) >= len(usedBy) {
+				usedBy = append(usedBy, -1)
+			}
+			usedBy[c] = int32(mi)
+		}
+		c := int32(0)
+		for int(c) < len(usedBy) && usedBy[c] == int32(mi) {
+			c++
+		}
+		s.color[mi] = c
+		if int(c)+1 > s.colors {
+			s.colors = int(c) + 1
+		}
+	}
+
+	// Color classes in canonical order, then fixed-size shards per class.
+	classes := make([][]int32, s.colors)
+	for mi := range s.moves {
+		c := s.color[mi]
+		classes[c] = append(classes[c], int32(mi))
+	}
+	s.classShards = make([][]int, s.colors)
+	for c, class := range classes {
+		for lo := 0; lo < len(class); lo += shardChunk {
+			hi := lo + shardChunk
+			if hi > len(class) {
+				hi = len(class)
+			}
+			s.classShards[c] = append(s.classShards[c], len(s.shards))
+			s.shards = append(s.shards, gshard{moves: class[lo:hi:hi]})
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].ctx.rng = rng.Split()
+	}
+	return s
+}
+
+// checkColoring verifies that no two conflicting moves share a color — a
+// debugging invariant used by the unit tests.
+func checkColoring(es *trace.EventSet, s *schedule) error {
+	writers := writersByEvent(es, s.moves)
+	var buf []int32
+	for mi := range s.moves {
+		buf = s.moves[mi].touched(es, buf[:0])
+		for _, ev := range buf {
+			for _, w := range writers[ev] {
+				if w < 0 || w == int32(mi) {
+					continue
+				}
+				if s.color[w] == s.color[mi] {
+					return fmt.Errorf("core: moves %d and %d conflict on event %d but share color %d",
+						mi, w, ev, s.color[mi])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sweepChromatic runs one barrier-synchronized pass over the color
+// classes. Like the sequential engine it alternates scan direction between
+// sweeps: odd sweeps visit the classes in reverse and each shard walks its
+// moves backwards. RNG streams are per shard, so direction changes the
+// move→variate pairing deterministically, never across worker counts.
+func (g *Gibbs) sweepChromatic() {
+	s := g.sched
+	rev := g.sweeps%2 == 1
+	for k := range s.classShards {
+		c := k
+		if rev {
+			c = len(s.classShards) - 1 - k
+		}
+		shardIdx := s.classShards[c]
+		nw := g.workers
+		if nw > len(shardIdx) {
+			nw = len(shardIdx)
+		}
+		if nw <= 1 {
+			for _, si := range shardIdx {
+				g.runShard(si, rev)
+			}
+			continue
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(shardIdx) {
+						return
+					}
+					g.runShard(shardIdx[j], rev)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func (g *Gibbs) runShard(si int, rev bool) {
+	sh := &g.sched.shards[si]
+	mc := &sh.ctx
+	if rev {
+		for k := len(sh.moves) - 1; k >= 0; k-- {
+			g.runMove(mc, sh.moves[k])
+		}
+	} else {
+		for _, m := range sh.moves {
+			g.runMove(mc, m)
+		}
+	}
+}
+
+func (g *Gibbs) runMove(mc *moveCtx, m int32) {
+	mv := g.sched.moves[m]
+	if mv.arrival {
+		g.resampleArrival(mc, int(mv.ev))
+	} else {
+		g.resampleFinalDeparture(mc, int(mv.ev))
+	}
+}

@@ -8,20 +8,38 @@ import (
 	"repro/internal/xrand"
 )
 
+// NoBurnIn is the sentinel for "really use zero burn-in" in
+// PosteriorOptions.BurnIn and EMOptions.BurnIn, whose zero value selects
+// the default burn-in instead.
+const NoBurnIn = -1
+
 // PosteriorOptions configures posterior summarization with fixed
 // parameters.
 type PosteriorOptions struct {
 	// Sweeps is the number of Gibbs sweeps to average over (default 50).
 	Sweeps int
-	// BurnIn sweeps are discarded first (default Sweeps/5).
+	// BurnIn sweeps are discarded first. The zero value selects the
+	// default Sweeps/5; pass NoBurnIn (-1) to keep every sweep.
 	BurnIn int
+	// Workers selects the sweep engine: 0 (the default) runs the
+	// sequential scan; W >= 1 runs the chromatic parallel engine with W
+	// workers (bit-identical output at every W for a fixed seed); W < -1
+	// is treated like -1, which uses runtime.NumCPU() workers.
+	Workers int
+	// DebugStats cross-checks the incremental per-queue statistics
+	// against a full rescan after every sweep (slow; for tests and
+	// debugging).
+	DebugStats bool
 }
 
 func (o PosteriorOptions) withDefaults() PosteriorOptions {
 	if o.Sweeps == 0 {
 		o.Sweeps = 50
 	}
-	if o.BurnIn == 0 {
+	switch {
+	case o.BurnIn < 0:
+		o.BurnIn = 0
+	case o.BurnIn == 0:
 		o.BurnIn = o.Sweeps / 5
 	}
 	return o
@@ -48,42 +66,54 @@ type PosteriorSummary struct {
 // the paper's procedure for waiting-time estimation: "an estimate of the
 // waiting time can be obtained by running the Gibbs sampler with µ̂ fixed."
 // The event set must already be feasible (e.g. the state left by StEM).
+//
+// Per-sweep queue summaries come from the sampler's incremental sufficient
+// statistics — O(queues) per kept sweep instead of a full O(events)
+// rescan; set DebugStats to cross-check them against the rescan.
 func Posterior(es *trace.EventSet, params Params, rng *xrand.RNG, opts PosteriorOptions) (*PosteriorSummary, error) {
 	opts = opts.withDefaults()
 	if opts.BurnIn >= opts.Sweeps {
 		return nil, fmt.Errorf("core: burn-in %d >= sweeps %d", opts.BurnIn, opts.Sweeps)
 	}
-	g, err := NewGibbs(es, params, rng)
+	g, err := newGibbsForWorkers(es, params, rng, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
+	g.EnableQueueStats()
 	nq := es.NumQueues
+	kept := opts.Sweeps - opts.BurnIn
 	sum := &PosteriorSummary{
 		MeanService: make([]float64, nq),
 		MeanWait:    make([]float64, nq),
 		WaitChain:   make([][]float64, nq),
 	}
-	kept := 0
+	// Queues with no events never get chain entries; leave their slots nil
+	// rather than allocating always-empty slices.
+	for q := 0; q < nq; q++ {
+		if len(es.ByQueue[q]) > 0 {
+			sum.WaitChain[q] = make([]float64, 0, kept)
+		}
+	}
+	svc := make([]float64, nq)
+	wait := make([]float64, nq)
 	for sweep := 0; sweep < opts.Sweeps; sweep++ {
 		g.Sweep()
+		if opts.DebugStats {
+			if err := g.CheckQueueStats(1e-9); err != nil {
+				return nil, err
+			}
+		}
 		if sweep < opts.BurnIn {
 			continue
 		}
-		kept++
-		for q, ids := range es.ByQueue {
-			if len(ids) == 0 {
+		g.QueueMeansInto(svc, wait)
+		for q := 0; q < nq; q++ {
+			if len(es.ByQueue[q]) == 0 {
 				continue
 			}
-			var svc, wait float64
-			for _, id := range ids {
-				svc += es.ServiceTime(id)
-				wait += es.WaitTime(id)
-			}
-			svc /= float64(len(ids))
-			wait /= float64(len(ids))
-			sum.MeanService[q] += svc
-			sum.MeanWait[q] += wait
-			sum.WaitChain[q] = append(sum.WaitChain[q], wait)
+			sum.MeanService[q] += svc[q]
+			sum.MeanWait[q] += wait[q]
+			sum.WaitChain[q] = append(sum.WaitChain[q], wait[q])
 		}
 	}
 	for q := 0; q < nq; q++ {

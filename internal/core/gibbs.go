@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -12,6 +13,15 @@ import (
 // times of an event set, conditioned on the observed times, the known FSM
 // paths, and the fixed per-queue arrival order (paper §3). The event set is
 // mutated in place; each Sweep performs one systematic scan.
+//
+// The sampler has two interchangeable engines. NewGibbs builds the
+// sequential engine: one strictly ordered scan consuming the caller's RNG
+// directly. NewParallelGibbs builds the chromatic engine: the latent moves
+// are colored once by their conflict graph and each color class is resampled
+// concurrently by a worker pool, with per-shard RNG streams split from the
+// caller's seed so a fixed seed reproduces a bit-identical chain at every
+// worker count (see chromatic.go). Both engines leave the same posterior
+// invariant; their chains differ only in scan order.
 type Gibbs struct {
 	set    *trace.EventSet
 	params Params
@@ -21,14 +31,109 @@ type Gibbs struct {
 	// unobserved); departMoves lists final events with latent departures.
 	arrivalMoves []int
 	departMoves  []int
-	skipped      int // zero-width conditionals encountered (diagnostics)
 	sweeps       int // completed sweeps (drives the alternating scan order)
+
+	// seq is the sequential engine's single move context; its RNG aliases
+	// the caller's.
+	seq moveCtx
+	// sched is non-nil when the chromatic parallel engine is active.
+	sched   *schedule
+	workers int
+
+	// stats, when non-nil, holds incremental per-queue Σservice/Σwait kept
+	// up to date by O(1) delta hooks on every latent-time write.
+	stats *queueStats
 }
 
-// NewGibbs validates inputs and prepares the move lists. The event set must
-// already be in a feasible state (use an Initializer after masking
-// observations).
+// moveCtx is the per-worker state a scan thread needs: its own RNG stream,
+// its own diagnostics counter, and the staging area of the incremental
+// statistics delta hook. The sequential engine has one; the chromatic
+// engine has one per shard, so no two goroutines ever share a context.
+type moveCtx struct {
+	rng     *xrand.RNG
+	skipped int
+
+	// Incremental-statistics staging: dSvc/dWait are non-nil when the
+	// engine tracks queue statistics. A move stages the service/wait of
+	// the (at most three) events it perturbs before writing, then commits
+	// the differences into the per-queue deltas, which are merged into the
+	// global sums at the end of each sweep.
+	dSvc, dWait []float64
+	nAff        int
+	affEv       [3]int
+	affSvc      [3]float64
+	affWait     [3]float64
+}
+
+// stage records the pre-write service and waiting times of the affected
+// events a, b and c (deduplicated; pass trace.None for an absent event).
+func (mc *moveCtx) stage(es *trace.EventSet, a, b, c int) {
+	mc.nAff = 0
+	mc.stage1(es, a)
+	if b != a {
+		mc.stage1(es, b)
+	}
+	if c != a && c != b {
+		mc.stage1(es, c)
+	}
+}
+
+func (mc *moveCtx) stage1(es *trace.EventSet, id int) {
+	if id == trace.None {
+		return
+	}
+	start := es.ServiceStart(id)
+	e := &es.Events[id]
+	mc.affEv[mc.nAff] = id
+	mc.affSvc[mc.nAff] = e.Depart - start
+	mc.affWait[mc.nAff] = start - e.Arrival
+	mc.nAff++
+}
+
+// commit recomputes the staged events' statistics after the write and
+// accumulates the differences into the per-queue deltas.
+func (mc *moveCtx) commit(es *trace.EventSet) {
+	for k := 0; k < mc.nAff; k++ {
+		id := mc.affEv[k]
+		start := es.ServiceStart(id)
+		e := &es.Events[id]
+		mc.dSvc[e.Queue] += (e.Depart - start) - mc.affSvc[k]
+		mc.dWait[e.Queue] += (start - e.Arrival) - mc.affWait[k]
+	}
+	mc.nAff = 0
+}
+
+// NewGibbs validates inputs and prepares the move lists for the sequential
+// engine. The event set must already be in a feasible state (use an
+// Initializer after masking observations).
 func NewGibbs(es *trace.EventSet, params Params, rng *xrand.RNG) (*Gibbs, error) {
+	return newGibbs(es, params, rng, 0)
+}
+
+// NewParallelGibbs builds the chromatic parallel engine with the given
+// worker count (workers <= 0 selects runtime.NumCPU()). The chain it
+// produces is bit-identical for a fixed seed at every worker count —
+// including 1, which runs the same chromatic schedule on the calling
+// goroutine — so the worker count is purely a throughput knob.
+func NewParallelGibbs(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*Gibbs, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return newGibbs(es, params, rng, workers)
+}
+
+// newGibbsForWorkers maps the Workers option convention shared by
+// PosteriorOptions and EMOptions onto a sampler: 0 keeps the sequential
+// scan, W >= 1 runs the chromatic engine with W workers, W < 0 runs it
+// with NumCPU workers.
+func newGibbsForWorkers(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*Gibbs, error) {
+	if workers == 0 {
+		return NewGibbs(es, params, rng)
+	}
+	return NewParallelGibbs(es, params, rng, workers)
+}
+
+func newGibbs(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*Gibbs, error) {
 	if len(params.Rates) != es.NumQueues {
 		return nil, fmt.Errorf("core: %d rates for %d queues", len(params.Rates), es.NumQueues)
 	}
@@ -43,7 +148,8 @@ func NewGibbs(es *trace.EventSet, params Params, rng *xrand.RNG) (*Gibbs, error)
 	if err := es.Validate(1e-6); err != nil {
 		return nil, fmt.Errorf("core: infeasible initial state: %w", err)
 	}
-	g := &Gibbs{set: es, params: params, rng: rng}
+	g := &Gibbs{set: es, params: params, rng: rng, workers: workers}
+	g.seq.rng = rng
 	for i := range es.Events {
 		e := &es.Events[i]
 		if !e.Initial() && !e.ObsArrival {
@@ -52,6 +158,9 @@ func NewGibbs(es *trace.EventSet, params Params, rng *xrand.RNG) (*Gibbs, error)
 		if e.Final() && !e.ObsDepart {
 			g.departMoves = append(g.departMoves, i)
 		}
+	}
+	if workers > 0 {
+		g.sched = buildSchedule(es, g.arrivalMoves, g.departMoves, rng)
 	}
 	return g, nil
 }
@@ -75,9 +184,31 @@ func (g *Gibbs) Set() *trace.EventSet { return g.set }
 // sweep.
 func (g *Gibbs) NumLatent() int { return len(g.arrivalMoves) + len(g.departMoves) }
 
+// Workers returns the configured worker count (0 for the sequential engine).
+func (g *Gibbs) Workers() int { return g.workers }
+
+// Colors returns the number of color classes of the chromatic schedule, or
+// 0 for the sequential engine.
+func (g *Gibbs) Colors() int {
+	if g.sched == nil {
+		return 0
+	}
+	return g.sched.colors
+}
+
 // Skipped returns how many degenerate (zero-width) conditionals were
 // encountered so far; a large fraction indicates ties in the observed data.
-func (g *Gibbs) Skipped() int { return g.skipped }
+// Counters are kept per worker context and merged here, so the parallel
+// engine needs no atomics on its hot path. Call between sweeps only.
+func (g *Gibbs) Skipped() int {
+	n := g.seq.skipped
+	if g.sched != nil {
+		for i := range g.sched.shards {
+			n += g.sched.shards[i].ctx.skipped
+		}
+	}
+	return n
+}
 
 // Sweep resamples every latent arrival and departure once. The scan
 // alternates direction between calls: event indices are assigned in
@@ -87,23 +218,31 @@ func (g *Gibbs) Skipped() int { return g.skipped }
 // alternating scan order leaves the posterior invariant; alternating just
 // mixes dramatically faster when the state starts far from the posterior
 // mode — e.g. after initialization with a poor service-time target.
+//
+// The chromatic engine alternates analogously over color classes and
+// within-shard move order.
 func (g *Gibbs) Sweep() {
-	if g.sweeps%2 == 0 {
+	if g.sched != nil {
+		g.sweepChromatic()
+	} else if g.sweeps%2 == 0 {
 		for _, i := range g.arrivalMoves {
-			g.resampleArrival(i)
+			g.resampleArrival(&g.seq, i)
 		}
 		for _, i := range g.departMoves {
-			g.resampleFinalDeparture(i)
+			g.resampleFinalDeparture(&g.seq, i)
 		}
 	} else {
 		for k := len(g.departMoves) - 1; k >= 0; k-- {
-			g.resampleFinalDeparture(g.departMoves[k])
+			g.resampleFinalDeparture(&g.seq, g.departMoves[k])
 		}
 		for k := len(g.arrivalMoves) - 1; k >= 0; k-- {
-			g.resampleArrival(g.arrivalMoves[k])
+			g.resampleArrival(&g.seq, g.arrivalMoves[k])
 		}
 	}
 	g.sweeps++
+	if g.stats != nil {
+		g.mergeStats()
+	}
 }
 
 // resampleArrival draws a_e (= d_{π(e)}) from its full conditional. The log
@@ -121,7 +260,7 @@ func (g *Gibbs) Sweep() {
 // When ρ(e) = π(e) (a task revisiting the same queue back-to-back with no
 // interleaved arrival), s_e and s_{pn} coincide and the terms cancel to a
 // uniform conditional; this falls out of the construction below.
-func (g *Gibbs) resampleArrival(i int) {
+func (g *Gibbs) resampleArrival(mc *moveCtx, i int) {
 	es := g.set
 	e := &es.Events[i]
 	p := e.PrevT // always exists: initial events are never arrival moves
@@ -162,7 +301,7 @@ func (g *Gibbs) resampleArrival(i int) {
 	}
 	if !(lo < hi) {
 		// Degenerate interval (ties); keep the current value.
-		g.skipped++
+		mc.skipped++
 		return
 	}
 
@@ -184,12 +323,20 @@ func (g *Gibbs) resampleArrival(i int) {
 			c.addTerm(es.Events[pn].Arrival, rateP)
 		}
 	}
-	a := c.sample(g.rng)
+	a := c.sample(mc.rng)
 	if a < lo {
 		a = lo
 	}
 	if a > hi {
 		a = hi
+	}
+	if mc.dSvc != nil {
+		// Writing a_e (= d_{π(e)}) perturbs exactly s_e, w_e, s_{π(e)}, and
+		// s/w of ρ⁻¹(π(e)) — all inside the move's conflict neighborhood.
+		mc.stage(es, i, p, pe.NextQ)
+		es.SetArrival(i, a)
+		mc.commit(es)
+		return
 	}
 	es.SetArrival(i, a)
 }
@@ -202,7 +349,7 @@ func (g *Gibbs) resampleArrival(i int) {
 //
 // on (start_e, d_next), or (start_e, ∞) when the event is last in its
 // queue.
-func (g *Gibbs) resampleFinalDeparture(i int) {
+func (g *Gibbs) resampleFinalDeparture(mc *moveCtx, i int) {
 	es := g.set
 	e := &es.Events[i]
 	rateE := g.params.Rates[e.Queue]
@@ -213,7 +360,7 @@ func (g *Gibbs) resampleFinalDeparture(i int) {
 		hi = es.Events[e.NextQ].Depart
 	}
 	if !(lo < hi) {
-		g.skipped++
+		mc.skipped++
 		return
 	}
 	var c condSpec
@@ -221,12 +368,19 @@ func (g *Gibbs) resampleFinalDeparture(i int) {
 	if e.NextQ != trace.None {
 		c.addTerm(es.Events[e.NextQ].Arrival, rateE)
 	}
-	d := c.sample(g.rng)
+	d := c.sample(mc.rng)
 	if d < lo {
 		d = lo
 	}
 	if !math.IsInf(hi, 1) && d > hi {
 		d = hi
 	}
-	e.Depart = d
+	if mc.dSvc != nil {
+		// Writing d_e perturbs s_e and s/w of ρ⁻¹(e).
+		mc.stage(es, i, e.NextQ, trace.None)
+		es.SetFinalDepart(i, d)
+		mc.commit(es)
+		return
+	}
+	es.SetFinalDepart(i, d)
 }

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// initializedWorking builds a masked, order-initialized working copy for
+// sampler tests (the state StEM would hand to the posterior pass).
+func initializedWorking(t testing.TB, structure [3]int, tasks int, frac float64, seed uint64) (*trace.EventSet, *trace.EventSet, Params) {
+	t.Helper()
+	net := must(qnet.PaperSynthetic(10, 5, structure))
+	working, truth, _ := simulateObserved(t, net, tasks, frac, seed)
+	params, err := NewParams(net.ServiceRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (OrderInitializer{}).Initialize(working, params); err != nil {
+		t.Fatal(err)
+	}
+	return working, truth, params
+}
+
+func TestChromaticColoringValid(t *testing.T) {
+	working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 300, 0.2, 99)
+	g, err := NewParallelGibbs(working, params, xrand.New(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.sched
+	if s == nil {
+		t.Fatal("parallel sampler has no chromatic schedule")
+	}
+	if g.NumLatent() == 0 {
+		t.Fatal("test trace has no latent moves")
+	}
+	if s.colors < 2 {
+		t.Fatalf("conflict graph colored with %d colors; adjacent latent moves must exist", s.colors)
+	}
+	// No two conflicting moves share a color.
+	if err := checkColoring(working, s); err != nil {
+		t.Fatal(err)
+	}
+	// The shards partition the move set exactly once.
+	seen := make(map[int32]bool, len(s.moves))
+	total := 0
+	for c, shardIdx := range s.classShards {
+		for _, si := range shardIdx {
+			for _, m := range s.shards[si].moves {
+				if seen[m] {
+					t.Fatalf("move %d scheduled twice", m)
+				}
+				if s.color[m] != int32(c) {
+					t.Fatalf("move %d with color %d scheduled in class %d", m, s.color[m], c)
+				}
+				seen[m] = true
+				total++
+			}
+		}
+	}
+	if total != g.NumLatent() {
+		t.Fatalf("schedule covers %d moves, want %d", total, g.NumLatent())
+	}
+}
+
+// TestParallelGibbsDeterministicAcrossWorkers is the determinism contract
+// of the chromatic engine: a fixed seed must reproduce a bit-identical
+// chain (and bit-identical incremental statistics) at every worker count,
+// because RNG streams are bound to shards, not workers.
+func TestParallelGibbsDeterministicAcrossWorkers(t *testing.T) {
+	working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 300, 0.2, 99)
+
+	run := func(workers int) (*trace.EventSet, *Gibbs) {
+		es := working.Clone()
+		g, err := NewParallelGibbs(es, params, xrand.New(7), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.EnableQueueStats()
+		for sweep := 0; sweep < 20; sweep++ {
+			g.Sweep()
+		}
+		return es, g
+	}
+
+	ref, refG := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		es, g := run(workers)
+		for i := range ref.Events {
+			if es.Events[i].Arrival != ref.Events[i].Arrival || es.Events[i].Depart != ref.Events[i].Depart {
+				t.Fatalf("workers=%d: event %d times (%v,%v) differ from 1-worker chain (%v,%v)",
+					workers, i,
+					es.Events[i].Arrival, es.Events[i].Depart,
+					ref.Events[i].Arrival, ref.Events[i].Depart)
+			}
+		}
+		for q := range refG.stats.svc {
+			if g.stats.svc[q] != refG.stats.svc[q] || g.stats.wait[q] != refG.stats.wait[q] {
+				t.Fatalf("workers=%d: queue %d incremental sums differ from 1-worker chain", workers, q)
+			}
+		}
+		if g.Skipped() != refG.Skipped() {
+			t.Fatalf("workers=%d: skipped %d, want %d", workers, g.Skipped(), refG.Skipped())
+		}
+	}
+}
+
+// TestParallelGibbsPreservesFeasibilityAndObservations mirrors the
+// sequential-engine test on the chromatic engine at 4 workers.
+func TestParallelGibbsPreservesFeasibilityAndObservations(t *testing.T) {
+	working, truth, params := initializedWorking(t, [3]int{1, 2, 4}, 300, 0.2, 99)
+	g, err := NewParallelGibbs(working, params, xrand.New(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 25; sweep++ {
+		g.Sweep()
+		if err := working.Validate(1e-6); err != nil {
+			t.Fatalf("sweep %d broke feasibility: %v", sweep, err)
+		}
+	}
+	for i := range truth.Events {
+		te, we := &truth.Events[i], &working.Events[i]
+		if te.ObsArrival && math.Abs(te.Arrival-we.Arrival) > 0 {
+			t.Fatalf("event %d observed arrival moved: %v -> %v", i, te.Arrival, we.Arrival)
+		}
+		if te.Final() && te.ObsDepart && te.Depart != we.Depart {
+			t.Fatalf("event %d observed final departure moved", i)
+		}
+	}
+}
+
+// TestParallelGibbsStationaryAtTruth runs the stationarity-at-truth check
+// through the chromatic engine at 4 workers: starting at the ground truth
+// with the true rates, per-queue posterior mean service must not drift.
+func TestParallelGibbsStationaryAtTruth(t *testing.T) {
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{2, 1, 4}))
+	working, truth, _ := simulateObserved(t, net, 400, 0.25, 3)
+	params, err := NewParams(net.ServiceRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewParallelGibbs(working, params, xrand.New(11), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nq := working.NumQueues
+	acc := make([]stats.Online, nq)
+	for sweep := 0; sweep < 300; sweep++ {
+		g.Sweep()
+		if sweep < 50 {
+			continue
+		}
+		ms := working.MeanServiceByQueue()
+		for q := 0; q < nq; q++ {
+			acc[q].Add(ms[q])
+		}
+	}
+	trueMS := truth.MeanServiceByQueue()
+	for q := 1; q < nq; q++ {
+		got := acc[q].Mean()
+		if math.Abs(got-trueMS[q]) > 0.5*trueMS[q]+0.02 {
+			t.Errorf("queue %d: posterior mean service %v drifted from truth %v", q, got, trueMS[q])
+		}
+	}
+}
+
+// TestIncrementalStatsMatchRescan is the debug cross-check of the
+// incremental sufficient statistics: on both engines the running per-queue
+// Σservice/Σwait must track a full rescan to within 1e-9 after every
+// sweep.
+func TestIncrementalStatsMatchRescan(t *testing.T) {
+	working, _, params := initializedWorking(t, [3]int{2, 1, 4}, 400, 0.1, 17)
+	for _, workers := range []int{0, 4} {
+		es := working.Clone()
+		g, err := newGibbsForWorkers(es, params, xrand.New(23), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.EnableQueueStats()
+		for sweep := 0; sweep < 40; sweep++ {
+			g.Sweep()
+			if err := g.CheckQueueStats(1e-9); err != nil {
+				t.Fatalf("workers=%d sweep %d: %v", workers, sweep, err)
+			}
+		}
+		svc, wait := es.SumServiceWaitByQueue()
+		for q := range svc {
+			if d := math.Abs(g.stats.svc[q] - svc[q]); d > 1e-9 {
+				t.Fatalf("workers=%d queue %d: |incremental - rescan| service = %v > 1e-9", workers, q, d)
+			}
+			if d := math.Abs(g.stats.wait[q] - wait[q]); d > 1e-9 {
+				t.Fatalf("workers=%d queue %d: |incremental - rescan| wait = %v > 1e-9", workers, q, d)
+			}
+		}
+	}
+}
+
+// TestPosteriorParallelDebugStats runs the full posterior pass on the
+// chromatic engine with the per-sweep rescan cross-check enabled.
+func TestPosteriorParallelDebugStats(t *testing.T) {
+	working, truth, params := initializedWorking(t, [3]int{1, 2, 4}, 300, 0.25, 41)
+	sum, err := Posterior(working, params, xrand.New(9), PosteriorOptions{
+		Sweeps: 40, Workers: 4, DebugStats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMW := truth.MeanWaitByQueue()
+	for q := 1; q < truth.NumQueues; q++ {
+		if math.IsNaN(sum.MeanWait[q]) {
+			t.Fatalf("queue %d: NaN posterior wait", q)
+		}
+		if math.Abs(sum.MeanWait[q]-trueMW[q]) > 0.5*trueMW[q]+0.05 {
+			t.Errorf("queue %d: posterior wait %v far from truth %v", q, sum.MeanWait[q], trueMW[q])
+		}
+	}
+}
+
+// TestBurnInSentinel covers the explicit-zero-burn-in fix: BurnIn: 0 keeps
+// the documented default, NoBurnIn really disables burn-in.
+func TestBurnInSentinel(t *testing.T) {
+	working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 60, 0.3, 77)
+
+	sum, err := Posterior(working.Clone(), params, xrand.New(2), PosteriorOptions{Sweeps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sweeps != 8 { // default burn-in Sweeps/5 = 2
+		t.Fatalf("default burn-in kept %d sweeps, want 8", sum.Sweeps)
+	}
+	sum, err = Posterior(working.Clone(), params, xrand.New(2), PosteriorOptions{Sweeps: 10, BurnIn: NoBurnIn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sweeps != 10 {
+		t.Fatalf("NoBurnIn kept %d sweeps, want 10", sum.Sweeps)
+	}
+
+	// StEM: NoBurnIn averages every iterate; History confirms the run size.
+	res, err := StEM(working.Clone(), xrand.New(3), EMOptions{Iterations: 10, BurnIn: NoBurnIn, KeepHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 10 {
+		t.Fatalf("StEM ran %d iterations, want 10", len(res.History))
+	}
+}
+
+// TestPosteriorWaitChainSkipsEmptyQueues: queues with no events must keep
+// a nil WaitChain slot (and NaN means) instead of an allocated empty one.
+func TestPosteriorWaitChainSkipsEmptyQueues(t *testing.T) {
+	b := trace.NewBuilder(4) // queue 3 never used
+	entry := 0.0
+	for k := 0; k < 20; k++ {
+		entry += 0.5
+		task := b.StartTask(entry)
+		if _, err := b.AddEvent(task, 0, 1, entry, entry+0.2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.AddEvent(task, 1, 2, entry+0.2, entry+0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.ObserveTasks(xrand.New(1), 0.5)
+	params, err := NewParams([]float64{2, 5, 10, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (OrderInitializer{}).Initialize(es, params); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Posterior(es, params, xrand.New(4), PosteriorOptions{Sweeps: 10, DebugStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.WaitChain[3] != nil {
+		t.Fatalf("empty queue got a WaitChain slice (len %d)", len(sum.WaitChain[3]))
+	}
+	if !math.IsNaN(sum.MeanWait[3]) || !math.IsNaN(sum.MeanService[3]) {
+		t.Fatalf("empty queue means not NaN: %v %v", sum.MeanWait[3], sum.MeanService[3])
+	}
+	for q := 1; q <= 2; q++ {
+		if len(sum.WaitChain[q]) != sum.Sweeps {
+			t.Fatalf("queue %d chain has %d entries, want %d", q, len(sum.WaitChain[q]), sum.Sweeps)
+		}
+	}
+}

@@ -80,6 +80,68 @@ func TestPipelinePropertyRandomNetworks(t *testing.T) {
 	}
 }
 
+// TestPipelinePropertyRandomNetworksParallel re-runs the randomized
+// pipeline sweep with the chromatic parallel engine (4 workers) and the
+// incremental-statistics cross-check enabled; under -race this doubles as
+// the data-race gate for the parallel path across many network shapes.
+func TestPipelinePropertyRandomNetworksParallel(t *testing.T) {
+	meta := xrand.New(192837)
+	for trial := 0; trial < 6; trial++ {
+		nTiers := 1 + meta.Intn(3)
+		tiers := make([]qnet.TierSpec, nTiers)
+		for i := range tiers {
+			tiers[i] = qnet.TierSpec{
+				Name:     "t" + string(rune('a'+i)),
+				Replicas: 1 + meta.Intn(3),
+				Service:  dist.NewExponential(meta.Uniform(2, 12)),
+			}
+		}
+		lambda := meta.Uniform(1, 8)
+		frac := []float64{0.02, 0.1, 0.3, 0.8}[meta.Intn(4)]
+		tasks := 60 + meta.Intn(200)
+
+		net, err := qnet.Tiered(dist.NewExponential(lambda), tiers)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r := xrand.New(uint64(5100 + trial))
+		truth, err := sim.Run(net, r, sim.Options{Tasks: tasks})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		truth.ObserveTasks(r, frac)
+		working := truth.Clone()
+		res, err := StEM(working, r, EMOptions{Iterations: 60, Workers: 4})
+		if err != nil {
+			t.Fatalf("trial %d (λ=%.2f frac=%v tiers=%d): %v", trial, lambda, frac, nTiers, err)
+		}
+		if err := working.Validate(1e-6); err != nil {
+			t.Fatalf("trial %d: post-StEM state invalid: %v", trial, err)
+		}
+		for i := range truth.Events {
+			te, we := &truth.Events[i], &working.Events[i]
+			if te.ObsArrival && te.Arrival != we.Arrival {
+				t.Fatalf("trial %d: observed arrival %d moved", trial, i)
+			}
+			if te.Final() && te.ObsDepart && te.Depart != we.Depart {
+				t.Fatalf("trial %d: observed departure %d moved", trial, i)
+			}
+		}
+		sum, err := Posterior(working, res.Params, r, PosteriorOptions{Sweeps: 20, Workers: 4, DebugStats: true})
+		if err != nil {
+			t.Fatalf("trial %d posterior: %v", trial, err)
+		}
+		for q := 1; q < truth.NumQueues; q++ {
+			if len(truth.ByQueue[q]) == 0 {
+				continue
+			}
+			if math.IsNaN(sum.MeanWait[q]) || sum.MeanWait[q] < -1e-9 {
+				t.Fatalf("trial %d: wait estimate %v at queue %d", trial, sum.MeanWait[q], q)
+			}
+		}
+	}
+}
+
 // TestPipelineZeroAndFullObservationExtremes checks the two boundary
 // observation regimes on an overloaded network.
 func TestPipelineZeroAndFullObservationExtremes(t *testing.T) {

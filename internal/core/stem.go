@@ -17,8 +17,14 @@ type EMOptions struct {
 	// 1000+ iterations (the experiment harness uses 2000).
 	Iterations int
 	// BurnIn is the number of initial iterations excluded from the
-	// parameter average (default Iterations/2).
+	// parameter average. The zero value selects the default Iterations/2;
+	// pass NoBurnIn (-1) to average every iterate.
 	BurnIn int
+	// Workers selects the Gibbs sweep engine for the E-steps: 0 (the
+	// default) runs the sequential scan; W >= 1 runs the chromatic
+	// parallel engine with W workers (bit-identical output at every W for
+	// a fixed seed); negative values use runtime.NumCPU() workers.
+	Workers int
 	// Init constructs the initial feasible state (default OrderInitializer).
 	Init Initializer
 	// InitialParams optionally fixes the starting rates; when nil they are
@@ -35,7 +41,10 @@ func (o EMOptions) withDefaults() EMOptions {
 	if o.Iterations == 0 {
 		o.Iterations = 200
 	}
-	if o.BurnIn == 0 {
+	switch {
+	case o.BurnIn < 0:
+		o.BurnIn = 0
+	case o.BurnIn == 0:
 		o.BurnIn = o.Iterations / 2
 	}
 	if o.Init == nil {
@@ -86,7 +95,7 @@ func StEM(es *trace.EventSet, rng *xrand.RNG, opts EMOptions) (*EMResult, error)
 	if err := opts.Init.Initialize(es, params); err != nil {
 		return nil, fmt.Errorf("core: initialization: %w", err)
 	}
-	g, err := NewGibbs(es, params, rng)
+	g, err := newGibbsForWorkers(es, params, rng, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -44,7 +44,9 @@ type StreamingOptions struct {
 // warm-starting each StEM run from the previous window's estimate. It is
 // the reusable hook behind both StreamingEstimate (consecutive blocks of
 // one trace) and the qserved daemon (sliding windows of a live stream).
-// It is not safe for concurrent use; serialize calls per stream.
+// Setting EM.Workers / Post.Workers runs every window's sweeps on the
+// chromatic parallel engine. It is not safe for concurrent use; serialize
+// calls per stream.
 type OnlineEstimator struct {
 	// EM configures every StEM run. InitialParams seeds only the first
 	// window; later windows warm-start from their predecessor's estimate.
@@ -135,7 +137,7 @@ func StreamingEstimate(es *trace.EventSet, rng *xrand.RNG, opts StreamingOptions
 	if opts.PostSweeps == 0 {
 		opts.PostSweeps = 30
 	}
-	est := NewOnlineEstimator(opts.EM, PosteriorOptions{Sweeps: opts.PostSweeps})
+	est := NewOnlineEstimator(opts.EM, PosteriorOptions{Sweeps: opts.PostSweeps, Workers: opts.EM.Workers})
 	var out []BlockEstimate
 	for b := 0; b < opts.Blocks; b++ {
 		from := b * es.NumTasks / opts.Blocks
@@ -173,7 +175,7 @@ func PosteriorWindows(es *trace.EventSet, params Params, rng *xrand.RNG, opts Po
 	if opts.BurnIn >= opts.Sweeps {
 		return nil, fmt.Errorf("core: burn-in %d >= sweeps %d", opts.BurnIn, opts.Sweeps)
 	}
-	g, err := NewGibbs(es, params, rng)
+	g, err := newGibbsForWorkers(es, params, rng, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

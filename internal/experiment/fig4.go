@@ -35,6 +35,12 @@ type Fig4Config struct {
 	Seed uint64
 	// Workers bounds parallel runs (default NumCPU).
 	Workers int
+	// GibbsWorkers selects the sweep engine inside each run: 0 (the
+	// default) keeps the sequential scan; W >= 1 runs the chromatic
+	// parallel engine with W workers per sampler; -1 uses one per CPU.
+	// Prefer run-level Workers when there are many runs to spread over
+	// cores; GibbsWorkers helps when a single large run dominates.
+	GibbsWorkers int
 }
 
 // DefaultFig4Config returns the paper's configuration.
@@ -175,8 +181,8 @@ func runFig4Job(cfg Fig4Config, si, rep, fi int) ([]Fig4Point, error) {
 	obs := truth.ObserveTasks(r, frac)
 	working := truth.Clone()
 	emRes, sum, err := core.Estimate(working, r,
-		core.EMOptions{Iterations: cfg.EMIterations},
-		core.PosteriorOptions{Sweeps: cfg.PostSweeps})
+		core.EMOptions{Iterations: cfg.EMIterations, Workers: cfg.GibbsWorkers},
+		core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.GibbsWorkers})
 	if err != nil {
 		return nil, err
 	}

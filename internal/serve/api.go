@@ -36,6 +36,12 @@ type StreamConfig struct {
 	Windows int `json:"windows,omitempty"`
 	// WindowSweeps sizes the windowed-stats posterior pass (default 30).
 	WindowSweeps int `json:"window_sweeps,omitempty"`
+	// Workers selects the Gibbs sweep engine for the stream's inference
+	// passes: 0 (the default) runs the sequential scan; W >= 1 runs the
+	// chromatic parallel engine with W workers; -1 uses one worker per CPU.
+	// For a fixed seed the chromatic engine's output is identical at every
+	// W >= 1.
+	Workers int `json:"workers,omitempty"`
 	// Seed seeds the stream's deterministic RNG (default 1).
 	Seed uint64 `json:"seed,omitempty"`
 }
@@ -80,6 +86,9 @@ func (c StreamConfig) validate() error {
 	}
 	if c.IntervalMS < 0 || c.EMIters < 0 || c.PostSweeps < 0 || c.Windows < 0 || c.WindowSweeps < 0 {
 		return fmt.Errorf("serve: negative option in stream config")
+	}
+	if c.Workers < -1 {
+		return fmt.Errorf("serve: workers must be >= -1 (-1 = one per CPU), got %d", c.Workers)
 	}
 	return nil
 }

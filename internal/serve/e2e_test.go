@@ -116,3 +116,79 @@ func TestEndToEndTandemReplay(t *testing.T) {
 		t.Error("estimate counters not advanced")
 	}
 }
+
+// TestEndToEndTandemReplayParallel replays a smaller tandem trace through
+// a stream configured with workers: 4, exercising the chromatic parallel
+// Gibbs engine end to end (StEM E-steps, posterior pass, and windowed
+// stats all run sharded sweeps). Under -race this is the daemon-level
+// data-race gate for the parallel path.
+func TestEndToEndTandemReplayParallel(t *testing.T) {
+	const (
+		lambda = 4.0
+		mu1    = 12.0
+		mu2    = 9.0
+		tasks  = 300
+	)
+	net, err := qnet.Tiered(dist.NewExponential(lambda), []qnet.TierSpec{
+		{Name: "app", Replicas: 1, Service: dist.NewExponential(mu1)},
+		{Name: "db", Replicas: 1, Service: dist.NewExponential(mu2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(24)
+	truth, err := sim.Run(net, rng, sim.Options{Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.ObserveTasks(rng, 0.3)
+
+	srv := New(StreamConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	cfg := StreamConfig{
+		NumQueues: truth.NumQueues, WindowTasks: tasks, MinTasks: 50,
+		IntervalMS: 50, EMIters: 150, PostSweeps: 20, Windows: 4, WindowSweeps: 10,
+		Workers: 4,
+	}
+	if err := c.CreateStream(ctx, "tandem-par", cfg); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Replay(ctx, c, truth, ReplayOptions{Stream: "tandem-par", Batch: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rejected != 0 {
+		t.Fatalf("replay rejected %d events", stats.Rejected)
+	}
+
+	wctx, cancel := context.WithTimeout(ctx, 90*time.Second)
+	defer cancel()
+	est, err := c.WaitForEpoch(wctx, "tandem-par", tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWithin := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s = %.4f, want within %.0f%% of %.4f", name, got, tol*100, want)
+		}
+	}
+	checkWithin("λ̂", est.Lambda, lambda, 0.3)
+	checkWithin("µ̂_1", est.Rates[1], mu1, 0.3)
+	checkWithin("µ̂_2", est.Rates[2], mu2, 0.3)
+
+	ws, err := c.Windows(ctx, "tandem-par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.Queues) != truth.NumQueues || len(ws.Queues[1]) != cfg.Windows {
+		t.Fatalf("windows snapshot shape: queues=%d buckets=%d", len(ws.Queues), len(ws.Queues[1]))
+	}
+}

@@ -42,8 +42,8 @@ func newWorker(st *stream, results chan<- workerResult) *worker {
 		st:      st,
 		results: results,
 		est: core.NewOnlineEstimator(
-			core.EMOptions{Iterations: cfg.EMIters},
-			core.PosteriorOptions{Sweeps: cfg.PostSweeps},
+			core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers},
+			core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.Workers},
 		),
 		rng: xrand.New(cfg.Seed),
 	}
@@ -164,7 +164,7 @@ func (w *worker) windowed(es *trace.EventSet, params core.Params, offset float64
 	}
 	cfg := w.st.cfg
 	stats, err := core.PosteriorWindows(es, params, w.rng,
-		core.PosteriorOptions{Sweeps: cfg.WindowSweeps}, lo, hi, cfg.Windows)
+		core.PosteriorOptions{Sweeps: cfg.WindowSweeps, Workers: cfg.Workers}, lo, hi, cfg.Windows)
 	if err != nil {
 		return nil, err
 	}

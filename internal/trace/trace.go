@@ -113,6 +113,38 @@ func (s *EventSet) SetArrival(i int, t float64) {
 	}
 }
 
+// SetFinalDepart sets the departure time of event i, which must be a
+// task's final event — for non-final events the departure is the next
+// event's arrival (the same latent variable) and must be written through
+// SetArrival on the successor instead.
+func (s *EventSet) SetFinalDepart(i int, t float64) {
+	e := &s.Events[i]
+	if e.NextT != None {
+		panic(fmt.Sprintf("trace: SetFinalDepart on non-final event %d", i))
+	}
+	e.Depart = t
+}
+
+// SumServiceWaitByQueue returns the per-queue totals Σ service time and
+// Σ waiting time over all events, in one pass. It is the full-rescan
+// reference for the incremental sufficient statistics kept by the Gibbs
+// engine (and their initialization).
+func (s *EventSet) SumServiceWaitByQueue() (svc, wait []float64) {
+	svc = make([]float64, s.NumQueues)
+	wait = make([]float64, s.NumQueues)
+	for q, ids := range s.ByQueue {
+		var sv, wt float64
+		for _, id := range ids {
+			start := s.ServiceStart(id)
+			sv += s.Events[id].Depart - start
+			wt += start - s.Events[id].Arrival
+		}
+		svc[q] = sv
+		wait[q] = wt
+	}
+	return svc, wait
+}
+
 // TaskEntry returns the system entry time of task k (the departure of its
 // initial event).
 func (s *EventSet) TaskEntry(k int) float64 {

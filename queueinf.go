@@ -147,6 +147,10 @@ func SpikeWorkload(baseRate, burstFactor, start, width float64) WorkloadGenerato
 	return workload.Spike(baseRate, burstFactor, start, width)
 }
 
+// NoBurnIn disables burn-in in EMOptions/PosteriorOptions (whose zero
+// value selects the default burn-in: Iterations/2 and Sweeps/5).
+const NoBurnIn = core.NoBurnIn
+
 // StEM estimates the rate parameters from a partially observed trace with
 // stochastic EM (paper §4). The event set is mutated in place.
 func StEM(es *EventSet, rng *RNG, opts EMOptions) (*EMResult, error) {

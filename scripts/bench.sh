@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Gibbs-engine benchmark harness: runs the sweep and posterior benchmarks
+# across the worker grid (sequential scan, chromatic engine at 1, 2, and
+# NumCPU workers) and writes the results as JSON to BENCH_gibbs.json at the
+# repo root, for the speedup table in README.md.
+#
+# Usage: sh scripts/bench.sh [benchtime]   (default 5x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-5x}"
+OUT=BENCH_gibbs.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench 'BenchmarkGibbsSweep|BenchmarkPosterior' -benchmem \
+    -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark(GibbsSweep|Posterior)\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip GOMAXPROCS suffix
+    split(name, parts, "/")
+    bench[n] = parts[1]; variant[n] = parts[2]
+    iters[n] = $2; nsop[n] = $3
+    bop[n] = ""; aop[n] = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op") bop[n] = $i
+        if ($(i+1) == "allocs/op") aop[n] = $i
+    }
+    n++
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"results\": [\n", cpu, maxprocs
+    for (i = 0; i < n; i++) {
+        printf "    {\"bench\": \"%s\", \"variant\": \"%s\", \"iters\": %s, \"ns_per_op\": %s",
+            bench[i], variant[i], iters[i], nsop[i]
+        if (bop[i] != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop[i], aop[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' maxprocs="$(nproc 2>/dev/null || echo 1)" "$RAW" > "$OUT"
+
+echo "wrote $OUT"

@@ -8,3 +8,9 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Focused race gate for the chromatic parallel Gibbs engine: the core
+# property/determinism tests and the serve e2e test on the parallel path,
+# with a fresh -count=1 run so schedule/sharding races can't hide behind
+# the test cache.
+go test -race -count=1 -run 'Parallel' ./internal/core ./internal/serve
