@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify bench bench-all
+.PHONY: build test race verify bench bench-all benchdiff
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,9 @@ bench:
 
 bench-all:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# benchdiff re-runs the worker-grid benchmarks and fails on a >20% ns/op
+# or any allocs/op regression in the sweep benchmarks vs BENCH_gibbs.json.
+benchdiff:
+	sh scripts/benchdiff.sh
+

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -44,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "default Gibbs sweep workers per stream (0 sequential, -1 one per CPU)")
 	seed := flag.Uint64("seed", 1, "default stream RNG seed")
 	quiet := flag.Bool("quiet", false, "suppress per-estimate logging")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	flag.Parse()
 
 	srv := serve.New(serve.StreamConfig{
@@ -61,7 +63,24 @@ func main() {
 		srv.SetLogf(log.Printf)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling rides on the API listener: CPU/heap/mutex profiles of
+		// the live daemon under real ingest load (see DESIGN.md §11 for the
+		// workflow). Off by default — don't expose pprof on untrusted
+		// networks.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("qserved: pprof enabled at /debug/pprof/")
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// TestSweepAllocFreeSequential pins the hot-path contract: after the first
+// sweep has warmed the scratch buffers, a sequential Sweep performs zero
+// heap allocations (including the incremental statistics updates).
+func TestSweepAllocFreeSequential(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 300, 0.2, 99)
+	g, err := NewGibbs(working, params, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.EnableQueueStats()
+	g.Sweep() // warm-up
+	if allocs := testing.AllocsPerRun(10, g.Sweep); allocs != 0 {
+		t.Fatalf("sequential Sweep allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestSweepAllocFreeChromatic pins the same contract for the chromatic
+// engine: with the persistent worker pool, steady-state sweeps are
+// allocation-free at any worker count (schedule, RNG streams, scratch
+// contexts, and pool are all built once at construction).
+func TestSweepAllocFreeChromatic(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 300, 0.2, 99)
+		g, err := NewParallelGibbs(working, params, xrand.New(7), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.EnableQueueStats()
+		g.Sweep() // warm-up
+		if allocs := testing.AllocsPerRun(10, g.Sweep); allocs != 0 {
+			t.Fatalf("chromatic Sweep (workers=%d) allocates %v per run, want 0", workers, allocs)
+		}
+		g.Close()
+	}
+}
+
+// waitGoroutines polls until the process goroutine count drops to the
+// target (cleanups and channel-close notifications are asynchronous).
+func waitGoroutines(t *testing.T, target int, gc bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if gc {
+			runtime.GC()
+		}
+		if runtime.NumGoroutine() <= target {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("still %d goroutines, want <= %d", runtime.NumGoroutine(), target)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelPoolCloseDrains checks the explicit teardown path: Close
+// stops every pooled worker, is idempotent, and later sweeps fall back to
+// the inline engine with a bit-identical chain (RNG streams are bound to
+// shards, so the execution engine cannot matter).
+func TestParallelPoolCloseDrains(t *testing.T) {
+	working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 300, 0.2, 99)
+	base := runtime.NumGoroutine()
+
+	ref := working.Clone()
+	refG, err := NewParallelGibbs(ref, params, xrand.New(7), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := working.Clone()
+	g, err := NewParallelGibbs(es, params, xrand.New(7), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.NumGoroutine() <= base {
+		t.Fatal("worker pools spawned no goroutines")
+	}
+	for sweep := 0; sweep < 5; sweep++ {
+		refG.Sweep()
+		g.Sweep()
+	}
+	g.Close()
+	g.Close() // idempotent
+	for sweep := 0; sweep < 5; sweep++ {
+		refG.Sweep() // pooled
+		g.Sweep()    // inline fallback
+	}
+	for i := range ref.Events {
+		if es.Arr[i] != ref.Arr[i] || es.Dep[i] != ref.Dep[i] {
+			t.Fatalf("post-Close chain diverged at event %d", i)
+		}
+	}
+	refG.Close()
+	waitGoroutines(t, base, false)
+}
+
+// TestParallelPoolGCDrains checks the safety net: a sampler that is simply
+// dropped (no Close call) must not leak its pooled workers — the cleanup
+// attached at construction closes the pool once the sampler is collected.
+func TestParallelPoolGCDrains(t *testing.T) {
+	working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 300, 0.2, 99)
+	base := runtime.NumGoroutine()
+	func() {
+		g, err := NewParallelGibbs(working.Clone(), params, xrand.New(7), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Sweep()
+	}()
+	waitGoroutines(t, base, true)
+}

@@ -56,7 +56,7 @@ func SteadyStateEstimate(es *trace.EventSet) *SteadyStateBaseline {
 			pinned = e.ObsDepart
 		}
 		if pinned {
-			if resp := e.Depart - e.Arrival; resp > 0 {
+			if resp := es.Dep[i] - es.Arr[i]; resp > 0 {
 				responses[e.Queue] = append(responses[e.Queue], resp)
 			}
 		}

@@ -26,67 +26,109 @@ import (
 // a shard is irrelevant — the shard's moves always run in the same order
 // against the same stream — so a fixed seed yields a bit-identical chain
 // at any worker count, including 1.
+//
+// Execution: workers are spawned once at construction and parked on a
+// channel barrier (gpool below); each sweep publishes the color classes to
+// the already-running pool, so the steady state allocates nothing. The
+// schedule itself is flat — packed move codes, offset-indexed shards, one
+// RNG block — so building it costs a handful of allocations rather than
+// one per move or shard.
 
 // shardChunk is the maximum number of moves per shard. It balances
 // scheduling granularity (more shards, better load balance) against
 // per-shard RNG state and dispatch overhead.
 const shardChunk = 64
 
-// gmove identifies one latent move.
-type gmove struct {
-	ev      int32
-	arrival bool // true: arrival move at ev; false: final-departure move
+// A move is packed into one int32 code: code >= 0 is an arrival move at
+// event code; code < 0 is a final-departure move at event ^code. Packing
+// keeps the shard scan a single contiguous read.
+
+func packArrival(ev int) int32 { return int32(ev) }
+func packDepart(ev int) int32  { return ^int32(ev) }
+
+// moveEvent returns the event index of a packed move code.
+func moveEvent(code int32) int {
+	if code >= 0 {
+		return int(code)
+	}
+	return int(^code)
 }
 
-// gshard is a fixed slice of one color class with its private context.
-type gshard struct {
-	moves []int32 // move ids in canonical (ascending) order
-	ctx   moveCtx
-}
-
-// schedule is the immutable chromatic execution plan.
+// schedule is the immutable chromatic execution plan, stored flat.
 type schedule struct {
-	moves  []gmove
-	color  []int32 // color of each move
+	// moves lists the packed move codes in canonical order (arrival moves
+	// in event order, then departure moves in event order).
+	moves []int32
+	// color[mi] is the color of canonical move mi.
+	color  []int32
 	colors int
-	shards []gshard
-	// classShards[c] indexes the shards of color class c, in canonical
-	// order (shards never span classes).
-	classShards [][]int
+
+	// order is moves regrouped by color class: the concatenation, in color
+	// order, of each class's moves in canonical order. Shards are
+	// contiguous runs of order.
+	order []int32
+	// shardOff[si]..shardOff[si+1] is shard si's slice of order. Shards
+	// never span color classes.
+	shardOff []int32
+	// classShardOff[c]..classShardOff[c+1] is the shard index range of
+	// color class c.
+	classShardOff []int32
+
+	// rngs holds every shard's private RNG stream in one block, split from
+	// the caller's seed in canonical shard order; ctxs[si].rng points at
+	// rngs[si].
+	rngs []xrand.RNG
+	ctxs []moveCtx
 }
 
-// touched appends the event indices whose times move m reads or writes
-// (its conflict neighborhood) to buf and returns it. Duplicates are fine;
-// callers treat the result as a set.
-func (m gmove) touched(es *trace.EventSet, buf []int32) []int32 {
-	i := int(m.ev)
+// numShards returns the shard count.
+func (s *schedule) numShards() int { return len(s.shardOff) - 1 }
+
+// classShards returns the shard index range of color class c.
+func (s *schedule) classShards(c int) (lo, hi int) {
+	return int(s.classShardOff[c]), int(s.classShardOff[c+1])
+}
+
+// moveTouched writes the event indices whose times the move reads or writes
+// (its conflict neighborhood) into buf and returns the count. Duplicates
+// are fine; callers treat the result as a set. The neighborhood has at most
+// six members, so buf never escapes.
+func moveTouched(es *trace.EventSet, code int32, buf *[6]int32) int {
+	i := moveEvent(code)
 	e := &es.Events[i]
-	buf = append(buf, m.ev)
+	n := 0
+	buf[n] = int32(i)
+	n++
 	if e.PrevQ != trace.None {
-		buf = append(buf, int32(e.PrevQ))
+		buf[n] = int32(e.PrevQ)
+		n++
 	}
 	if e.NextQ != trace.None {
-		buf = append(buf, int32(e.NextQ))
+		buf[n] = int32(e.NextQ)
+		n++
 	}
-	if !m.arrival {
-		return buf
+	if code < 0 {
+		return n
 	}
 	p := e.PrevT
 	pe := &es.Events[p]
-	buf = append(buf, int32(p))
+	buf[n] = int32(p)
+	n++
 	if pe.PrevQ != trace.None {
-		buf = append(buf, int32(pe.PrevQ))
+		buf[n] = int32(pe.PrevQ)
+		n++
 	}
 	if pe.NextQ != trace.None {
-		buf = append(buf, int32(pe.NextQ))
+		buf[n] = int32(pe.NextQ)
+		n++
 	}
-	return buf
+	return n
 }
 
-// writers returns, for every event, the moves that write one of its times:
-// an arrival move at e writes a_e and d_{π(e)}; a departure move at e
-// writes d_e. At most two moves write any event.
-func writersByEvent(es *trace.EventSet, moves []gmove) [][2]int32 {
+// writersByEvent returns, for every event, the moves that write one of its
+// times: an arrival move at e writes a_e and d_{π(e)}; a departure move at
+// e writes d_e. At most two moves write any event.
+func writersByEvent(es *trace.EventSet, moves []int32) [][2]int32 {
 	w := make([][2]int32, len(es.Events))
 	for i := range w {
 		w[i] = [2]int32{-1, -1}
@@ -98,12 +140,11 @@ func writersByEvent(es *trace.EventSet, moves []gmove) [][2]int32 {
 			w[ev][1] = m
 		}
 	}
-	for mi, m := range moves {
-		if m.arrival {
-			add(int(m.ev), int32(mi))
-			add(es.Events[m.ev].PrevT, int32(mi))
-		} else {
-			add(int(m.ev), int32(mi))
+	for mi, code := range moves {
+		ev := moveEvent(code)
+		add(ev, int32(mi))
+		if code >= 0 {
+			add(es.Events[ev].PrevT, int32(mi))
 		}
 	}
 	return w
@@ -111,43 +152,68 @@ func writersByEvent(es *trace.EventSet, moves []gmove) [][2]int32 {
 
 // buildSchedule colors the conflict graph and carves the color classes
 // into shards, splitting one RNG stream per shard from rng (consumed
-// deterministically, in shard order).
+// deterministically, in shard order). Everything is laid out flat with
+// counting passes, so construction performs a constant number of
+// allocations regardless of trace size.
 func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xrand.RNG) *schedule {
 	s := &schedule{}
-	s.moves = make([]gmove, 0, len(arrivalMoves)+len(departMoves))
+	nm := len(arrivalMoves) + len(departMoves)
+	s.moves = make([]int32, 0, nm)
 	for _, i := range arrivalMoves {
-		s.moves = append(s.moves, gmove{ev: int32(i), arrival: true})
+		s.moves = append(s.moves, packArrival(i))
 	}
 	for _, i := range departMoves {
-		s.moves = append(s.moves, gmove{ev: int32(i), arrival: false})
+		s.moves = append(s.moves, packDepart(i))
 	}
 
 	writers := writersByEvent(es, s.moves)
+
 	// Adjacency: m conflicts with every writer of every event it touches
 	// (touch sets include the move's own writes, so write-write conflicts
-	// are covered symmetrically).
-	adj := make([][]int32, len(s.moves))
-	var buf []int32
+	// are covered symmetrically). Built as a flat CSR array with a counting
+	// pass: first accumulate symmetric degrees, then fill.
+	var buf [6]int32
+	deg := make([]int32, nm+1)
 	for mi := range s.moves {
-		buf = s.moves[mi].touched(es, buf[:0])
-		for _, ev := range buf {
-			for _, w := range writers[ev] {
+		n := moveTouched(es, s.moves[mi], &buf)
+		for k := 0; k < n; k++ {
+			for _, w := range writers[buf[k]] {
 				if w < 0 || w == int32(mi) {
 					continue
 				}
-				adj[mi] = append(adj[mi], w)
-				adj[w] = append(adj[w], int32(mi))
+				deg[mi+1]++
+				deg[w+1]++
+			}
+		}
+	}
+	for i := 1; i <= nm; i++ {
+		deg[i] += deg[i-1]
+	}
+	adjOff := deg // prefix sums; consumed as write cursors below
+	adjFlat := make([]int32, adjOff[nm])
+	fill := make([]int32, nm)
+	for mi := range s.moves {
+		n := moveTouched(es, s.moves[mi], &buf)
+		for k := 0; k < n; k++ {
+			for _, w := range writers[buf[k]] {
+				if w < 0 || w == int32(mi) {
+					continue
+				}
+				adjFlat[adjOff[mi]+fill[mi]] = w
+				fill[mi]++
+				adjFlat[adjOff[w]+fill[w]] = int32(mi)
+				fill[w]++
 			}
 		}
 	}
 
 	// Greedy coloring in canonical move order. usedBy stamps colors with
 	// the move currently probing them, avoiding a clear per move.
-	s.color = make([]int32, len(s.moves))
+	s.color = make([]int32, nm)
 	usedBy := make([]int32, 0, 16)
 	for mi := range s.moves {
 		// Mark neighbor colors (only already-colored neighbors matter).
-		for _, n := range adj[mi] {
+		for _, n := range adjFlat[adjOff[mi] : adjOff[mi]+fill[mi]] {
 			if int(n) >= mi {
 				continue
 			}
@@ -167,25 +233,45 @@ func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xra
 		}
 	}
 
-	// Color classes in canonical order, then fixed-size shards per class.
-	classes := make([][]int32, s.colors)
-	for mi := range s.moves {
+	// Regroup moves by color class (counting pass), then carve fixed-size
+	// shards per class.
+	classOff := make([]int32, s.colors+1)
+	for _, c := range s.color {
+		classOff[c+1]++
+	}
+	numShards := 0
+	for c := 0; c < s.colors; c++ {
+		size := int(classOff[c+1])
+		numShards += (size + shardChunk - 1) / shardChunk
+		classOff[c+1] += classOff[c]
+	}
+	s.order = make([]int32, nm)
+	cursor := make([]int32, s.colors)
+	for mi, code := range s.moves {
 		c := s.color[mi]
-		classes[c] = append(classes[c], int32(mi))
+		s.order[classOff[c]+cursor[c]] = code
+		cursor[c]++
 	}
-	s.classShards = make([][]int, s.colors)
-	for c, class := range classes {
-		for lo := 0; lo < len(class); lo += shardChunk {
+	s.shardOff = make([]int32, 1, numShards+1)
+	s.classShardOff = make([]int32, s.colors+1)
+	for c := 0; c < s.colors; c++ {
+		for lo := classOff[c]; lo < classOff[c+1]; lo += shardChunk {
 			hi := lo + shardChunk
-			if hi > len(class) {
-				hi = len(class)
+			if hi > classOff[c+1] {
+				hi = classOff[c+1]
 			}
-			s.classShards[c] = append(s.classShards[c], len(s.shards))
-			s.shards = append(s.shards, gshard{moves: class[lo:hi:hi]})
+			s.shardOff = append(s.shardOff, hi)
 		}
+		s.classShardOff[c+1] = int32(len(s.shardOff) - 1)
 	}
-	for i := range s.shards {
-		s.shards[i].ctx.rng = rng.Split()
+
+	// One flat RNG block and one flat context block, streams split in
+	// canonical shard order.
+	s.rngs = make([]xrand.RNG, numShards)
+	s.ctxs = make([]moveCtx, numShards)
+	for i := range s.rngs {
+		s.rngs[i] = rng.SplitValue()
+		s.ctxs[i].rng = &s.rngs[i]
 	}
 	return s
 }
@@ -194,23 +280,144 @@ func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xra
 // debugging invariant used by the unit tests.
 func checkColoring(es *trace.EventSet, s *schedule) error {
 	writers := writersByEvent(es, s.moves)
-	var buf []int32
+	var buf [6]int32
 	for mi := range s.moves {
-		buf = s.moves[mi].touched(es, buf[:0])
-		for _, ev := range buf {
-			for _, w := range writers[ev] {
+		n := moveTouched(es, s.moves[mi], &buf)
+		for k := 0; k < n; k++ {
+			for _, w := range writers[buf[k]] {
 				if w < 0 || w == int32(mi) {
 					continue
 				}
 				if s.color[w] == s.color[mi] {
 					return fmt.Errorf("core: moves %d and %d conflict on event %d but share color %d",
-						mi, w, ev, s.color[mi])
+						mi, w, buf[k], s.color[mi])
 				}
 			}
 		}
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+
+// gpool is the persistent execution pool of one chromatic sampler. Its
+// workers are spawned once and parked on a channel barrier; each color
+// class of each sweep enlists them by sending one token per helper, and
+// collects them on a buffered done channel. All coordination state (class
+// bounds, scan direction, rate vector) is plain data written by the
+// coordinator before the sends — the channel operations order those writes
+// before any worker read — so the steady-state sweep allocates nothing and
+// needs no locks.
+//
+// The pool deliberately holds no reference to its Gibbs sampler, only to
+// the event set, schedule and rate slice it operates on. That keeps the
+// sampler collectible while workers are parked: a runtime cleanup
+// registered at construction closes the pool when the sampler becomes
+// unreachable (see newGibbs), and an explicit Close is idempotent with it.
+type gpool struct {
+	es    *trace.EventSet
+	sched *schedule
+
+	// Per-dispatch state, written by the coordinator between barriers.
+	rates []float64
+	rev   bool
+	base  int32 // first shard of the class being executed
+	count int32 // shards in that class
+	next  atomic.Int64
+
+	work chan struct{} // parked workers wait here; one token = one helper
+	done chan struct{} // helpers report completion here
+	quit chan struct{} // closed to terminate the workers
+
+	closeOnce sync.Once
+	helpers   int // background workers spawned (worker count - 1)
+}
+
+// newGpool spawns workers-1 parked helper goroutines (the coordinating
+// goroutine is the remaining worker).
+func newGpool(es *trace.EventSet, sched *schedule, workers int) *gpool {
+	p := &gpool{
+		es:      es,
+		sched:   sched,
+		helpers: workers - 1,
+		work:    make(chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < p.helpers; i++ {
+		go p.runWorker()
+	}
+	return p
+}
+
+func (p *gpool) runWorker() {
+	for {
+		select {
+		case <-p.work:
+		case <-p.quit:
+			return
+		}
+		p.runShards()
+		p.done <- struct{}{}
+	}
+}
+
+// runShards claims shards of the current class until none remain. Claiming
+// is work-stealing (atomic counter), which is deterministic-safe: shards
+// own their RNG streams and same-class shards have disjoint write sets, so
+// assignment and interleaving cannot affect the chain.
+func (p *gpool) runShards() {
+	for {
+		j := p.next.Add(1) - 1
+		if j >= int64(p.count) {
+			return
+		}
+		runShard(p.es, p.rates, p.sched, int(p.base)+int(j), p.rev)
+	}
+}
+
+// runClass executes shards [base, base+count) with up to p.helpers helpers
+// plus the calling goroutine, returning when every shard has finished.
+func (p *gpool) runClass(rates []float64, base, count int, rev bool) {
+	p.rates = rates
+	p.rev = rev
+	p.base = int32(base)
+	p.count = int32(count)
+	p.next.Store(0)
+	enlist := p.helpers
+	if enlist > count-1 {
+		enlist = count - 1
+	}
+	for i := 0; i < enlist; i++ {
+		p.work <- struct{}{}
+	}
+	p.runShards()
+	for i := 0; i < enlist; i++ {
+		<-p.done
+	}
+}
+
+// close terminates the parked workers. Safe to call multiple times and
+// concurrently with nothing else; must not race an in-flight sweep.
+func (p *gpool) close() {
+	p.closeOnce.Do(func() { close(p.quit) })
+}
+
+// Close releases the sampler's worker pool, if any. Sweeps remain valid
+// after Close — they run the same schedule inline on the calling goroutine,
+// still bit-identical — so Close is purely a resource release. It is
+// idempotent and also runs automatically when an unclosed sampler becomes
+// unreachable.
+func (g *Gibbs) Close() {
+	if g.pool != nil {
+		g.pool.close()
+		g.pool = nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sweep execution
 
 // sweepChromatic runs one barrier-synchronized pass over the color
 // classes. Like the sequential engine it alternates scan direction between
@@ -220,60 +427,43 @@ func checkColoring(es *trace.EventSet, s *schedule) error {
 func (g *Gibbs) sweepChromatic() {
 	s := g.sched
 	rev := g.sweeps%2 == 1
-	for k := range s.classShards {
+	rates := g.params.Rates
+	for k := 0; k < s.colors; k++ {
 		c := k
 		if rev {
-			c = len(s.classShards) - 1 - k
+			c = s.colors - 1 - k
 		}
-		shardIdx := s.classShards[c]
-		nw := g.workers
-		if nw > len(shardIdx) {
-			nw = len(shardIdx)
-		}
-		if nw <= 1 {
-			for _, si := range shardIdx {
-				g.runShard(si, rev)
-			}
+		lo, hi := s.classShards(c)
+		if g.pool != nil && hi-lo > 1 {
+			g.pool.runClass(rates, lo, hi-lo, rev)
 			continue
 		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					j := int(next.Add(1)) - 1
-					if j >= len(shardIdx) {
-						return
-					}
-					g.runShard(shardIdx[j], rev)
-				}
-			}()
+		for si := lo; si < hi; si++ {
+			runShard(g.set, rates, s, si, rev)
 		}
-		wg.Wait()
 	}
 }
 
-func (g *Gibbs) runShard(si int, rev bool) {
-	sh := &g.sched.shards[si]
-	mc := &sh.ctx
+// runShard executes one shard's moves in canonical (or reversed) order
+// against the shard's private context.
+func runShard(es *trace.EventSet, rates []float64, s *schedule, si int, rev bool) {
+	mc := &s.ctxs[si]
+	lo, hi := s.shardOff[si], s.shardOff[si+1]
 	if rev {
-		for k := len(sh.moves) - 1; k >= 0; k-- {
-			g.runMove(mc, sh.moves[k])
+		for k := hi - 1; k >= lo; k-- {
+			runMove(es, rates, mc, s.order[k])
 		}
 	} else {
-		for _, m := range sh.moves {
-			g.runMove(mc, m)
+		for k := lo; k < hi; k++ {
+			runMove(es, rates, mc, s.order[k])
 		}
 	}
 }
 
-func (g *Gibbs) runMove(mc *moveCtx, m int32) {
-	mv := g.sched.moves[m]
-	if mv.arrival {
-		g.resampleArrival(mc, int(mv.ev))
+func runMove(es *trace.EventSet, rates []float64, mc *moveCtx, code int32) {
+	if code >= 0 {
+		resampleArrival(es, rates, mc, int(code))
 	} else {
-		g.resampleFinalDeparture(mc, int(mv.ev))
+		resampleFinalDeparture(es, rates, mc, int(^code))
 	}
 }

@@ -41,6 +41,12 @@ type DiagnosticsOptions struct {
 	Sweeps, BurnIn int
 	// Level is the credible level (default 0.9).
 	Level float64
+	// Workers selects each chain's sweep engine, with the PosteriorOptions
+	// convention: 0 keeps the sequential scan, W >= 1 runs the chromatic
+	// engine with W workers, W < 0 uses NumCPU. Chains themselves always
+	// run concurrently; Workers adds within-chain parallelism on top, which
+	// helps when there are more cores than chains.
+	Workers int
 }
 
 func (o DiagnosticsOptions) withDefaults() DiagnosticsOptions {
@@ -59,10 +65,22 @@ func (o DiagnosticsOptions) withDefaults() DiagnosticsOptions {
 	return o
 }
 
+// chainClones recycles the per-chain working copies of DiagnosePosterior
+// (and other chain-parallel drivers) across calls, so repeated diagnosis of
+// same-shaped traces stops churning multi-megabyte clone allocations.
+var chainClones trace.ClonePool
+
 // DiagnosePosterior runs several independent Gibbs chains with the given
 // fixed parameters and returns convergence diagnostics and credible
 // intervals for the per-queue mean waiting times. The input event set is
-// not modified (each chain works on a clone).
+// not modified (each chain works on a pooled clone).
+//
+// Chains run concurrently — one goroutine each, with RNG streams split up
+// front in chain order — so wall time scales with available cores while
+// the chains themselves stay bit-identical for a fixed seed at any level
+// of parallelism. Per-sweep queue summaries come from the sampler's
+// incremental statistics (O(queues) per kept sweep, not an O(events)
+// rescan).
 func DiagnosePosterior(es *trace.EventSet, params Params, rng *xrand.RNG, opts DiagnosticsOptions) (*Diagnostics, error) {
 	opts = opts.withDefaults()
 	if opts.BurnIn >= opts.Sweeps {
@@ -86,25 +104,34 @@ func DiagnosePosterior(es *trace.EventSet, params Params, rng *xrand.RNG, opts D
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			work := es.Clone()
+			work := chainClones.Get(es)
+			defer chainClones.Put(work)
 			if err := (OrderInitializer{}).Initialize(work, params); err != nil {
 				errs[c] = fmt.Errorf("core: chain %d init: %w", c, err)
 				return
 			}
-			g, err := NewGibbs(work, params, rngs[c])
+			g, err := newGibbsForWorkers(work, params, rngs[c], opts.Workers)
 			if err != nil {
 				errs[c] = fmt.Errorf("core: chain %d: %w", c, err)
 				return
 			}
+			defer g.Close()
+			g.EnableQueueStats()
+			svc := make([]float64, nq)
+			wait := make([]float64, nq)
 			chains[c] = make([][]float64, nq)
+			kept := opts.Sweeps - opts.BurnIn
+			for q := 0; q < nq; q++ {
+				chains[c][q] = make([]float64, 0, kept)
+			}
 			for sweep := 0; sweep < opts.Sweeps; sweep++ {
 				g.Sweep()
 				if sweep < opts.BurnIn {
 					continue
 				}
-				mw := work.MeanWaitByQueue()
+				g.QueueMeansInto(svc, wait)
 				for q := 0; q < nq; q++ {
-					chains[c][q] = append(chains[c][q], mw[q])
+					chains[c][q] = append(chains[c][q], wait[q])
 				}
 			}
 		}(c)

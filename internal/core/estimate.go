@@ -150,7 +150,9 @@ func Estimate(es *trace.EventSet, rng *xrand.RNG, em EMOptions, post PosteriorOp
 // information unavailable to StEM, as the paper notes) and the ids of the
 // observed tasks. Queues with no observed events yield NaN.
 func BaselineObservedServiceMeans(truth *trace.EventSet, observedTasks []int) []float64 {
-	obs := make(map[int]bool, len(observedTasks))
+	// Dense flag lookup: task ids are [0, NumTasks), and this sits inside
+	// the per-event loop below.
+	obs := make([]bool, truth.NumTasks)
 	for _, k := range observedTasks {
 		obs[k] = true
 	}

@@ -335,20 +335,20 @@ func (g *GeneralGibbs) mhArrival(i int) {
 	rateE := g.proxyRate(e.Queue)
 	rateP := g.proxyRate(pe.Queue)
 
-	lo := pe.Arrival
+	lo := es.Arr[p]
 	if pe.PrevQ != trace.None {
-		if d := es.Events[pe.PrevQ].Depart; d > lo {
+		if d := es.Dep[pe.PrevQ]; d > lo {
 			lo = d
 		}
 	}
 	if e.PrevQ != trace.None && e.PrevQ != p {
-		if a := es.Events[e.PrevQ].Arrival; a > lo {
+		if a := es.Arr[e.PrevQ]; a > lo {
 			lo = a
 		}
 	}
-	hi := e.Depart
+	hi := es.Dep[i]
 	if e.NextQ != trace.None {
-		if a := es.Events[e.NextQ].Arrival; a < hi {
+		if a := es.Arr[e.NextQ]; a < hi {
 			hi = a
 		}
 	}
@@ -357,7 +357,7 @@ func (g *GeneralGibbs) mhArrival(i int) {
 		pn = trace.None
 	}
 	if pn != trace.None {
-		if d := es.Events[pn].Depart; d < hi {
+		if d := es.Dep[pn]; d < hi {
 			hi = d
 		}
 	}
@@ -373,14 +373,14 @@ func (g *GeneralGibbs) mhArrival(i int) {
 		if e.PrevQ == trace.None {
 			c.baseSlope += rateE
 		} else {
-			c.addTerm(es.Events[e.PrevQ].Depart, rateE)
+			c.addTerm(es.Dep[e.PrevQ], rateE)
 		}
 		if pn != trace.None {
-			c.addTerm(es.Events[pn].Arrival, rateP)
+			c.addTerm(es.Arr[pn], rateP)
 		}
 	}
 
-	cur := e.Arrival
+	cur := es.Arr[i]
 	prop := c.sample(g.rng)
 	if prop < lo {
 		prop = lo
@@ -414,7 +414,7 @@ func (g *GeneralGibbs) mhFinalDeparture(i int) {
 	lo := es.ServiceStart(i)
 	hi := math.Inf(1)
 	if e.NextQ != trace.None {
-		hi = es.Events[e.NextQ].Depart
+		hi = es.Dep[e.NextQ]
 	}
 	if !(lo < hi) {
 		return
@@ -422,7 +422,7 @@ func (g *GeneralGibbs) mhFinalDeparture(i int) {
 	var c condSpec
 	c.reset(lo, hi, -rateE)
 	if e.NextQ != trace.None {
-		c.addTerm(es.Events[e.NextQ].Arrival, rateE)
+		c.addTerm(es.Arr[e.NextQ], rateE)
 	}
 
 	local := func() float64 {
@@ -433,7 +433,7 @@ func (g *GeneralGibbs) mhFinalDeparture(i int) {
 		return total
 	}
 
-	cur := e.Depart
+	cur := es.Dep[i]
 	prop := c.sample(g.rng)
 	if prop < lo {
 		prop = lo
@@ -444,7 +444,7 @@ func (g *GeneralGibbs) mhFinalDeparture(i int) {
 
 	logCur := local()
 	qCur := c.logPDF(cur)
-	e.Depart = prop
+	es.Dep[i] = prop
 	logProp := local()
 	qProp := c.logPDF(prop)
 
@@ -454,7 +454,7 @@ func (g *GeneralGibbs) mhFinalDeparture(i int) {
 		g.accepted++
 		return
 	}
-	e.Depart = cur
+	es.Dep[i] = cur
 }
 
 // ---------------------------------------------------------------------------

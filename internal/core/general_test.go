@@ -162,7 +162,7 @@ func TestGeneralGibbsMatchesExactSingleLatent(t *testing.T) {
 	var acc stats.Online
 	for sweep := 0; sweep < 300000; sweep++ {
 		g.Sweep()
-		acc.Add(es.Events[2].Arrival)
+		acc.Add(es.Arr[2])
 	}
 	// Numerical posterior mean on (1, 3).
 	const steps = 200000

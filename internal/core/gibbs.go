@@ -39,6 +39,10 @@ type Gibbs struct {
 	// sched is non-nil when the chromatic parallel engine is active.
 	sched   *schedule
 	workers int
+	// pool is the persistent worker pool, non-nil when workers > 1. It is
+	// closed by Close or, failing that, by a runtime cleanup when the
+	// sampler becomes unreachable.
+	pool *gpool
 
 	// stats, when non-nil, holds incremental per-queue Σservice/Σwait kept
 	// up to date by O(1) delta hooks on every latent-time write.
@@ -83,10 +87,9 @@ func (mc *moveCtx) stage1(es *trace.EventSet, id int) {
 		return
 	}
 	start := es.ServiceStart(id)
-	e := &es.Events[id]
 	mc.affEv[mc.nAff] = id
-	mc.affSvc[mc.nAff] = e.Depart - start
-	mc.affWait[mc.nAff] = start - e.Arrival
+	mc.affSvc[mc.nAff] = es.Dep[id] - start
+	mc.affWait[mc.nAff] = start - es.Arr[id]
 	mc.nAff++
 }
 
@@ -96,9 +99,9 @@ func (mc *moveCtx) commit(es *trace.EventSet) {
 	for k := 0; k < mc.nAff; k++ {
 		id := mc.affEv[k]
 		start := es.ServiceStart(id)
-		e := &es.Events[id]
-		mc.dSvc[e.Queue] += (e.Depart - start) - mc.affSvc[k]
-		mc.dWait[e.Queue] += (start - e.Arrival) - mc.affWait[k]
+		q := es.Events[id].Queue
+		mc.dSvc[q] += (es.Dep[id] - start) - mc.affSvc[k]
+		mc.dWait[q] += (start - es.Arr[id]) - mc.affWait[k]
 	}
 	mc.nAff = 0
 }
@@ -162,6 +165,13 @@ func newGibbs(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*
 	if workers > 0 {
 		g.sched = buildSchedule(es, g.arrivalMoves, g.departMoves, rng)
 	}
+	if workers > 1 {
+		g.pool = newGpool(es, g.sched, workers)
+		// The pool does not reference g, so an unreachable sampler is
+		// collectible while its workers are parked; this cleanup then shuts
+		// them down. An explicit Close is idempotent with it.
+		runtime.AddCleanup(g, func(p *gpool) { p.close() }, g.pool)
+	}
 	return g, nil
 }
 
@@ -203,8 +213,8 @@ func (g *Gibbs) Colors() int {
 func (g *Gibbs) Skipped() int {
 	n := g.seq.skipped
 	if g.sched != nil {
-		for i := range g.sched.shards {
-			n += g.sched.shards[i].ctx.skipped
+		for i := range g.sched.ctxs {
+			n += g.sched.ctxs[i].skipped
 		}
 	}
 	return n
@@ -226,17 +236,17 @@ func (g *Gibbs) Sweep() {
 		g.sweepChromatic()
 	} else if g.sweeps%2 == 0 {
 		for _, i := range g.arrivalMoves {
-			g.resampleArrival(&g.seq, i)
+			resampleArrival(g.set, g.params.Rates, &g.seq, i)
 		}
 		for _, i := range g.departMoves {
-			g.resampleFinalDeparture(&g.seq, i)
+			resampleFinalDeparture(g.set, g.params.Rates, &g.seq, i)
 		}
 	} else {
 		for k := len(g.departMoves) - 1; k >= 0; k-- {
-			g.resampleFinalDeparture(&g.seq, g.departMoves[k])
+			resampleFinalDeparture(g.set, g.params.Rates, &g.seq, g.departMoves[k])
 		}
 		for k := len(g.arrivalMoves) - 1; k >= 0; k-- {
-			g.resampleArrival(&g.seq, g.arrivalMoves[k])
+			resampleArrival(g.set, g.params.Rates, &g.seq, g.arrivalMoves[k])
 		}
 	}
 	g.sweeps++
@@ -260,29 +270,33 @@ func (g *Gibbs) Sweep() {
 // When ρ(e) = π(e) (a task revisiting the same queue back-to-back with no
 // interleaved arrival), s_e and s_{pn} coincide and the terms cancel to a
 // uniform conditional; this falls out of the construction below.
-func (g *Gibbs) resampleArrival(mc *moveCtx, i int) {
-	es := g.set
+//
+// The resamplers are free functions of (event set, rates) rather than Gibbs
+// methods so the persistent worker pool can run them without holding a
+// reference to the sampler — which is what lets an unreachable Gibbs be
+// garbage collected while its pool drains itself (see chromatic.go).
+func resampleArrival(es *trace.EventSet, rates []float64, mc *moveCtx, i int) {
 	e := &es.Events[i]
 	p := e.PrevT // always exists: initial events are never arrival moves
 	pe := &es.Events[p]
-	rateE := g.params.Rates[e.Queue]
-	rateP := g.params.Rates[pe.Queue]
+	rateE := rates[e.Queue]
+	rateP := rates[pe.Queue]
 
 	// Bounds.
-	lo := pe.Arrival // a ≥ a_{π(e)}
+	lo := es.Arr[p] // a ≥ a_{π(e)}
 	if pe.PrevQ != trace.None {
-		if d := es.Events[pe.PrevQ].Depart; d > lo {
+		if d := es.Dep[pe.PrevQ]; d > lo {
 			lo = d
 		}
 	}
 	if e.PrevQ != trace.None && e.PrevQ != p {
-		if a := es.Events[e.PrevQ].Arrival; a > lo {
+		if a := es.Arr[e.PrevQ]; a > lo {
 			lo = a
 		}
 	}
-	hi := e.Depart
+	hi := es.Dep[i]
 	if e.NextQ != trace.None {
-		if a := es.Events[e.NextQ].Arrival; a < hi {
+		if a := es.Arr[e.NextQ]; a < hi {
 			hi = a
 		}
 	}
@@ -295,7 +309,7 @@ func (g *Gibbs) resampleArrival(mc *moveCtx, i int) {
 		pn = trace.None
 	}
 	if pn != trace.None {
-		if d := es.Events[pn].Depart; d < hi {
+		if d := es.Dep[pn]; d < hi {
 			hi = d
 		}
 	}
@@ -317,10 +331,10 @@ func (g *Gibbs) resampleArrival(mc *moveCtx, i int) {
 			// Service of e starts at its own arrival: s_e = d_e − a.
 			c.baseSlope += rateE
 		} else {
-			c.addTerm(es.Events[e.PrevQ].Depart, rateE)
+			c.addTerm(es.Dep[e.PrevQ], rateE)
 		}
 		if pn != trace.None {
-			c.addTerm(es.Events[pn].Arrival, rateP)
+			c.addTerm(es.Arr[pn], rateP)
 		}
 	}
 	a := c.sample(mc.rng)
@@ -349,15 +363,14 @@ func (g *Gibbs) resampleArrival(mc *moveCtx, i int) {
 //
 // on (start_e, d_next), or (start_e, ∞) when the event is last in its
 // queue.
-func (g *Gibbs) resampleFinalDeparture(mc *moveCtx, i int) {
-	es := g.set
+func resampleFinalDeparture(es *trace.EventSet, rates []float64, mc *moveCtx, i int) {
 	e := &es.Events[i]
-	rateE := g.params.Rates[e.Queue]
+	rateE := rates[e.Queue]
 
 	lo := es.ServiceStart(i)
 	hi := math.Inf(1)
 	if e.NextQ != trace.None {
-		hi = es.Events[e.NextQ].Depart
+		hi = es.Dep[e.NextQ]
 	}
 	if !(lo < hi) {
 		mc.skipped++
@@ -366,7 +379,7 @@ func (g *Gibbs) resampleFinalDeparture(mc *moveCtx, i int) {
 	var c condSpec
 	c.reset(lo, hi, -rateE)
 	if e.NextQ != trace.None {
-		c.addTerm(es.Events[e.NextQ].Arrival, rateE)
+		c.addTerm(es.Arr[e.NextQ], rateE)
 	}
 	d := c.sample(mc.rng)
 	if d < lo {

@@ -46,25 +46,33 @@ func TestChromaticColoringValid(t *testing.T) {
 	if err := checkColoring(working, s); err != nil {
 		t.Fatal(err)
 	}
-	// The shards partition the move set exactly once.
+	// The shards partition the move set exactly once, respecting classes.
+	colorOf := make(map[int32]int32, len(s.moves))
+	for mi, code := range s.moves {
+		colorOf[code] = s.color[mi]
+	}
 	seen := make(map[int32]bool, len(s.moves))
 	total := 0
-	for c, shardIdx := range s.classShards {
-		for _, si := range shardIdx {
-			for _, m := range s.shards[si].moves {
-				if seen[m] {
-					t.Fatalf("move %d scheduled twice", m)
+	for c := 0; c < s.colors; c++ {
+		lo, hi := s.classShards(c)
+		for si := lo; si < hi; si++ {
+			for _, code := range s.order[s.shardOff[si]:s.shardOff[si+1]] {
+				if seen[code] {
+					t.Fatalf("move %d scheduled twice", code)
 				}
-				if s.color[m] != int32(c) {
-					t.Fatalf("move %d with color %d scheduled in class %d", m, s.color[m], c)
+				if colorOf[code] != int32(c) {
+					t.Fatalf("move %d with color %d scheduled in class %d", code, colorOf[code], c)
 				}
-				seen[m] = true
+				seen[code] = true
 				total++
 			}
 		}
 	}
 	if total != g.NumLatent() {
 		t.Fatalf("schedule covers %d moves, want %d", total, g.NumLatent())
+	}
+	if got := s.numShards(); got != len(s.shardOff)-1 || s.classShardOff[s.colors] != int32(got) {
+		t.Fatalf("shard bookkeeping inconsistent: %d shards, class offsets end %d", got, s.classShardOff[s.colors])
 	}
 }
 
@@ -92,11 +100,9 @@ func TestParallelGibbsDeterministicAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{2, 3, 8} {
 		es, g := run(workers)
 		for i := range ref.Events {
-			if es.Events[i].Arrival != ref.Events[i].Arrival || es.Events[i].Depart != ref.Events[i].Depart {
+			if es.Arr[i] != ref.Arr[i] || es.Dep[i] != ref.Dep[i] {
 				t.Fatalf("workers=%d: event %d times (%v,%v) differ from 1-worker chain (%v,%v)",
-					workers, i,
-					es.Events[i].Arrival, es.Events[i].Depart,
-					ref.Events[i].Arrival, ref.Events[i].Depart)
+					workers, i, es.Arr[i], es.Dep[i], ref.Arr[i], ref.Dep[i])
 			}
 		}
 		for q := range refG.stats.svc {
@@ -125,11 +131,11 @@ func TestParallelGibbsPreservesFeasibilityAndObservations(t *testing.T) {
 		}
 	}
 	for i := range truth.Events {
-		te, we := &truth.Events[i], &working.Events[i]
-		if te.ObsArrival && math.Abs(te.Arrival-we.Arrival) > 0 {
-			t.Fatalf("event %d observed arrival moved: %v -> %v", i, te.Arrival, we.Arrival)
+		te := &truth.Events[i]
+		if te.ObsArrival && math.Abs(truth.Arr[i]-working.Arr[i]) > 0 {
+			t.Fatalf("event %d observed arrival moved: %v -> %v", i, truth.Arr[i], working.Arr[i])
 		}
-		if te.Final() && te.ObsDepart && te.Depart != we.Depart {
+		if te.Final() && te.ObsDepart && truth.Dep[i] != working.Dep[i] {
 			t.Fatalf("event %d observed final departure moved", i)
 		}
 	}

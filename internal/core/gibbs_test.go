@@ -57,11 +57,11 @@ func TestGibbsPreservesFeasibilityAndObservations(t *testing.T) {
 	}
 	// Observed values must be untouched.
 	for i := range truth.Events {
-		te, we := &truth.Events[i], &working.Events[i]
-		if te.ObsArrival && math.Abs(te.Arrival-we.Arrival) > 0 {
-			t.Fatalf("event %d observed arrival moved: %v -> %v", i, te.Arrival, we.Arrival)
+		te := &truth.Events[i]
+		if te.ObsArrival && math.Abs(truth.Arr[i]-working.Arr[i]) > 0 {
+			t.Fatalf("event %d observed arrival moved: %v -> %v", i, truth.Arr[i], working.Arr[i])
 		}
-		if te.Final() && te.ObsDepart && te.Depart != we.Depart {
+		if te.Final() && te.ObsDepart && truth.Dep[i] != working.Dep[i] {
 			t.Fatalf("event %d observed final departure moved", i)
 		}
 	}
@@ -104,7 +104,7 @@ func TestGibbsExactSingleLatent(t *testing.T) {
 	var acc stats.Online
 	for sweep := 0; sweep < 200000; sweep++ {
 		g.Sweep()
-		acc.Add(es.Events[2].Arrival)
+		acc.Add(es.Arr[2])
 	}
 	// Exact mean of density ∝ exp(m x) on (lo,hi), m = muB - muA = -2:
 	// shifted TruncExp with rate -m on width w: mean = lo + 1/(-m)·... use
@@ -174,8 +174,7 @@ func TestGibbsFullObservationIsNoOp(t *testing.T) {
 	}
 	g.Sweep()
 	for i := range truth.Events {
-		if truth.Events[i].Arrival != working.Events[i].Arrival ||
-			truth.Events[i].Depart != working.Events[i].Depart {
+		if truth.Arr[i] != working.Arr[i] || truth.Dep[i] != working.Dep[i] {
 			t.Fatalf("fully observed sweep changed event %d", i)
 		}
 	}
@@ -199,7 +198,7 @@ func TestGibbsRejectsBadInputs(t *testing.T) {
 	}
 	// Infeasible state (corrupt a latent value grossly).
 	bad := working.Clone()
-	bad.Events[1].Depart = -100
+	bad.Dep[1] = -100
 	if _, err := NewGibbs(bad, good, xrand.New(1)); err == nil {
 		t.Error("infeasible state should fail")
 	}
@@ -228,14 +227,14 @@ func TestGibbsMovesFreeFinalDepartures(t *testing.T) {
 	if !working.Events[last].Final() {
 		t.Fatalf("last event in queue is not final")
 	}
-	before := working.Events[last].Depart
+	before := working.Dep[last]
 	moved := false
 	for sweep := 0; sweep < 10; sweep++ {
 		g.Sweep()
-		if working.Events[last].Depart != before {
+		if working.Dep[last] != before {
 			moved = true
 		}
-		if working.Events[last].Depart < working.ServiceStart(last)-1e-9 {
+		if working.Dep[last] < working.ServiceStart(last)-1e-9 {
 			t.Fatalf("final departure below service start")
 		}
 	}
@@ -279,7 +278,7 @@ func TestGibbsSkipsDegenerateWindows(t *testing.T) {
 	if g.Skipped() < 2 {
 		t.Fatalf("skipped %d, want >= 2", g.Skipped())
 	}
-	if es.Events[2].Arrival != 1.0 {
-		t.Fatalf("degenerate latent moved to %v", es.Events[2].Arrival)
+	if es.Arr[2] != 1.0 {
+		t.Fatalf("degenerate latent moved to %v", es.Arr[2])
 	}
 }

@@ -107,7 +107,7 @@ func (g *depGraph) upperEnvelope() []float64 {
 	ub := make([]float64, n)
 	for i := range ub {
 		if g.pinned[i] {
-			ub[i] = g.es.Events[i].Depart
+			ub[i] = g.es.Dep[i]
 		} else {
 			ub[i] = math.Inf(1)
 		}
@@ -140,7 +140,7 @@ func applyDeparture(es *trace.EventSet, i int, d float64) {
 	if e.NextT != trace.None {
 		es.SetArrival(e.NextT, d)
 	} else {
-		e.Depart = d
+		es.Dep[i] = d
 	}
 }
 
@@ -195,9 +195,9 @@ func (OrderInitializer) Initialize(es *trace.EventSet, targetRates Params) error
 		e := &es.Events[i]
 		d := 0.0
 		if g.pinned[i] {
-			d = e.Depart
+			d = es.Dep[i]
 			if e.NextT != trace.None {
-				d = es.Events[e.NextT].Arrival
+				d = es.Arr[e.NextT]
 			}
 			if d < lo[i]-1e-6 {
 				return fmt.Errorf("core: observed departure %v of event %d below feasible bound %v", d, i, lo[i])
@@ -244,9 +244,9 @@ func compactScale(es *trace.EventSet, g *depGraph) []float64 {
 		if !g.pinned[i] {
 			continue
 		}
-		d := es.Events[i].Depart
+		d := es.Dep[i]
 		if e := &es.Events[i]; e.NextT != trace.None {
-			d = es.Events[e.NextT].Arrival
+			d = es.Arr[e.NextT]
 		}
 		if d > span {
 			span = d
@@ -313,9 +313,9 @@ func (ini LPInitializer) Initialize(es *trace.EventSet, targetRates Params) erro
 	curDepart := func(i int) float64 {
 		e := &es.Events[i]
 		if e.NextT != trace.None {
-			return es.Events[e.NextT].Arrival
+			return es.Arr[e.NextT]
 		}
-		return e.Depart
+		return es.Dep[i]
 	}
 	for i := 0; i < n; i++ {
 		e := &es.Events[i]

@@ -15,13 +15,13 @@ func scrambleLatent(es *trace.EventSet) {
 		e := &es.Events[i]
 		if !e.Initial() && !e.ObsArrival {
 			// Intentionally invalid placeholder.
-			e.Arrival = -1
+			es.Arr[i] = -1
 			if e.PrevT != trace.None {
-				es.Events[e.PrevT].Depart = -1
+				es.Dep[e.PrevT] = -1
 			}
 		}
 		if e.Final() && !e.ObsDepart {
-			e.Depart = -1
+			es.Dep[i] = -1
 		}
 	}
 }
@@ -56,11 +56,11 @@ func TestOrderInitializerPreservesObservations(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range truth.Events {
-		te, we := &truth.Events[i], &working.Events[i]
-		if te.ObsArrival && te.Arrival != we.Arrival {
+		te := &truth.Events[i]
+		if te.ObsArrival && truth.Arr[i] != working.Arr[i] {
 			t.Fatalf("event %d observed arrival changed", i)
 		}
-		if te.Final() && te.ObsDepart && te.Depart != we.Depart {
+		if te.Final() && te.ObsDepart && truth.Dep[i] != working.Dep[i] {
 			t.Fatalf("event %d observed departure changed", i)
 		}
 	}

@@ -151,7 +151,7 @@ func InitialRates(es *trace.EventSet) Params {
 		if !pinned {
 			continue
 		}
-		if resp := e.Depart - e.Arrival; resp > 0 {
+		if resp := es.Dep[i] - es.Arr[i]; resp > 0 {
 			responses[e.Queue] = append(responses[e.Queue], resp)
 		}
 	}
@@ -188,7 +188,7 @@ func observedArrivalRate(es *trace.EventSet) float64 {
 		if next == trace.None || !es.Events[next].ObsArrival {
 			continue
 		}
-		t := es.Events[first].Depart
+		t := es.Dep[first]
 		if t < minE {
 			minE = t
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -123,43 +124,66 @@ func SelectServiceModel(es *trace.EventSet, candidates []CandidateSet, rng *xran
 	}
 
 	init := InitialRates(es)
-	var out SelectionResult
-	for _, cand := range candidates {
-		work := es.Clone()
-		r := rng.Split()
-		models := make([]ServiceModel, es.NumQueues)
-		// Interarrivals stay exponential (Poisson system arrivals); the
-		// candidate family applies to the service queues.
-		models[0] = ExpModel{Rate: init.Rates[0]}
-		for q := 1; q < es.NumQueues; q++ {
-			models[q] = cand.New(1 / init.Rates[q])
-		}
-		res, err := GeneralStEM(work, models, r, opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: fitting %s: %w", cand.Name, err)
-		}
-		var ll float64
-		for q := 1; q < es.NumQueues; q++ {
-			m := res.Models[q]
-			for _, s := range exact[q] {
-				lp := m.LogPDF(s)
-				if math.IsInf(lp, 0) || math.IsNaN(lp) {
-					// Boundary services (s == 0) can be ±Inf for some
-					// families; clamp to keep scores comparable.
-					lp = math.Min(math.Max(lp, -50), 50)
-				}
-				ll += lp
-			}
-		}
-		nServiceQueues := es.NumQueues - 1
-		out.Ranked = append(out.Ranked, ModelScore{
-			Name:       cand.Name,
-			LogLik:     ll,
-			AIC:        2*float64(cand.Params*nServiceQueues) - 2*ll,
-			Models:     res.Models,
-			Acceptance: res.Acceptance,
-		})
+	// Candidate fits are independent, so they run concurrently. RNG streams
+	// are split up front in candidate order — exactly the values the old
+	// sequential loop drew — so the ranking is bit-identical to a serial
+	// run for a fixed seed, regardless of goroutine scheduling.
+	rngs := make([]*xrand.RNG, len(candidates))
+	for i := range rngs {
+		rngs[i] = rng.Split()
 	}
+	scores := make([]ModelScore, len(candidates))
+	errs := make([]error, len(candidates))
+	var wg sync.WaitGroup
+	for ci := range candidates {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cand := candidates[ci]
+			work := chainClones.Get(es)
+			defer chainClones.Put(work)
+			models := make([]ServiceModel, es.NumQueues)
+			// Interarrivals stay exponential (Poisson system arrivals); the
+			// candidate family applies to the service queues.
+			models[0] = ExpModel{Rate: init.Rates[0]}
+			for q := 1; q < es.NumQueues; q++ {
+				models[q] = cand.New(1 / init.Rates[q])
+			}
+			res, err := GeneralStEM(work, models, rngs[ci], opts)
+			if err != nil {
+				errs[ci] = fmt.Errorf("core: fitting %s: %w", cand.Name, err)
+				return
+			}
+			var ll float64
+			for q := 1; q < es.NumQueues; q++ {
+				m := res.Models[q]
+				for _, s := range exact[q] {
+					lp := m.LogPDF(s)
+					if math.IsInf(lp, 0) || math.IsNaN(lp) {
+						// Boundary services (s == 0) can be ±Inf for some
+						// families; clamp to keep scores comparable.
+						lp = math.Min(math.Max(lp, -50), 50)
+					}
+					ll += lp
+				}
+			}
+			nServiceQueues := es.NumQueues - 1
+			scores[ci] = ModelScore{
+				Name:       cand.Name,
+				LogLik:     ll,
+				AIC:        2*float64(cand.Params*nServiceQueues) - 2*ll,
+				Models:     res.Models,
+				Acceptance: res.Acceptance,
+			}
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := SelectionResult{Ranked: scores}
 	sort.Slice(out.Ranked, func(i, j int) bool { return out.Ranked[i].AIC < out.Ranked[j].AIC })
 	return &out, nil
 }

@@ -56,11 +56,11 @@ func TestPipelinePropertyRandomNetworks(t *testing.T) {
 			}
 		}
 		for i := range truth.Events {
-			te, we := &truth.Events[i], &working.Events[i]
-			if te.ObsArrival && te.Arrival != we.Arrival {
+			te := &truth.Events[i]
+			if te.ObsArrival && truth.Arr[i] != working.Arr[i] {
 				t.Fatalf("trial %d: observed arrival %d moved", trial, i)
 			}
-			if te.Final() && te.ObsDepart && te.Depart != we.Depart {
+			if te.Final() && te.ObsDepart && truth.Dep[i] != working.Dep[i] {
 				t.Fatalf("trial %d: observed departure %d moved", trial, i)
 			}
 		}
@@ -119,11 +119,11 @@ func TestPipelinePropertyRandomNetworksParallel(t *testing.T) {
 			t.Fatalf("trial %d: post-StEM state invalid: %v", trial, err)
 		}
 		for i := range truth.Events {
-			te, we := &truth.Events[i], &working.Events[i]
-			if te.ObsArrival && te.Arrival != we.Arrival {
+			te := &truth.Events[i]
+			if te.ObsArrival && truth.Arr[i] != working.Arr[i] {
 				t.Fatalf("trial %d: observed arrival %d moved", trial, i)
 			}
-			if te.Final() && te.ObsDepart && te.Depart != we.Depart {
+			if te.Final() && te.ObsDepart && truth.Dep[i] != working.Dep[i] {
 				t.Fatalf("trial %d: observed departure %d moved", trial, i)
 			}
 		}

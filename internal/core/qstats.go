@@ -39,16 +39,17 @@ func (g *Gibbs) EnableQueueStats() {
 		cSvc: make([]float64, nq),
 		cWait: make([]float64, nq),
 	}
-	enable := func(mc *moveCtx) {
-		if mc.dSvc == nil {
-			mc.dSvc = make([]float64, nq)
-			mc.dWait = make([]float64, nq)
-		}
+	if g.seq.dSvc == nil {
+		g.seq.dSvc = make([]float64, nq)
+		g.seq.dWait = make([]float64, nq)
 	}
-	enable(&g.seq)
-	if g.sched != nil {
-		for i := range g.sched.shards {
-			enable(&g.sched.shards[i].ctx)
+	if g.sched != nil && len(g.sched.ctxs) > 0 && g.sched.ctxs[0].dSvc == nil {
+		// One flat backing array for every shard context's delta pair.
+		backing := make([]float64, 2*nq*len(g.sched.ctxs))
+		for i := range g.sched.ctxs {
+			base := 2 * nq * i
+			g.sched.ctxs[i].dSvc = backing[base : base+nq : base+nq]
+			g.sched.ctxs[i].dWait = backing[base+nq : base+2*nq : base+2*nq]
 		}
 	}
 }
@@ -70,8 +71,8 @@ func (g *Gibbs) mergeStats() {
 		}
 	}
 	if g.sched != nil {
-		for i := range g.sched.shards {
-			merge(&g.sched.shards[i].ctx)
+		for i := range g.sched.ctxs {
+			merge(&g.sched.ctxs[i])
 		}
 		return
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; alloc-count
+// assertions are skipped under -race because instrumentation allocates.
+const raceEnabled = false

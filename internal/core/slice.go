@@ -81,20 +81,20 @@ func (g *GeneralGibbs) sliceArrival(i int) {
 	p := e.PrevT
 	pe := &es.Events[p]
 
-	lo := pe.Arrival
+	lo := es.Arr[p]
 	if pe.PrevQ != trace.None {
-		if d := es.Events[pe.PrevQ].Depart; d > lo {
+		if d := es.Dep[pe.PrevQ]; d > lo {
 			lo = d
 		}
 	}
 	if e.PrevQ != trace.None && e.PrevQ != p {
-		if a := es.Events[e.PrevQ].Arrival; a > lo {
+		if a := es.Arr[e.PrevQ]; a > lo {
 			lo = a
 		}
 	}
-	hi := e.Depart
+	hi := es.Dep[i]
 	if e.NextQ != trace.None {
-		if a := es.Events[e.NextQ].Arrival; a < hi {
+		if a := es.Arr[e.NextQ]; a < hi {
 			hi = a
 		}
 	}
@@ -103,14 +103,14 @@ func (g *GeneralGibbs) sliceArrival(i int) {
 		pn = trace.None
 	}
 	if pn != trace.None {
-		if d := es.Events[pn].Depart; d < hi {
+		if d := es.Dep[pn]; d < hi {
 			hi = d
 		}
 	}
 	if !(lo < hi) {
 		return
 	}
-	cur := e.Arrival
+	cur := es.Arr[i]
 	logf := func(x float64) float64 {
 		es.SetArrival(i, x)
 		return g.localArrivalLogDensity(i)
@@ -130,14 +130,14 @@ func (g *GeneralGibbs) sliceFinalDeparture(i int) {
 	lo := es.ServiceStart(i)
 	hi := math.Inf(1)
 	if e.NextQ != trace.None {
-		hi = es.Events[e.NextQ].Depart
+		hi = es.Dep[e.NextQ]
 	}
 	if !(lo < hi) {
 		return
 	}
-	cur := e.Depart
+	cur := es.Dep[i]
 	logf := func(x float64) float64 {
-		e.Depart = x
+		es.Dep[i] = x
 		total := g.models[e.Queue].LogPDF(es.ServiceTime(i))
 		if e.NextQ != trace.None {
 			total += g.models[e.Queue].LogPDF(es.ServiceTime(e.NextQ))
@@ -167,9 +167,9 @@ func (g *GeneralGibbs) sliceFinalDeparture(i int) {
 				h = x
 			}
 		}
-		e.Depart = next
+		es.Dep[i] = next
 		return
 	}
 	next := sliceSample(g.rng, lo, hi, cur, logf)
-	e.Depart = next
+	es.Dep[i] = next
 }

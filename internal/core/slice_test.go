@@ -25,7 +25,7 @@ func TestSliceMatchesExactSingleLatent(t *testing.T) {
 	var acc stats.Online
 	for sweep := 0; sweep < 300000; sweep++ {
 		g.SweepSlice()
-		acc.Add(es.Events[2].Arrival)
+		acc.Add(es.Arr[2])
 	}
 	const steps = 200000
 	lo, hi := 1.0, 3.0

@@ -31,7 +31,8 @@ func TestSubsetTasksRoundTrip(t *testing.T) {
 	}
 	for j := range origIDs {
 		oe, se := working.Events[origIDs[j]], sub.Events[subIDs[j]]
-		if oe.Arrival != se.Arrival || oe.Depart != se.Depart || oe.Queue != se.Queue {
+		if working.Arr[origIDs[j]] != sub.Arr[subIDs[j]] ||
+			working.Dep[origIDs[j]] != sub.Dep[subIDs[j]] || oe.Queue != se.Queue {
 			t.Fatalf("event %d mismatch: %+v vs %+v", j, oe, se)
 		}
 		if oe.ObsArrival != se.ObsArrival {

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -78,54 +79,93 @@ func RunRobustness(cfg RobustnessConfig, progress io.Writer) ([]RobustnessRow, *
 	}
 
 	const meanSvc = 0.2
+	// Every (family, rep) cell derives its RNG from jobSeed alone, so the
+	// cells are independent and run concurrently; per-rep errors land in
+	// indexed slots and are concatenated in rep order, making the rows
+	// bit-identical to a sequential sweep.
+	type repResult struct {
+		expErrs, genErrs []float64
+		err              error
+	}
+	results := make([][]repResult, len(families))
+	var (
+		wg   sync.WaitGroup
+		pmu  sync.Mutex
+		done int
+	)
+	for fi := range families {
+		results[fi] = make([]repResult, cfg.Reps)
+		for rep := 0; rep < cfg.Reps; rep++ {
+			wg.Add(1)
+			go func(fi, rep int) {
+				defer wg.Done()
+				fam := families[fi]
+				out := &results[fi][rep]
+				r := xrand.New(jobSeed(cfg.Seed, int(fam.cv2*100), rep, 3))
+				net, err := qnet.Tiered(dist.NewExponential(2), []qnet.TierSpec{
+					{Name: "a", Replicas: 1, Service: fam.mk(meanSvc)},
+					{Name: "b", Replicas: 2, Service: fam.mk(meanSvc)},
+				})
+				if err != nil {
+					out.err = err
+					return
+				}
+				truth, err := sim.Run(net, r, sim.Options{Tasks: cfg.Tasks})
+				if err != nil {
+					out.err = err
+					return
+				}
+				truth.ObserveTasks(r, cfg.Fraction)
+				trueMS := truth.MeanServiceByQueue()
+
+				// Exponential-model StEM (the paper's estimator, misspecified
+				// for CV² ≠ 1).
+				expRun := truth.Clone()
+				expRes, err := core.StEM(expRun, r, core.EMOptions{Iterations: cfg.EMIterations})
+				if err != nil {
+					out.err = err
+					return
+				}
+				expEst := expRes.Params.MeanServiceTimes()
+
+				// Matched-family GeneralStEM.
+				genRun := truth.Clone()
+				models := make([]core.ServiceModel, truth.NumQueues)
+				init := core.InitialRates(genRun)
+				models[0] = core.ExpModel{Rate: init.Rates[0]}
+				for q := 1; q < truth.NumQueues; q++ {
+					models[q] = fam.mdl(1 / init.Rates[q])
+				}
+				genRes, err := core.GeneralStEM(genRun, models, r, core.EMOptions{Iterations: cfg.EMIterations})
+				if err != nil {
+					out.err = err
+					return
+				}
+
+				for q := 1; q < truth.NumQueues; q++ {
+					out.expErrs = append(out.expErrs, abs(expEst[q]-trueMS[q]))
+					out.genErrs = append(out.genErrs, abs(genRes.MeanService[q]-trueMS[q]))
+				}
+				if progress != nil {
+					pmu.Lock()
+					done++
+					fmt.Fprintf(progress, "\rrobustness: %d/%d cells   ", done, len(families)*cfg.Reps)
+					pmu.Unlock()
+				}
+			}(fi, rep)
+		}
+	}
+	wg.Wait()
 	var rows []RobustnessRow
-	for _, fam := range families {
+	for fi, fam := range families {
 		var expErrs, genErrs []float64
 		for rep := 0; rep < cfg.Reps; rep++ {
-			r := xrand.New(jobSeed(cfg.Seed, int(fam.cv2*100), rep, 3))
-			net, err := qnet.Tiered(dist.NewExponential(2), []qnet.TierSpec{
-				{Name: "a", Replicas: 1, Service: fam.mk(meanSvc)},
-				{Name: "b", Replicas: 2, Service: fam.mk(meanSvc)},
-			})
-			if err != nil {
-				return nil, nil, err
+			res := &results[fi][rep]
+			if res.err != nil {
+				return nil, nil, res.err
 			}
-			truth, err := sim.Run(net, r, sim.Options{Tasks: cfg.Tasks})
-			if err != nil {
-				return nil, nil, err
-			}
-			truth.ObserveTasks(r, cfg.Fraction)
-			trueMS := truth.MeanServiceByQueue()
-
-			// Exponential-model StEM (the paper's estimator, misspecified
-			// for CV² ≠ 1).
-			expRun := truth.Clone()
-			expRes, err := core.StEM(expRun, r, core.EMOptions{Iterations: cfg.EMIterations})
-			if err != nil {
-				return nil, nil, err
-			}
-			expEst := expRes.Params.MeanServiceTimes()
-
-			// Matched-family GeneralStEM.
-			genRun := truth.Clone()
-			models := make([]core.ServiceModel, truth.NumQueues)
-			init := core.InitialRates(genRun)
-			models[0] = core.ExpModel{Rate: init.Rates[0]}
-			for q := 1; q < truth.NumQueues; q++ {
-				models[q] = fam.mdl(1 / init.Rates[q])
-			}
-			genRes, err := core.GeneralStEM(genRun, models, r, core.EMOptions{Iterations: cfg.EMIterations})
-			if err != nil {
-				return nil, nil, err
-			}
-
-			for q := 1; q < truth.NumQueues; q++ {
-				expErrs = append(expErrs, abs(expEst[q]-trueMS[q]))
-				genErrs = append(genErrs, abs(genRes.MeanService[q]-trueMS[q]))
-			}
-			if progress != nil {
-				fmt.Fprintf(progress, "\rrobustness: %s rep %d/%d   ", fam.name, rep+1, cfg.Reps)
-			}
+			expErrs = append(expErrs, res.expErrs...)
+			genErrs = append(genErrs, res.genErrs...)
 		}
 		rows = append(rows,
 			RobustnessRow{TruthFamily: fam.name, CV2: fam.cv2, Estimator: "exponential StEM", MeanAbsErr: stats.Mean(expErrs)},

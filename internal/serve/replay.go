@@ -65,13 +65,13 @@ func Replay(ctx context.Context, c *Client, es *trace.EventSet, opts ReplayOptio
 		for j, id := range ids[1:] {
 			e := &es.Events[id]
 			emits = append(emits, emission{
-				due: e.Depart,
+				due: es.Dep[id],
 				ev: IngestEvent{
 					Task:       name,
 					State:      e.State,
 					Queue:      e.Queue,
-					Arrival:    e.Arrival,
-					Depart:     e.Depart,
+					Arrival:    es.Arr[id],
+					Depart:     es.Dep[id],
 					ObsArrival: e.ObsArrival,
 					ObsDepart:  e.ObsDepart,
 					Final:      j == len(ids)-2,

@@ -349,7 +349,7 @@ func TestLindleyRecursion(t *testing.T) {
 		prev, cur := ids[j-1], ids[j]
 		wPrev := s.WaitTime(prev)
 		sPrev := s.ServiceTime(prev)
-		gap := s.Events[cur].Arrival - s.Events[prev].Arrival
+		gap := s.Arr[cur] - s.Arr[prev]
 		want := wPrev + sPrev - gap
 		if want < 0 {
 			want = 0

@@ -18,9 +18,9 @@ func (s *EventSet) Span(q int) (first, last float64) {
 	if len(ids) == 0 {
 		return 0, 0
 	}
-	first = s.Events[ids[0]].Arrival
+	first = s.Arr[ids[0]]
 	for _, id := range ids {
-		if d := s.Events[id].Depart; d > last {
+		if d := s.Dep[id]; d > last {
 			last = d
 		}
 	}
@@ -59,15 +59,14 @@ func (s *EventSet) BusyPeriods(q int) []BusyPeriod {
 		return nil
 	}
 	var out []BusyPeriod
-	cur := BusyPeriod{Start: s.Events[ids[0]].Arrival, End: s.Events[ids[0]].Depart, Events: 1}
+	cur := BusyPeriod{Start: s.Arr[ids[0]], End: s.Dep[ids[0]], Events: 1}
 	for _, id := range ids[1:] {
-		e := &s.Events[id]
-		if e.Arrival > cur.End {
+		if s.Arr[id] > cur.End {
 			out = append(out, cur)
-			cur = BusyPeriod{Start: e.Arrival, End: e.Depart, Events: 1}
+			cur = BusyPeriod{Start: s.Arr[id], End: s.Dep[id], Events: 1}
 			continue
 		}
-		cur.End = e.Depart
+		cur.End = s.Dep[id]
 		cur.Events++
 	}
 	return append(out, cur)
@@ -97,7 +96,7 @@ func (s *EventSet) WindowedStats(lo, hi float64, n int) ([][]WindowStats, error)
 			out[q][w] = WindowStats{Queue: q, Lo: lo + float64(w)*width, Hi: lo + float64(w+1)*width}
 		}
 		for _, id := range s.ByQueue[q] {
-			a := s.Events[id].Arrival
+			a := s.Arr[id]
 			if a < lo || a >= hi {
 				continue
 			}

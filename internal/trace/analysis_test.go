@@ -145,15 +145,15 @@ func TestTimeShift(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range s.Events {
-		e, o := &s.Events[i], &before.Events[i]
+		e := &s.Events[i]
 		if e.Initial() {
-			if e.Arrival != 0 || e.Depart != o.Depart-0.5 {
-				t.Fatalf("initial event %d shifted wrong: %+v", i, e)
+			if s.Arr[i] != 0 || s.Dep[i] != before.Dep[i]-0.5 {
+				t.Fatalf("initial event %d shifted wrong: a=%v d=%v", i, s.Arr[i], s.Dep[i])
 			}
 			continue
 		}
-		if e.Arrival != o.Arrival-0.5 || e.Depart != o.Depart-0.5 {
-			t.Fatalf("event %d shifted wrong: %+v", i, e)
+		if s.Arr[i] != before.Arr[i]-0.5 || s.Dep[i] != before.Dep[i]-0.5 {
+			t.Fatalf("event %d shifted wrong: a=%v d=%v", i, s.Arr[i], s.Dep[i])
 		}
 		// Services are shift-invariant.
 		if math.Abs(s.ServiceTime(i)-before.ServiceTime(i)) > 1e-12 {

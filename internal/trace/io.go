@@ -35,7 +35,7 @@ func (s *EventSet) WriteJSON(w io.Writer) error {
 		e := &s.Events[i]
 		js.Events[i] = jsonEvent{
 			Task: e.Task, State: e.State, Queue: e.Queue,
-			Arrival: e.Arrival, Depart: e.Depart,
+			Arrival: s.Arr[i], Depart: s.Dep[i],
 			ObsArrival: e.ObsArrival, ObsDepart: e.ObsDepart,
 		}
 	}
@@ -101,8 +101,8 @@ func (s *EventSet) WriteCSV(w io.Writer) error {
 			strconv.Itoa(e.Task),
 			strconv.Itoa(e.State),
 			strconv.Itoa(e.Queue),
-			strconv.FormatFloat(e.Arrival, 'g', -1, 64),
-			strconv.FormatFloat(e.Depart, 'g', -1, 64),
+			strconv.FormatFloat(s.Arr[i], 'g', -1, 64),
+			strconv.FormatFloat(s.Dep[i], 'g', -1, 64),
 			strconv.FormatFloat(s.ServiceTime(i), 'g', -1, 64),
 			strconv.FormatFloat(s.WaitTime(i), 'g', -1, 64),
 			strconv.FormatBool(e.ObsArrival),

@@ -20,13 +20,18 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // None marks a missing link index.
 const None = -1
 
-// Event is one state transition of one task: an arrival to and departure
-// from a queue.
+// Event is the cold, structural half of one state transition of one task:
+// its identity, links, and observation flags. The event *times* — the only
+// fields the Gibbs sweep reads and writes millions of times per run — live
+// in the EventSet's dense Arr/Dep slices (structure-of-arrays layout), so a
+// conditional evaluation touches two 8-byte lanes instead of dragging this
+// whole record through cache.
 type Event struct {
 	// Task is the task index in [0, NumTasks).
 	Task int
@@ -34,8 +39,6 @@ type Event struct {
 	State int
 	// Queue is the queue index; 0 is the arrival queue q0.
 	Queue int
-	// Arrival and Depart are the event times.
-	Arrival, Depart float64
 
 	// PrevQ is ρ(e): the previous event to arrive at Queue (None if first).
 	PrevQ int
@@ -62,8 +65,18 @@ func (e *Event) Final() bool { return e.NextT == None }
 
 // EventSet is a complete, linked set of events. Construct with a Builder or
 // FromEvents; direct construction will not have links populated.
+//
+// Times are stored structure-of-arrays: Arr[i] and Dep[i] are event i's
+// arrival and departure. Arr, Dep and Events always have equal length.
+// Mutate times through SetArrival/SetFinalDepart (which maintain the
+// a_e = d_{π(e)} identity) unless you are the sampler hot path and know the
+// invariant is preserved by construction.
 type EventSet struct {
-	Events    []Event
+	Events []Event
+	// Arr[i] is event i's arrival time a_e.
+	Arr []float64
+	// Dep[i] is event i's departure time d_e.
+	Dep       []float64
 	NumQueues int
 	NumTasks  int
 	// ByQueue[q] lists event indices at queue q in arrival order.
@@ -73,19 +86,23 @@ type EventSet struct {
 	ByTask [][]int
 }
 
+// Arrival returns a_e, event i's arrival time.
+func (s *EventSet) Arrival(i int) float64 { return s.Arr[i] }
+
+// Depart returns d_e, event i's departure time.
+func (s *EventSet) Depart(i int) float64 { return s.Dep[i] }
+
 // ServiceTime returns s_e = d_e - max(a_e, d_ρ(e)), the deterministic
 // service time of event i.
 func (s *EventSet) ServiceTime(i int) float64 {
-	e := &s.Events[i]
-	return e.Depart - s.ServiceStart(i)
+	return s.Dep[i] - s.ServiceStart(i)
 }
 
 // ServiceStart returns max(a_e, d_ρ(e)), the time service begins.
 func (s *EventSet) ServiceStart(i int) float64 {
-	e := &s.Events[i]
-	start := e.Arrival
-	if e.PrevQ != None {
-		if d := s.Events[e.PrevQ].Depart; d > start {
+	start := s.Arr[i]
+	if p := s.Events[i].PrevQ; p != None {
+		if d := s.Dep[p]; d > start {
 			start = d
 		}
 	}
@@ -94,22 +111,20 @@ func (s *EventSet) ServiceStart(i int) float64 {
 
 // WaitTime returns w_e = ServiceStart - a_e, the queueing delay of event i.
 func (s *EventSet) WaitTime(i int) float64 {
-	return s.ServiceStart(i) - s.Events[i].Arrival
+	return s.ServiceStart(i) - s.Arr[i]
 }
 
 // ResponseTime returns d_e - a_e = w_e + s_e.
 func (s *EventSet) ResponseTime(i int) float64 {
-	e := &s.Events[i]
-	return e.Depart - e.Arrival
+	return s.Dep[i] - s.Arr[i]
 }
 
 // SetArrival sets the arrival time of event i, keeping the invariant
 // a_e == d_{π(e)} by also writing the within-task predecessor's departure.
 func (s *EventSet) SetArrival(i int, t float64) {
-	e := &s.Events[i]
-	e.Arrival = t
-	if e.PrevT != None {
-		s.Events[e.PrevT].Depart = t
+	s.Arr[i] = t
+	if p := s.Events[i].PrevT; p != None {
+		s.Dep[p] = t
 	}
 }
 
@@ -118,11 +133,10 @@ func (s *EventSet) SetArrival(i int, t float64) {
 // event's arrival (the same latent variable) and must be written through
 // SetArrival on the successor instead.
 func (s *EventSet) SetFinalDepart(i int, t float64) {
-	e := &s.Events[i]
-	if e.NextT != None {
+	if s.Events[i].NextT != None {
 		panic(fmt.Sprintf("trace: SetFinalDepart on non-final event %d", i))
 	}
-	e.Depart = t
+	s.Dep[i] = t
 }
 
 // SumServiceWaitByQueue returns the per-queue totals Σ service time and
@@ -136,8 +150,8 @@ func (s *EventSet) SumServiceWaitByQueue() (svc, wait []float64) {
 		var sv, wt float64
 		for _, id := range ids {
 			start := s.ServiceStart(id)
-			sv += s.Events[id].Depart - start
-			wt += start - s.Events[id].Arrival
+			sv += s.Dep[id] - start
+			wt += start - s.Arr[id]
 		}
 		svc[q] = sv
 		wait[q] = wt
@@ -148,13 +162,13 @@ func (s *EventSet) SumServiceWaitByQueue() (svc, wait []float64) {
 // TaskEntry returns the system entry time of task k (the departure of its
 // initial event).
 func (s *EventSet) TaskEntry(k int) float64 {
-	return s.Events[s.ByTask[k][0]].Depart
+	return s.Dep[s.ByTask[k][0]]
 }
 
 // TaskExit returns the departure time of task k's final event.
 func (s *EventSet) TaskExit(k int) float64 {
 	ids := s.ByTask[k]
-	return s.Events[ids[len(ids)-1]].Depart
+	return s.Dep[ids[len(ids)-1]]
 }
 
 // Validate checks every structural and deterministic constraint: link
@@ -168,6 +182,10 @@ func (s *EventSet) Validate(tol float64) error {
 	if len(s.ByTask) != s.NumTasks {
 		return fmt.Errorf("trace: ByTask has %d tasks, want %d", len(s.ByTask), s.NumTasks)
 	}
+	if len(s.Arr) != len(s.Events) || len(s.Dep) != len(s.Events) {
+		return fmt.Errorf("trace: time lanes have %d/%d entries for %d events",
+			len(s.Arr), len(s.Dep), len(s.Events))
+	}
 	for i := range s.Events {
 		e := &s.Events[i]
 		if e.Queue < 0 || e.Queue >= s.NumQueues {
@@ -176,23 +194,23 @@ func (s *EventSet) Validate(tol float64) error {
 		if e.Task < 0 || e.Task >= s.NumTasks {
 			return fmt.Errorf("trace: event %d task %d out of range", i, e.Task)
 		}
-		if math.IsNaN(e.Arrival) || math.IsNaN(e.Depart) {
+		if math.IsNaN(s.Arr[i]) || math.IsNaN(s.Dep[i]) {
 			return fmt.Errorf("trace: event %d has NaN times", i)
 		}
 		if e.PrevT != None {
 			if s.Events[e.PrevT].NextT != i {
 				return fmt.Errorf("trace: event %d PrevT link not mirrored", i)
 			}
-			if math.Abs(s.Events[e.PrevT].Depart-e.Arrival) > tol {
+			if math.Abs(s.Dep[e.PrevT]-s.Arr[i]) > tol {
 				return fmt.Errorf("trace: event %d arrival %v != predecessor departure %v",
-					i, e.Arrival, s.Events[e.PrevT].Depart)
+					i, s.Arr[i], s.Dep[e.PrevT])
 			}
 		} else {
 			if e.Queue != 0 {
 				return fmt.Errorf("trace: event %d has no task predecessor but queue %d != q0", i, e.Queue)
 			}
-			if e.Arrival != 0 {
-				return fmt.Errorf("trace: initial event %d arrives at %v, want 0", i, e.Arrival)
+			if s.Arr[i] != 0 {
+				return fmt.Errorf("trace: initial event %d arrives at %v, want 0", i, s.Arr[i])
 			}
 		}
 		if e.NextT != None && s.Events[e.NextT].PrevT != i {
@@ -215,10 +233,9 @@ func (s *EventSet) Validate(tol float64) error {
 				return fmt.Errorf("trace: ByQueue[%d][%d] = event %d is at queue %d", q, j, ids[j], e.Queue)
 			}
 			if j > 0 {
-				prev := &s.Events[ids[j-1]]
-				if prev.Arrival > e.Arrival+tol {
+				if s.Arr[ids[j-1]] > s.Arr[ids[j]]+tol {
 					return fmt.Errorf("trace: queue %d arrival order violated at position %d (%v > %v)",
-						q, j, prev.Arrival, e.Arrival)
+						q, j, s.Arr[ids[j-1]], s.Arr[ids[j]])
 				}
 				if e.PrevQ != ids[j-1] {
 					return fmt.Errorf("trace: event %d PrevQ = %d, want %d", ids[j], e.PrevQ, ids[j-1])
@@ -253,6 +270,8 @@ func (s *EventSet) Validate(tol float64) error {
 func (s *EventSet) Clone() *EventSet {
 	c := &EventSet{
 		Events:    append([]Event(nil), s.Events...),
+		Arr:       append([]float64(nil), s.Arr...),
+		Dep:       append([]float64(nil), s.Dep...),
 		NumQueues: s.NumQueues,
 		NumTasks:  s.NumTasks,
 		ByQueue:   make([][]int, len(s.ByQueue)),
@@ -265,6 +284,64 @@ func (s *EventSet) Clone() *EventSet {
 		c.ByTask[k] = append([]int(nil), s.ByTask[k]...)
 	}
 	return c
+}
+
+// CopyFrom makes s a deep copy of src, reusing s's existing backing arrays
+// whenever their capacities suffice. It is the allocation-free counterpart
+// of Clone for workloads that repeatedly re-derive a working copy from the
+// same (or same-shaped) source — independent chains, experiment
+// replications, streaming windows.
+func (s *EventSet) CopyFrom(src *EventSet) {
+	s.Events = append(s.Events[:0], src.Events...)
+	s.Arr = append(s.Arr[:0], src.Arr...)
+	s.Dep = append(s.Dep[:0], src.Dep...)
+	s.NumQueues = src.NumQueues
+	s.NumTasks = src.NumTasks
+	if cap(s.ByQueue) >= len(src.ByQueue) {
+		s.ByQueue = s.ByQueue[:len(src.ByQueue)]
+	} else {
+		s.ByQueue = make([][]int, len(src.ByQueue))
+	}
+	for q := range src.ByQueue {
+		s.ByQueue[q] = append(s.ByQueue[q][:0], src.ByQueue[q]...)
+	}
+	if cap(s.ByTask) >= len(src.ByTask) {
+		s.ByTask = s.ByTask[:len(src.ByTask)]
+	} else {
+		s.ByTask = make([][]int, len(src.ByTask))
+	}
+	for k := range src.ByTask {
+		s.ByTask[k] = append(s.ByTask[k][:0], src.ByTask[k]...)
+	}
+}
+
+// ClonePool recycles event-set working copies across uses. Get returns a
+// deep copy of src (drawing the backing storage from the pool when
+// available); Put recycles a copy once its user is done with it. The pool
+// is safe for concurrent use and holds its free list through a sync.Pool,
+// so idle entries are reclaimed by the garbage collector rather than
+// pinned forever.
+type ClonePool struct {
+	p sync.Pool
+}
+
+// Get returns a working copy of src.
+func (cp *ClonePool) Get(src *EventSet) *EventSet {
+	if v := cp.p.Get(); v != nil {
+		es := v.(*EventSet)
+		es.CopyFrom(src)
+		return es
+	}
+	return src.Clone()
+}
+
+// Put recycles a working copy obtained from Get. The caller must not use
+// es afterwards.
+func (cp *ClonePool) Put(es *EventSet) {
+	if es == nil {
+		return
+	}
+	cp.p.Put(es)
 }
 
 // MeanServiceByQueue returns the empirical mean service time per queue; the
@@ -421,11 +498,11 @@ func (s *EventSet) SubsetTasks(from, to int) (*EventSet, error) {
 	var flags []flag
 	for k := from; k < to; k++ {
 		ids := s.ByTask[k]
-		nk := b.StartTask(s.Events[ids[0]].Depart)
+		nk := b.StartTask(s.Dep[ids[0]])
 		flags = append(flags, flag{s.Events[ids[0]].ObsArrival, s.Events[ids[0]].ObsDepart})
 		for _, id := range ids[1:] {
 			e := &s.Events[id]
-			if _, err := b.AddEvent(nk, e.State, e.Queue, e.Arrival, e.Depart); err != nil {
+			if _, err := b.AddEvent(nk, e.State, e.Queue, s.Arr[id], s.Dep[id]); err != nil {
 				return nil, err
 			}
 			flags = append(flags, flag{e.ObsArrival, e.ObsDepart})
@@ -451,23 +528,21 @@ func (s *EventSet) SubsetTasks(from, to int) (*EventSet, error) {
 // would become negative.
 func (s *EventSet) TimeShift(delta float64) error {
 	for i := range s.Events {
-		e := &s.Events[i]
-		if !e.Initial() {
-			if e.Arrival+delta < 0 {
+		if !s.Events[i].Initial() {
+			if s.Arr[i]+delta < 0 {
 				return fmt.Errorf("trace: TimeShift(%v) makes event %d arrival negative", delta, i)
 			}
 			continue
 		}
-		if e.Depart+delta < 0 {
-			return fmt.Errorf("trace: TimeShift(%v) makes task %d entry negative", delta, e.Task)
+		if s.Dep[i]+delta < 0 {
+			return fmt.Errorf("trace: TimeShift(%v) makes task %d entry negative", delta, s.Events[i].Task)
 		}
 	}
 	for i := range s.Events {
-		e := &s.Events[i]
-		if !e.Initial() {
-			e.Arrival += delta
+		if !s.Events[i].Initial() {
+			s.Arr[i] += delta
 		}
-		e.Depart += delta
+		s.Dep[i] += delta
 	}
 	return nil
 }
@@ -480,6 +555,7 @@ func (s *EventSet) TimeShift(delta float64) error {
 type Builder struct {
 	numQueues int
 	events    []Event
+	arr, dep  []float64
 	taskOpen  map[int]int // task -> last event index
 	tasks     int
 }
@@ -500,9 +576,10 @@ func (b *Builder) StartTask(entry float64) int {
 	b.tasks++
 	b.events = append(b.events, Event{
 		Task: task, State: None, Queue: 0,
-		Arrival: 0, Depart: entry,
 		PrevQ: None, NextQ: None, PrevT: None, NextT: None,
 	})
+	b.arr = append(b.arr, 0)
+	b.dep = append(b.dep, entry)
 	b.taskOpen[task] = len(b.events) - 1
 	return task
 }
@@ -518,15 +595,16 @@ func (b *Builder) AddEvent(task, state, queue int, arrival, depart float64) (int
 	if queue <= 0 || queue >= b.numQueues {
 		return 0, fmt.Errorf("trace: AddEvent queue %d out of range (q0 is reserved)", queue)
 	}
-	if math.Abs(b.events[prev].Depart-arrival) > 1e-9 {
-		return 0, fmt.Errorf("trace: task %d arrival %v != previous departure %v", task, arrival, b.events[prev].Depart)
+	if math.Abs(b.dep[prev]-arrival) > 1e-9 {
+		return 0, fmt.Errorf("trace: task %d arrival %v != previous departure %v", task, arrival, b.dep[prev])
 	}
 	id := len(b.events)
 	b.events = append(b.events, Event{
 		Task: task, State: state, Queue: queue,
-		Arrival: arrival, Depart: depart,
 		PrevQ: None, NextQ: None, PrevT: prev, NextT: None,
 	})
+	b.arr = append(b.arr, arrival)
+	b.dep = append(b.dep, depart)
 	b.events[prev].NextT = id
 	b.taskOpen[task] = id
 	return id, nil
@@ -537,6 +615,8 @@ func (b *Builder) AddEvent(task, state, queue int, arrival, depart float64) (int
 func (b *Builder) Build() (*EventSet, error) {
 	s := &EventSet{
 		Events:    b.events,
+		Arr:       b.arr,
+		Dep:       b.dep,
 		NumQueues: b.numQueues,
 		NumTasks:  b.tasks,
 		ByQueue:   make([][]int, b.numQueues),
@@ -550,7 +630,7 @@ func (b *Builder) Build() (*EventSet, error) {
 	for q := range s.ByQueue {
 		ids := s.ByQueue[q]
 		sort.SliceStable(ids, func(x, y int) bool {
-			ax, ay := s.Events[ids[x]].Arrival, s.Events[ids[y]].Arrival
+			ax, ay := s.Arr[ids[x]], s.Arr[ids[y]]
 			if ax != ay {
 				return ax < ay
 			}

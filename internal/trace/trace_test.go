@@ -86,18 +86,18 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		name    string
 		corrupt func(*EventSet)
 	}{
-		{"negative service", func(s *EventSet) { s.Events[2].Depart = 0.5 }},
-		{"arrival != prev depart", func(s *EventSet) { s.Events[2].Arrival = 1.5 }},
-		{"initial not at zero", func(s *EventSet) { s.Events[0].Arrival = 0.5 }},
+		{"negative service", func(s *EventSet) { s.Dep[2] = 0.5 }},
+		{"arrival != prev depart", func(s *EventSet) { s.Arr[2] = 1.5 }},
+		{"initial not at zero", func(s *EventSet) { s.Arr[0] = 0.5 }},
 		{"queue order broken", func(s *EventSet) {
 			// Swap the two queue-1 events' arrival ordering without
 			// relinking: event 2 now arrives after event 3.
-			s.Events[2].Arrival = 5
-			s.Events[0].Depart = 5
-			s.Events[2].Depart = 6
+			s.Arr[2] = 5
+			s.Dep[0] = 5
+			s.Dep[2] = 6
 		}},
 		{"broken mirror", func(s *EventSet) { s.Events[3].PrevQ = None }},
-		{"nan time", func(s *EventSet) { s.Events[2].Depart = math.NaN() }},
+		{"nan time", func(s *EventSet) { s.Dep[2] = math.NaN() }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,7 +113,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 func TestSetArrivalKeepsInvariant(t *testing.T) {
 	s := buildTandem(t)
 	s.SetArrival(2, 1.2)
-	if s.Events[0].Depart != 1.2 {
+	if s.Dep[0] != 1.2 {
 		t.Fatalf("predecessor departure not updated")
 	}
 	if err := s.Validate(1e-9); err != nil {
@@ -235,7 +235,7 @@ func TestCloneIndependence(t *testing.T) {
 	s := buildTandem(t)
 	c := s.Clone()
 	c.SetArrival(2, 1.7)
-	if s.Events[2].Arrival == 1.7 || s.Events[0].Depart == 1.7 {
+	if s.Arr[2] == 1.7 || s.Dep[0] == 1.7 {
 		t.Fatal("clone shares storage with original")
 	}
 	if err := s.Validate(0); err != nil {
@@ -277,8 +277,8 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	for i := range s.Events {
 		a, b := s.Events[i], s2.Events[i]
-		if a.Task != b.Task || a.Queue != b.Queue || a.Arrival != b.Arrival ||
-			a.Depart != b.Depart || a.ObsArrival != b.ObsArrival || a.ObsDepart != b.ObsDepart {
+		if a.Task != b.Task || a.Queue != b.Queue || s.Arr[i] != s2.Arr[i] ||
+			s.Dep[i] != s2.Dep[i] || a.ObsArrival != b.ObsArrival || a.ObsDepart != b.ObsDepart {
 			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
 		}
 	}

@@ -1,27 +1,36 @@
 #!/usr/bin/env sh
 # Gibbs-engine benchmark harness: runs the sweep and posterior benchmarks
 # across the worker grid (sequential scan, chromatic engine at 1, 2, and
-# NumCPU workers) and writes the results as JSON to BENCH_gibbs.json at the
-# repo root, for the speedup table in README.md.
+# NumCPU workers) AND the -cpu 1,2,4 GOMAXPROCS grid, then writes the
+# results as JSON to BENCH_gibbs.json at the repo root (one row per
+# benchmark × variant × GOMAXPROCS), for the speedup table in README.md.
+# Running every variant at every -cpu level separates the two axes the
+# numbers conflate otherwise: worker count (how the sweep is sharded) and
+# scheduler parallelism (how many shards can actually run at once).
 #
 # Usage: sh scripts/bench.sh [benchtime]   (default 5x)
+# Env:   BENCH_OUT overrides the output path (used by benchdiff.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-5x}"
-OUT=BENCH_gibbs.json
+OUT="${BENCH_OUT:-BENCH_gibbs.json}"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -bench 'BenchmarkGibbsSweep|BenchmarkPosterior' -benchmem \
-    -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
+    -cpu 1,2,4 -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
 
 awk '
 BEGIN { n = 0 }
 /^Benchmark(GibbsSweep|Posterior)\// {
     name = $1
-    sub(/-[0-9]+$/, "", name)            # strip GOMAXPROCS suffix
+    procs[n] = 1
+    if (match(name, /-[0-9]+$/)) {       # -N suffix is the GOMAXPROCS of the run
+        procs[n] = substr(name, RSTART + 1)
+        sub(/-[0-9]+$/, "", name)
+    }
     split(name, parts, "/")
     bench[n] = parts[1]; variant[n] = parts[2]
     iters[n] = $2; nsop[n] = $3
@@ -34,14 +43,14 @@ BEGIN { n = 0 }
 }
 /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
 END {
-    printf "{\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"results\": [\n", cpu, maxprocs
+    printf "{\n  \"cpu\": \"%s\",\n  \"host_cpus\": %d,\n  \"results\": [\n", cpu, hostcpus
     for (i = 0; i < n; i++) {
-        printf "    {\"bench\": \"%s\", \"variant\": \"%s\", \"iters\": %s, \"ns_per_op\": %s",
-            bench[i], variant[i], iters[i], nsop[i]
+        printf "    {\"bench\": \"%s\", \"variant\": \"%s\", \"gomaxprocs\": %s, \"iters\": %s, \"ns_per_op\": %s",
+            bench[i], variant[i], procs[i], iters[i], nsop[i]
         if (bop[i] != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop[i], aop[i]
         printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"
-}' maxprocs="$(nproc 2>/dev/null || echo 1)" "$RAW" > "$OUT"
+}' hostcpus="$(nproc 2>/dev/null || echo 1)" "$RAW" > "$OUT"
 
 echo "wrote $OUT"

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Benchmark regression gate: re-runs the Gibbs worker-grid benchmarks and
+# compares each (benchmark, variant, GOMAXPROCS) row against the committed
+# BENCH_gibbs.json baseline. The sweep benchmarks (BenchmarkGibbsSweep) are
+# the hot-path contract, so they gate hard: >20% ns/op growth or ANY
+# allocs/op growth fails. Posterior rows are printed for context but do not
+# gate (they include clone + initializer noise and short-run variance).
+#
+# Usage: sh scripts/benchdiff.sh [benchtime]   (default 5x; raise for a
+# quieter signal, e.g. `sh scripts/benchdiff.sh 50x`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE=BENCH_gibbs.json
+if [ ! -f "$BASE" ]; then
+    echo "benchdiff: no baseline $BASE; run 'make bench' and commit it" >&2
+    exit 1
+fi
+
+FRESH=$(mktemp)
+trap 'rm -f "$FRESH"' EXIT
+BENCH_OUT="$FRESH" sh scripts/bench.sh "${1:-5x}" >/dev/null
+
+awk '
+function num(line, key,    s) {
+    if (!match(line, "\"" key "\": *-?[0-9.e+]+")) return -1
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: */, "", s)
+    return s + 0
+}
+function str(line, key,    s) {
+    if (!match(line, "\"" key "\": *\"[^\"]*\"")) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: *"/, "", s); sub(/"$/, "", s)
+    return s
+}
+function rowkey(line) {
+    return str(line, "bench") "/" str(line, "variant") "@cpu" num(line, "gomaxprocs")
+}
+FNR == NR && /"bench":/ {
+    k = rowkey($0)
+    bns[k] = num($0, "ns_per_op"); bal[k] = num($0, "allocs_per_op")
+    next
+}
+/"bench":/ {
+    k = rowkey($0)
+    ns = num($0, "ns_per_op"); al = num($0, "allocs_per_op")
+    if (!(k in bns)) {
+        printf "%-44s %38s\n", k, "new row (no baseline)"
+        next
+    }
+    ratio = ns / bns[k]
+    status = "ok"
+    if (str($0, "bench") == "BenchmarkGibbsSweep") {
+        if (ratio > 1.20) { status = "FAIL ns/op"; bad = 1 }
+        if (al > bal[k])  { status = status " FAIL allocs"; bad = 1 }
+    }
+    printf "%-44s %11.0f -> %11.0f ns/op (%+6.1f%%)  allocs %g -> %g  %s\n",
+        k, bns[k], ns, (ratio - 1) * 100, bal[k], al, status
+}
+END {
+    if (bad) { print "benchdiff: sweep benchmark regression" | "cat 1>&2"; exit 1 }
+}' "$BASE" "$FRESH"
+
+echo "benchdiff: ok"
