@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -218,6 +219,41 @@ func BenchmarkGibbsSweep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Sweep()
+			}
+		})
+	}
+}
+
+// BenchmarkObservedGibbsSweep is BenchmarkGibbsSweep with a SweepObserver
+// attached (the qserved telemetry hook): the per-sweep duration and
+// moves-resampled histograms are atomics-only, so ns/op should match the
+// unobserved rows and allocs/op must stay 0.
+func BenchmarkObservedGibbsSweep(b *testing.B) {
+	truth, net := benchTraceLarge(b)
+	params, err := core.NewParams(net.ServiceRates())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm := obs.NewSweepMetrics(obs.NewRegistry(), "bench")
+	for _, bc := range benchWorkerGrid() {
+		b.Run(bc.name, func(b *testing.B) {
+			working := truth.Clone()
+			if err := (core.OrderInitializer{}).Initialize(working, params); err != nil {
+				b.Fatal(err)
+			}
+			var g *core.Gibbs
+			if bc.workers == 0 {
+				g, err = core.NewGibbs(working, params, xrand.New(2))
+			} else {
+				g, err = core.NewParallelGibbs(working, params, xrand.New(2), bc.workers)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.SetObserver(sm)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				g.Sweep()

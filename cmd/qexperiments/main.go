@@ -12,21 +12,31 @@
 //	qexperiments -fig robustness   # service-misspecification sweep
 //	qexperiments -fig all          # everything (≈4 min on one core)
 //	qexperiments -fig all -quick   # reduced sizes for a fast smoke run
+//	qexperiments -fig 4 -manifest run.json   # emit a run manifest
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
+
+// sectionTiming records one figure's wall-clock for the run manifest.
+type sectionTiming struct {
+	Section   string  `json:"section"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
 
 func main() {
 	fig := flag.String("fig", "all", "which artifact to regenerate: 4, 5, var, all")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 	workers := flag.Int("workers", 0, "parallel runs (0 = NumCPU)")
+	manifestPath := flag.String("manifest", "", "write a run-manifest JSON (config, timing per figure) to this path")
 	flag.Parse()
 
 	runFig4 := *fig == "4" || *fig == "var" || *fig == "all"
@@ -39,124 +49,155 @@ func main() {
 		os.Exit(2)
 	}
 
+	manifest := obs.NewManifest("qexperiments", os.Args[1:])
+	manifest.Seed = *seed
+	manifest.Config = map[string]any{
+		"fig": *fig, "quick": *quick, "seed": *seed, "workers": *workers,
+	}
+	var timings []sectionTiming
+	timed := func(section string, f func()) {
+		start := time.Now()
+		f()
+		timings = append(timings, sectionTiming{
+			Section:   section,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+
 	if runFig4 {
-		cfg := experiment.DefaultFig4Config()
-		if *quick {
-			cfg.Tasks = 250
-			cfg.Reps = 3
-			cfg.EMIterations = 40
-			cfg.PostSweeps = 30
-		}
-		if *seed != 0 {
-			cfg.Seed = *seed
-		}
-		cfg.Workers = *workers
-		res, err := experiment.RunFig4(cfg, os.Stderr)
-		if err != nil {
-			fatal(err)
-		}
-		if *fig != "var" {
-			render(res.ErrorSummary(true))
-			fmt.Println()
-			render(res.ErrorSummary(false))
-			fmt.Println()
-			svc, wait := res.MedianErrors(0.05)
-			fmt.Printf("§5.1 in-text: at 5%% observed, median abs error: service %.4f (paper 0.033), waiting %.3f (paper 1.35)\n\n",
-				svc, wait)
-		}
-		if *fig == "var" || *fig == "all" {
-			sv, bv, table := res.VarianceComparison()
-			render(table)
-			fmt.Printf("pooled: StEM %.3e vs baseline %.3e (paper: 9.09e-4 vs 1.37e-3, ratio ≈ 0.66; measured ratio %.2f)\n\n",
-				sv, bv, sv/bv)
-		}
+		timed("fig4", func() {
+			cfg := experiment.DefaultFig4Config()
+			if *quick {
+				cfg.Tasks = 250
+				cfg.Reps = 3
+				cfg.EMIterations = 40
+				cfg.PostSweeps = 30
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			cfg.Workers = *workers
+			res, err := experiment.RunFig4(cfg, os.Stderr)
+			if err != nil {
+				fatal(err)
+			}
+			if *fig != "var" {
+				render(res.ErrorSummary(true))
+				fmt.Println()
+				render(res.ErrorSummary(false))
+				fmt.Println()
+				svc, wait := res.MedianErrors(0.05)
+				fmt.Printf("§5.1 in-text: at 5%% observed, median abs error: service %.4f (paper 0.033), waiting %.3f (paper 1.35)\n\n",
+					svc, wait)
+			}
+			if *fig == "var" || *fig == "all" {
+				sv, bv, table := res.VarianceComparison()
+				render(table)
+				fmt.Printf("pooled: StEM %.3e vs baseline %.3e (paper: 9.09e-4 vs 1.37e-3, ratio ≈ 0.66; measured ratio %.2f)\n\n",
+					sv, bv, sv/bv)
+			}
+		})
 	}
 
 	if runFig5 {
-		cfg := experiment.DefaultFig5Config()
-		if *quick {
-			cfg.App.Requests = 1000
-			cfg.App.Duration = 1250
-			cfg.Fractions = []float64{0.05, 0.1, 0.25, 0.5}
-			cfg.EMIterations = 40
-			cfg.PostSweeps = 25
-		}
-		if *seed != 0 {
-			cfg.Seed = *seed
-		}
-		cfg.Workers = *workers
-		res, err := experiment.RunFig5(cfg, os.Stderr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("webapp trace: %d requests, %d events; per-web-server requests: %v\n\n",
-			res.Config.App.Requests, res.TotalEvents, res.WebRequests)
-		render(res.SeriesTable(true))
-		fmt.Println()
-		render(res.SeriesTable(false))
-		fmt.Println()
-		render(res.StabilityReport())
-		if res.StarvedQueue >= 0 {
-			fmt.Printf("\nnote: %s is the deliberately starved server (paper's unstable outlier)\n",
-				res.QueueNames[res.StarvedQueue])
-		}
+		timed("fig5", func() {
+			cfg := experiment.DefaultFig5Config()
+			if *quick {
+				cfg.App.Requests = 1000
+				cfg.App.Duration = 1250
+				cfg.Fractions = []float64{0.05, 0.1, 0.25, 0.5}
+				cfg.EMIterations = 40
+				cfg.PostSweeps = 25
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			cfg.Workers = *workers
+			res, err := experiment.RunFig5(cfg, os.Stderr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("webapp trace: %d requests, %d events; per-web-server requests: %v\n\n",
+				res.Config.App.Requests, res.TotalEvents, res.WebRequests)
+			render(res.SeriesTable(true))
+			fmt.Println()
+			render(res.SeriesTable(false))
+			fmt.Println()
+			render(res.StabilityReport())
+			if res.StarvedQueue >= 0 {
+				fmt.Printf("\nnote: %s is the deliberately starved server (paper's unstable outlier)\n",
+					res.QueueNames[res.StarvedQueue])
+			}
+		})
 	}
 
 	if runAbl {
-		cfg := experiment.DefaultAblationConfig()
-		if *quick {
-			cfg.Tasks = 200
-			cfg.Reps = 2
-			cfg.Iterations = 300
-		}
-		if *seed != 0 {
-			cfg.Seed = *seed
-		}
-		table, _, err := experiment.RunAblations(cfg, os.Stderr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println()
-		render(table)
+		timed("ablations", func() {
+			cfg := experiment.DefaultAblationConfig()
+			if *quick {
+				cfg.Tasks = 200
+				cfg.Reps = 2
+				cfg.Iterations = 300
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			table, _, err := experiment.RunAblations(cfg, os.Stderr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			render(table)
+		})
 	}
 
 	if runSpike {
-		cfg := experiment.DefaultSpikeConfig()
-		if *quick {
-			cfg.Tasks = 600
-			cfg.EMIterations = 300
-			cfg.PostSweeps = 30
-		}
-		if *seed != 0 {
-			cfg.Seed = *seed
-		}
-		res, err := experiment.RunSpike(cfg, os.Stderr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println()
-		render(res.Table())
-		q, wait := res.BottleneckDuringSpike()
-		fmt.Printf("\nduring the spike (windows marked *), %s was the bottleneck (posterior mean wait %.3f)\n",
-			res.QueueNames[q], wait)
+		timed("spike", func() {
+			cfg := experiment.DefaultSpikeConfig()
+			if *quick {
+				cfg.Tasks = 600
+				cfg.EMIterations = 300
+				cfg.PostSweeps = 30
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiment.RunSpike(cfg, os.Stderr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			render(res.Table())
+			q, wait := res.BottleneckDuringSpike()
+			fmt.Printf("\nduring the spike (windows marked *), %s was the bottleneck (posterior mean wait %.3f)\n",
+				res.QueueNames[q], wait)
+		})
 	}
 
 	if runRobust {
-		cfg := experiment.DefaultRobustnessConfig()
-		if *quick {
-			cfg.Tasks = 250
-			cfg.Reps = 1
-			cfg.EMIterations = 250
+		timed("robustness", func() {
+			cfg := experiment.DefaultRobustnessConfig()
+			if *quick {
+				cfg.Tasks = 250
+				cfg.Reps = 1
+				cfg.EMIterations = 250
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			_, table, err := experiment.RunRobustness(cfg, os.Stderr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			render(table)
+		})
+	}
+
+	if *manifestPath != "" {
+		if err := manifest.Finish(timings).WriteFile(*manifestPath); err != nil {
+			fatal(fmt.Errorf("write manifest: %w", err))
 		}
-		if *seed != 0 {
-			cfg.Seed = *seed
-		}
-		_, table, err := experiment.RunRobustness(cfg, os.Stderr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println()
-		render(table)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	qsim ... | qinfer -in -              # read the trace from stdin
 //	qinfer -in trace.json -observe 0.05  # re-mask to 5% before inference
 //	qinfer -in trace.json -iters 2000 -sweeps 100 -json
+//	qinfer -in trace.json -manifest run.json  # emit a run manifest
 package main
 
 import (
@@ -15,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 type output struct {
@@ -28,11 +31,21 @@ type output struct {
 	Events      int       `json:"events"`
 }
 
+// config is the resolved flag set, recorded in the run manifest.
+type config struct {
+	In      string  `json:"in"`
+	Observe float64 `json:"observe"`
+	Iters   int     `json:"iters"`
+	Sweeps  int     `json:"sweeps"`
+	Seed    uint64  `json:"seed"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	log := slog.New(slog.NewTextHandler(stderr, nil))
 	fs := flag.NewFlagSet("qinfer", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "input trace JSON (required; - for stdin)")
@@ -41,18 +54,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	sweeps := fs.Int("sweeps", 60, "posterior sweeps for waiting-time estimates")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	manifestPath := fs.String("manifest", "", "write a run-manifest JSON (config, seed, commit, timing, results) to this path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *in == "" {
-		fmt.Fprintln(stderr, "qinfer: -in is required")
+		log.Error("-in is required")
 		return 2
 	}
+	manifest := obs.NewManifest("qinfer", args)
+	manifest.Seed = *seed
+	manifest.Config = config{In: *in, Observe: *observe, Iters: *iters, Sweeps: *sweeps, Seed: *seed}
+
 	r := stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fmt.Fprintf(stderr, "qinfer: %v\n", err)
+			log.Error("open input", "err", err)
 			return 1
 		}
 		defer f.Close()
@@ -60,7 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	es, err := queueinf.LoadTraceJSON(r)
 	if err != nil {
-		fmt.Fprintf(stderr, "qinfer: %v\n", err)
+		log.Error("load trace", "err", err)
 		return 1
 	}
 	rng := queueinf.NewRNG(*seed)
@@ -71,7 +89,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		queueinf.EMOptions{Iterations: *iters},
 		queueinf.PosteriorOptions{Sweeps: *sweeps})
 	if err != nil {
-		fmt.Fprintf(stderr, "qinfer: %v\n", err)
+		log.Error("estimate", "err", err)
 		return 1
 	}
 	res := output{
@@ -81,11 +99,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		Observed:    es.NumObservedArrivals(),
 		Events:      len(es.Events),
 	}
+	if *manifestPath != "" {
+		if err := manifest.Finish(res).WriteFile(*manifestPath); err != nil {
+			log.Error("write manifest", "path", *manifestPath, "err", err)
+			return 1
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fmt.Fprintf(stderr, "qinfer: %v\n", err)
+			log.Error("encode output", "err", err)
 			return 1
 		}
 		return 0

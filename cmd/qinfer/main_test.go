@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -65,6 +66,46 @@ func TestRunTableOutput(t *testing.T) {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("table output missing %q:\n%s", want, stdout.String())
 		}
+	}
+}
+
+// TestRunWritesManifest checks the -manifest flag: the run emits a
+// provenance JSON with the resolved config, seed, timing, and the same
+// results the tool printed.
+func TestRunWritesManifest(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := t.TempDir() + "/run.json"
+	code := run(
+		[]string{"-in", "-", "-iters", "60", "-sweeps", "10", "-seed", "9", "-json", "-manifest", path},
+		bytes.NewReader(traceJSON(t)), &stdout, &stderr,
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Tool      string         `json:"tool"`
+		Seed      uint64         `json:"seed"`
+		Config    map[string]any `json:"config"`
+		ElapsedMS float64        `json:"elapsed_ms"`
+		Results   struct {
+			Lambda float64 `json:"lambda"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest not JSON: %v\n%s", err, raw)
+	}
+	if m.Tool != "qinfer" || m.Seed != 9 || m.ElapsedMS <= 0 {
+		t.Errorf("manifest header: %+v", m)
+	}
+	if m.Config["iters"] != float64(60) {
+		t.Errorf("manifest config iters = %v, want 60", m.Config["iters"])
+	}
+	if m.Results.Lambda <= 0 {
+		t.Errorf("manifest results lambda = %v", m.Results.Lambda)
 	}
 }
 

@@ -14,12 +14,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro"
 	"repro/internal/serve"
 )
+
+// log is the tool's structured logger; progress and errors go to stderr,
+// results to stdout.
+var log = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8645", "qserved base URL")
@@ -35,7 +40,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the final estimate as JSON")
 	flag.Parse()
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "qload: -in is required")
+		log.Error("-in is required")
 		os.Exit(2)
 	}
 
@@ -66,8 +71,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Fprintf(os.Stderr, "qload: replaying %d tasks (%d queues) to stream %q at speed %g\n",
-		es.NumTasks, es.NumQueues, *stream, *speed)
+	log.Info("replaying", "tasks", es.NumTasks, "queues", es.NumQueues, "stream", *stream, "speed", *speed)
 	last := time.Now()
 	stats, err := serve.Replay(ctx, client, es, serve.ReplayOptions{
 		Stream: *stream,
@@ -76,15 +80,17 @@ func main() {
 		Progress: func(sent, total int) {
 			if time.Since(last) > time.Second {
 				last = time.Now()
-				fmt.Fprintf(os.Stderr, "qload: %d/%d events sent\n", sent, total)
+				log.Info("progress", "sent", sent, "total", total)
 			}
 		},
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "qload: sent %d events in %d batches (%d accepted, %d rejected) in %.1fs\n",
-		stats.Events, stats.Batches, stats.Accepted, stats.Rejected, stats.Duration.Seconds())
+	log.Info("replay done",
+		"events", stats.Events, "batches", stats.Batches,
+		"accepted", stats.Accepted, "rejected", stats.Rejected,
+		"elapsed", stats.Duration.Round(time.Millisecond))
 
 	wctx, cancel := context.WithTimeout(ctx, *wait)
 	defer cancel()
@@ -93,7 +99,7 @@ func main() {
 		if est == nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "qload: %v (printing last estimate)\n", err)
+		log.Warn("estimate did not catch up; printing last one", "err", err)
 	}
 
 	if *asJSON {
@@ -119,6 +125,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+	log.Error(err.Error())
 	os.Exit(1)
 }

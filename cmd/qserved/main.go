@@ -14,24 +14,48 @@
 //	curl -X PUT localhost:8645/v1/streams/web -d '{"num_queues":4}'
 //	cat events.ndjson | curl -X POST --data-binary @- localhost:8645/v1/streams/web/events
 //	curl localhost:8645/v1/streams/web/estimate
+//	curl localhost:8645/metrics           # Prometheus exposition
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// inference before exiting.
+// Logs are structured (log/slog); -log-format selects text or json and
+// -log-level the threshold. The daemon shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight inference before logging a final
+// counter summary.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/serve"
 )
+
+func newLogger(format, level string, quiet bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	if quiet && lvl < slog.LevelWarn {
+		lvl = slog.LevelWarn
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8645", "listen address")
@@ -44,9 +68,18 @@ func main() {
 	windowSweeps := flag.Int("window-sweeps", 30, "default windowed-stats sweeps")
 	workers := flag.Int("workers", 0, "default Gibbs sweep workers per stream (0 sequential, -1 one per CPU)")
 	seed := flag.Uint64("seed", 1, "default stream RNG seed")
-	quiet := flag.Bool("quiet", false, "suppress per-estimate logging")
+	quiet := flag.Bool("quiet", false, "suppress per-estimate logging (warn level and up only)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel, *quiet)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qserved: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	srv := serve.New(serve.StreamConfig{
 		WindowTasks:  *window,
@@ -59,9 +92,7 @@ func main() {
 		Workers:      *workers,
 		Seed:         *seed,
 	})
-	if !*quiet {
-		srv.SetLogf(log.Printf)
-	}
+	srv.SetLogger(logger)
 
 	handler := srv.Handler()
 	if *pprofOn {
@@ -77,7 +108,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		log.Printf("qserved: pprof enabled at /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: handler}
@@ -85,20 +116,31 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Printf("qserved: signal received, shutting down")
+		logger.Info("signal received, shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
-			log.Printf("qserved: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 	}()
 
-	log.Printf("qserved: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("qserved: %v", err)
+		logger.Error("listen", "err", err)
+		os.Exit(1)
 	}
 	// The listener is closed; drain the stream workers (an in-flight
-	// estimation pass finishes, then every worker exits).
+	// estimation pass finishes, then every worker exits) and log the final
+	// counter summary.
 	srv.Close()
-	log.Printf("qserved: drained, bye")
+	t := srv.Totals()
+	logger.Info("drained",
+		"uptime", t.Uptime.Round(time.Millisecond),
+		"streams", t.Streams,
+		"events_ingested", t.EventsIngested,
+		"events_rejected", t.EventsRejected,
+		"tasks_sealed", t.TasksSealed,
+		"estimates", t.Estimates,
+		"estimate_errors", t.EstimateErrors,
+		"sweeps", t.Sweeps)
 }

@@ -30,6 +30,9 @@ type PosteriorOptions struct {
 	// against a full rescan after every sweep (slow; for tests and
 	// debugging).
 	DebugStats bool
+	// Observer, when non-nil, receives per-sweep telemetry (duration,
+	// resampled moves). It never perturbs the chain; see SweepObserver.
+	Observer SweepObserver
 }
 
 func (o PosteriorOptions) withDefaults() PosteriorOptions {
@@ -79,6 +82,7 @@ func Posterior(es *trace.EventSet, params Params, rng *xrand.RNG, opts Posterior
 	if err != nil {
 		return nil, err
 	}
+	g.SetObserver(opts.Observer)
 	g.EnableQueueStats()
 	nq := es.NumQueues
 	kept := opts.Sweeps - opts.BurnIn

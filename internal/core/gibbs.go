@@ -4,10 +4,22 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
+
+// SweepObserver receives one measurement per completed Sweep: its wall time
+// and the number of latent moves actually resampled (latent variables minus
+// degenerate-interval skips). Implementations must be safe for concurrent
+// use by multiple samplers and must not allocate — the hook sits inside the
+// zero-alloc sweep contract (obs.SweepMetrics is the canonical atomics-only
+// implementation). Observation never consumes sampler randomness, so an
+// instrumented chain is bit-identical to an uninstrumented one.
+type SweepObserver interface {
+	ObserveSweep(d time.Duration, movesResampled int)
+}
 
 // Gibbs samples from the posterior over unobserved arrival and departure
 // times of an event set, conditioned on the observed times, the known FSM
@@ -47,6 +59,10 @@ type Gibbs struct {
 	// stats, when non-nil, holds incremental per-queue Σservice/Σwait kept
 	// up to date by O(1) delta hooks on every latent-time write.
 	stats *queueStats
+
+	// observer, when non-nil, is called once per Sweep with the sweep's
+	// duration and resampled-move count. nil (the default) costs one branch.
+	observer SweepObserver
 }
 
 // moveCtx is the per-worker state a scan thread needs: its own RNG stream,
@@ -197,6 +213,10 @@ func (g *Gibbs) NumLatent() int { return len(g.arrivalMoves) + len(g.departMoves
 // Workers returns the configured worker count (0 for the sequential engine).
 func (g *Gibbs) Workers() int { return g.workers }
 
+// SetObserver installs (or, with nil, removes) the per-sweep telemetry
+// hook. Call between sweeps only.
+func (g *Gibbs) SetObserver(o SweepObserver) { g.observer = o }
+
 // Colors returns the number of color classes of the chromatic schedule, or
 // 0 for the sequential engine.
 func (g *Gibbs) Colors() int {
@@ -232,6 +252,12 @@ func (g *Gibbs) Skipped() int {
 // The chromatic engine alternates analogously over color classes and
 // within-shard move order.
 func (g *Gibbs) Sweep() {
+	var start time.Time
+	var skipped0 int
+	if g.observer != nil {
+		start = time.Now()
+		skipped0 = g.Skipped()
+	}
 	if g.sched != nil {
 		g.sweepChromatic()
 	} else if g.sweeps%2 == 0 {
@@ -252,6 +278,9 @@ func (g *Gibbs) Sweep() {
 	g.sweeps++
 	if g.stats != nil {
 		g.mergeStats()
+	}
+	if g.observer != nil {
+		g.observer.ObserveSweep(time.Since(start), g.NumLatent()-(g.Skipped()-skipped0))
 	}
 }
 

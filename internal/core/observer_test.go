@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// recordingObserver counts observations and totals resampled moves; it is
+// deliberately stateful to prove observation cannot leak into the chain.
+type recordingObserver struct {
+	sweeps int
+	moves  int
+	dur    time.Duration
+}
+
+func (r *recordingObserver) ObserveSweep(d time.Duration, movesResampled int) {
+	r.sweeps++
+	r.moves += movesResampled
+	r.dur += d
+}
+
+// TestObserverDoesNotPerturbChain pins the SweepObserver determinism
+// contract: an instrumented sampler produces a bit-identical chain to an
+// uninstrumented one with the same seed, on both the sequential and the
+// chromatic engines.
+func TestObserverDoesNotPerturbChain(t *testing.T) {
+	const sweeps = 12
+	for _, workers := range []int{0, 1, 3} {
+		working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 200, 0.2, 42)
+		plain := working.Clone()
+		observed := working.Clone()
+
+		gPlain, err := newGibbsForWorkers(plain, params, xrand.New(5), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gObs, err := newGibbsForWorkers(observed, params, xrand.New(5), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &recordingObserver{}
+		gObs.SetObserver(rec)
+		for s := 0; s < sweeps; s++ {
+			gPlain.Sweep()
+			gObs.Sweep()
+		}
+		for i := range plain.Events {
+			if plain.Arr[i] != observed.Arr[i] || plain.Dep[i] != observed.Dep[i] {
+				t.Fatalf("workers=%d: instrumented chain diverged at event %d: arr %v vs %v, dep %v vs %v",
+					workers, i, plain.Arr[i], observed.Arr[i], plain.Dep[i], observed.Dep[i])
+			}
+		}
+		if rec.sweeps != sweeps {
+			t.Errorf("workers=%d: observer saw %d sweeps, want %d", workers, rec.sweeps, sweeps)
+		}
+		if max := sweeps * gObs.NumLatent(); rec.moves <= 0 || rec.moves > max {
+			t.Errorf("workers=%d: implausible resampled-move total %d (latent %d/sweep)",
+				workers, rec.moves, gObs.NumLatent())
+		}
+		gPlain.Close()
+		gObs.Close()
+	}
+}
+
+// TestObserverThroughOptions checks the Observer plumbing of the three
+// drivers that accept it: StEM, Posterior, and PosteriorWindows all report
+// their sweeps to the configured hook.
+func TestObserverThroughOptions(t *testing.T) {
+	working, _, params := initializedWorking(t, [3]int{1, 1, 1}, 120, 0.25, 7)
+
+	rec := &recordingObserver{}
+	emRes, err := StEM(working.Clone(), xrand.New(3), EMOptions{Iterations: 20, BurnIn: NoBurnIn, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.sweeps != 20 {
+		t.Errorf("StEM observed %d sweeps, want 20 (one E-sweep per iteration)", rec.sweeps)
+	}
+
+	rec = &recordingObserver{}
+	post := working.Clone()
+	if err := (OrderInitializer{}).Initialize(post, params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Posterior(post, emRes.Params, xrand.New(4), PosteriorOptions{Sweeps: 15, Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.sweeps != 15 {
+		t.Errorf("Posterior observed %d sweeps, want 15", rec.sweeps)
+	}
+
+	rec = &recordingObserver{}
+	win := working.Clone()
+	if err := (OrderInitializer{}).Initialize(win, params); err != nil {
+		t.Fatal(err)
+	}
+	first, last := win.Span(1)
+	if _, err := PosteriorWindows(win, emRes.Params, xrand.New(5),
+		PosteriorOptions{Sweeps: 10, Observer: rec}, first, last+1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if rec.sweeps != 10 {
+		t.Errorf("PosteriorWindows observed %d sweeps, want 10", rec.sweeps)
+	}
+}

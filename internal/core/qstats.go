@@ -34,9 +34,9 @@ func (g *Gibbs) EnableQueueStats() {
 	svc, wait := g.set.SumServiceWaitByQueue()
 	nq := g.set.NumQueues
 	g.stats = &queueStats{
-		svc:  svc,
-		wait: wait,
-		cSvc: make([]float64, nq),
+		svc:   svc,
+		wait:  wait,
+		cSvc:  make([]float64, nq),
 		cWait: make([]float64, nq),
 	}
 	if g.seq.dSvc == nil {

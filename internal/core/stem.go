@@ -35,6 +35,9 @@ type EMOptions struct {
 	ESweeps int
 	// KeepHistory records the parameter trajectory for diagnostics.
 	KeepHistory bool
+	// Observer, when non-nil, receives per-sweep telemetry from the E-step
+	// sampler (duration, resampled moves); see SweepObserver.
+	Observer SweepObserver
 }
 
 func (o EMOptions) withDefaults() EMOptions {
@@ -99,6 +102,7 @@ func StEM(es *trace.EventSet, rng *xrand.RNG, opts EMOptions) (*EMResult, error)
 	if err != nil {
 		return nil, err
 	}
+	g.SetObserver(opts.Observer)
 
 	res := &EMResult{Iterations: opts.Iterations, Sampler: g}
 	sum := make([]float64, es.NumQueues)

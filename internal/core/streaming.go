@@ -179,6 +179,7 @@ func PosteriorWindows(es *trace.EventSet, params Params, rng *xrand.RNG, opts Po
 	if err != nil {
 		return nil, err
 	}
+	g.SetObserver(opts.Observer)
 	var acc [][]trace.WindowStats
 	counts := make([][]int, 0)
 	for sweep := 0; sweep < opts.Sweeps; sweep++ {

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// This file renders a Registry in the two wire formats the daemon serves:
+// the Prometheus text exposition format (GET /metrics) and an
+// expvar-compatible JSON object (GET /metrics.json), one key per labeled
+// instrument.
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with one
+// HELP and TYPE line, histograms expanded into cumulative _bucket lines
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var cum []uint64
+	for _, name := range r.names {
+		f := r.families[name]
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, inst := range f.insts {
+			switch {
+			case inst.h != nil:
+				if n := len(inst.h.bounds) + 1; cap(cum) < n {
+					cum = make([]uint64, n)
+				} else {
+					cum = cum[:n]
+				}
+				total := inst.h.Cumulative(cum)
+				for i, bound := range inst.h.bounds {
+					bw.WriteString(f.name)
+					bw.WriteString("_bucket")
+					writeLabelsWithLE(bw, inst.labels, formatFloat(bound))
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatUint(cum[i], 10))
+					bw.WriteByte('\n')
+				}
+				bw.WriteString(f.name)
+				bw.WriteString("_bucket")
+				writeLabelsWithLE(bw, inst.labels, "+Inf")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(total, 10))
+				bw.WriteByte('\n')
+				bw.WriteString(f.name)
+				bw.WriteString("_sum")
+				bw.WriteString(inst.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(inst.h.Sum()))
+				bw.WriteByte('\n')
+				bw.WriteString(f.name)
+				bw.WriteString("_count")
+				bw.WriteString(inst.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(total, 10))
+				bw.WriteByte('\n')
+			default:
+				bw.WriteString(f.name)
+				bw.WriteString(inst.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(scalarString(inst))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func scalarString(inst *instance) string {
+	switch {
+	case inst.c != nil:
+		return strconv.FormatUint(inst.c.Value(), 10)
+	case inst.g != nil:
+		return strconv.FormatInt(inst.g.Value(), 10)
+	case inst.f != nil:
+		return formatFloat(inst.f.Value())
+	case inst.fn != nil:
+		return formatFloat(inst.fn())
+	}
+	return "0"
+}
+
+// writeLabelsWithLE writes the instance labels with the le bucket label
+// appended (histogram bucket lines).
+func writeLabelsWithLE(w *bufio.Writer, labels, le string) {
+	if labels == "" {
+		w.WriteString(`{le="`)
+		w.WriteString(le)
+		w.WriteString(`"}`)
+		return
+	}
+	w.WriteString(labels[:len(labels)-1]) // drop the closing brace
+	w.WriteString(`,le="`)
+	w.WriteString(le)
+	w.WriteString(`"}`)
+}
+
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// jsonHistogram is the JSON view of one histogram instance.
+type jsonHistogram struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"` // le -> cumulative count
+}
+
+// WriteJSON renders the registry as one flat JSON object in the expvar
+// style: "name{labels}" keys mapping to numbers (counters, gauges) or to
+// {count, sum, buckets} objects (histograms). Non-finite gauge values are
+// emitted as strings ("NaN", "+Inf") because JSON has no literals for them.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any)
+	for _, name := range r.names {
+		f := r.families[name]
+		for _, inst := range f.insts {
+			key := f.name + inst.labels
+			switch {
+			case inst.c != nil:
+				out[key] = inst.c.Value()
+			case inst.g != nil:
+				out[key] = inst.g.Value()
+			case inst.f != nil:
+				out[key] = jsonNumber(inst.f.Value())
+			case inst.fn != nil:
+				out[key] = jsonNumber(inst.fn())
+			case inst.h != nil:
+				h := inst.h
+				cum := make([]uint64, len(h.bounds)+1)
+				total := h.Cumulative(cum)
+				buckets := make(map[string]uint64, len(cum))
+				for i, bound := range h.bounds {
+					buckets[formatFloat(bound)] = cum[i]
+				}
+				buckets["+Inf"] = total
+				out[key] = jsonHistogram{Count: total, Sum: h.Sum(), Buckets: buckets}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonNumber maps non-finite floats to strings so encoding/json accepts
+// them.
+func jsonNumber(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return formatFloat(v)
+	}
+	return v
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler returns an http.Handler serving the expvar-compatible JSON
+// view.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

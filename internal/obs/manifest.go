@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest is the run-manifest every offline tool (qinfer, qexperiments)
+// can emit next to its results: enough provenance — configuration, seed,
+// git commit, timing, final diagnostics — to reproduce or diff a run.
+type Manifest struct {
+	// Tool names the producing binary; Args are its raw command-line
+	// arguments.
+	Tool string   `json:"tool"`
+	Args []string `json:"args,omitempty"`
+	// Config is the tool's resolved configuration (flag values after
+	// defaulting).
+	Config any `json:"config,omitempty"`
+	// Seed is the run's RNG seed, when the tool has a single one.
+	Seed uint64 `json:"seed,omitempty"`
+	// GitCommit is the VCS revision baked into the binary ("-dirty" when
+	// the tree was modified); empty when built without VCS stamping (e.g.
+	// `go run` or test binaries).
+	GitCommit string `json:"git_commit,omitempty"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Host      string `json:"host,omitempty"`
+
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+	ElapsedMS  float64   `json:"elapsed_ms"`
+
+	// Results carries the run's final diagnostics/estimates — whatever the
+	// tool considers its reproducible output summary.
+	Results any `json:"results,omitempty"`
+}
+
+// NewManifest stamps a manifest with the start time, build info, and host.
+func NewManifest(tool string, args []string) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Args:      args,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		StartedAt: time.Now(),
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Host = host
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" && dirty {
+			rev += "-dirty"
+		}
+		m.GitCommit = rev
+	}
+	return m
+}
+
+// Finish stamps the end time and attaches the results summary.
+func (m *Manifest) Finish(results any) *Manifest {
+	m.FinishedAt = time.Now()
+	m.ElapsedMS = float64(m.FinishedAt.Sub(m.StartedAt)) / float64(time.Millisecond)
+	m.Results = results
+	return m
+}
+
+// WriteFile writes the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

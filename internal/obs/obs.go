@@ -1,0 +1,324 @@
+// Package obs is the repo's zero-dependency telemetry layer: a named
+// registry of atomic counters, gauges, and fixed-bucket histograms, with a
+// Prometheus text-format exposition writer and an expvar-compatible JSON
+// view (see expose.go). It instruments the hot paths of the sampler and the
+// qserved daemon, so every instrument is built for concurrent, allocation-
+// free updates:
+//
+//   - Counter and Gauge are single atomic words.
+//   - FloatGauge stores IEEE-754 bits in an atomic word (NaN is a valid
+//     value, meaning "no data yet").
+//   - Histogram buckets are a fixed array of atomic counters chosen at
+//     registration; Observe is a binary search plus three atomic adds.
+//
+// Scrapes read the same atomics, so a scrape concurrent with updates sees a
+// slightly torn but monotone view (a histogram's sum may trail its count by
+// an in-flight observation); no locks are taken on the update path.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer gauge (a value that can go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is a float64 gauge stored as atomic bits. The zero value reads
+// as 0; Set(math.NaN()) is allowed and marks "no data".
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with Prometheus-style inclusive
+// upper bounds: an observation v lands in the first bucket whose bound
+// satisfies v <= bound, or in the implicit +Inf bucket beyond the last
+// bound. Buckets are chosen once at registration; Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds (le); +Inf is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted ascending")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || (i > 0 && b == bounds[i-1]) {
+			panic("obs: histogram bounds must be distinct and non-NaN")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. It performs no allocation and takes no lock.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: inclusive le
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Cumulative writes the cumulative bucket counts (one per bound, plus the
+// +Inf total as the final element) into out, which must have length
+// len(Bounds())+1. It returns the total count.
+func (h *Histogram) Cumulative(out []uint64) uint64 {
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return cum
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at start
+// and growing by factor: start, start*factor, ....
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if !(start > 0) || !(factor > 1) || n < 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket bounds start, start+width, ....
+func LinearBuckets(start, width float64, n int) []float64 {
+	if !(width > 0) || n < 1 {
+		panic(fmt.Sprintf("obs: invalid LinearBuckets(%v, %v, %d)", start, width, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// LatencyBuckets is the default bucket layout for request/pass latencies in
+// seconds: 100µs to ~26s in ×2.5 steps.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-4, 2.5, 14) }
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Label is one constant name="value" pair attached to a metric at
+// registration (e.g. the stream id or queue index).
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry is a named collection of metric families. Registration takes a
+// lock; reads of registered instruments never do. Metrics with the same
+// name must share type, help text, and (for histograms) bucket layout, and
+// differ in labels — together they form one exposition family.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	names    []string // family names, sorted
+}
+
+type family struct {
+	name, help, typ string
+	bounds          []float64 // histogram families only
+	insts           []*instance
+	byLabels        map[string]*instance
+}
+
+// instance is one labeled metric. Exactly one of the value fields is set.
+type instance struct {
+	labels string // rendered {k="v",...} suffix, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	f      *FloatGauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName enforces the Prometheus metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels formats labels sorted by key as a {k="v",...} suffix.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register adds one instance to the named family, creating the family on
+// first use and panicking on any inconsistency (duplicate labels, type or
+// help mismatch) — registration errors are programmer errors.
+func (r *Registry) register(name, help, typ string, bounds []float64, labels []Label, inst *instance) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	inst.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, byLabels: make(map[string]*instance)}
+		r.families[name] = f
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	} else {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+		}
+		if len(f.bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+		}
+		for i := range bounds {
+			if f.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+			}
+		}
+	}
+	if _, dup := f.byLabels[inst.labels]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %s%s", name, inst.labels))
+	}
+	f.byLabels[inst.labels] = inst
+	f.insts = append(f.insts, inst)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", nil, labels, &instance{c: c})
+	return c
+}
+
+// Gauge registers and returns an integer gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", nil, labels, &instance{g: g})
+	return g
+}
+
+// FloatGauge registers and returns a float gauge.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	f := &FloatGauge{}
+	r.register(name, help, "gauge", nil, labels, &instance{f: f})
+	return f
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape time.
+// fn must be safe for concurrent calls and should be cheap (it runs on
+// every scrape while the registry read-lock is held).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", nil, labels, &instance{fn: fn})
+}
+
+// Histogram registers and returns a histogram with the given bucket upper
+// bounds (ascending; +Inf is implicit). Instances of one family must share
+// the bucket layout.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := newHistogram(bounds)
+	r.register(name, help, "histogram", h.bounds, labels, &instance{h: h})
+	return h
+}

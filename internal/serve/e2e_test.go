@@ -109,10 +109,10 @@ func TestEndToEndTandemReplay(t *testing.T) {
 
 	// Counters reflect the run.
 	st := srv.lookup("tandem")
-	if got := st.c.TasksSealed.Load(); got != tasks {
+	if got := st.m.TasksSealed.Value(); got != tasks {
 		t.Errorf("tasks_sealed=%d, want %d", got, tasks)
 	}
-	if st.c.Estimates.Load() == 0 || st.c.SweepsRun.Load() == 0 {
+	if st.m.Estimates.Value() == 0 || st.m.SweepsRun.Value() == 0 {
 		t.Error("estimate counters not advanced")
 	}
 }

@@ -1,27 +1,224 @@
 package serve
 
-import "sync/atomic"
+import (
+	"math"
+	"strconv"
+	"time"
 
-// counters is the /varz-style instrumentation block, kept per stream and
-// aggregated daemon-wide by the fan-in collector.
-type counters struct {
-	EventsIngested atomic.Uint64
-	EventsRejected atomic.Uint64
-	TasksSealed    atomic.Uint64
-	Estimates      atomic.Uint64
-	EstimateErrors atomic.Uint64
-	SkippedRuns    atomic.Uint64
-	SweepsRun      atomic.Uint64
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// serverMetrics is the daemon-wide telemetry: one obs.Registry exposed at
+// GET /metrics (Prometheus text format) and GET /metrics.json, fed by
+// lock-free instruments on the ingest and inference hot paths.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	// ingestLatency times each POST /events request end to end.
+	ingestLatency *obs.Histogram
+	// estimateLatency times each estimation pass (StEM + posterior +
+	// windowed stats), including failed ones.
+	estimateLatency *obs.Histogram
+	// sweep receives per-sweep telemetry from every stream's Gibbs sampler
+	// (duration, resampled moves). One daemon-wide pair of histograms: the
+	// hook is atomics-only, so sharing it across workers is free.
+	sweep *obs.SweepMetrics
+
+	// Daemon totals, folded in by the fan-in collector.
+	estimates      *obs.Counter
+	estimateErrors *obs.Counter
+	sweeps         *obs.Counter
 }
 
-func (c *counters) snapshot() map[string]uint64 {
-	return map[string]uint64{
-		"events_ingested": c.EventsIngested.Load(),
-		"events_rejected": c.EventsRejected.Load(),
-		"tasks_sealed":    c.TasksSealed.Load(),
-		"estimates":       c.Estimates.Load(),
-		"estimate_errors": c.EstimateErrors.Load(),
-		"skipped_runs":    c.SkippedRuns.Load(),
-		"sweeps_run":      c.SweepsRun.Load(),
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		ingestLatency: reg.Histogram("qserved_ingest_request_seconds",
+			"Latency of POST /v1/streams/{id}/events requests.", obs.LatencyBuckets()),
+		estimateLatency: reg.Histogram("qserved_estimate_seconds",
+			"Latency of one estimation pass (StEM, posterior, windowed stats).", obs.LatencyBuckets()),
+		sweep: obs.NewSweepMetrics(reg, "qserved"),
+		estimates: reg.Counter("qserved_estimates_total",
+			"Estimates published across all streams."),
+		estimateErrors: reg.Counter("qserved_estimate_errors_total",
+			"Estimation passes that failed across all streams."),
+		sweeps: reg.Counter("qserved_sweeps_total",
+			"Gibbs sweeps run across all streams."),
 	}
+	reg.GaugeFunc("qserved_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("qserved_streams",
+		"Number of configured streams.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.streams))
+		})
+	return m
+}
+
+// streamMetrics is one stream's instrument block: ingest/inference counters
+// (also surfaced under /varz) plus per-queue posterior gauges. Counters live
+// in the shared registry with a stream label, so /metrics gets them for
+// free and /varz reads the same atomics — no double counting.
+type streamMetrics struct {
+	EventsIngested *obs.Counter
+	EventsRejected *obs.Counter
+	TasksSealed    *obs.Counter
+	Estimates      *obs.Counter
+	EstimateErrors *obs.Counter
+	SkippedRuns    *obs.Counter
+	SweepsRun      *obs.Counter
+
+	// Per-queue posterior gauges (index q-1 for service queue q), updated
+	// by the worker after each published estimate. NaN until the first
+	// estimate lands.
+	meanService []*obs.FloatGauge
+	meanWait    []*obs.FloatGauge
+	ess         []*obs.FloatGauge
+	rhat        []*obs.FloatGauge
+
+	// varz is this stream's reused /varz block (guarded by Server.varzMu):
+	// scrapes refresh values in place instead of allocating fresh maps.
+	varz map[string]any
+}
+
+// newStreamMetrics registers one stream's instruments. Stream ids are
+// registered at most once per Server lifetime (streams cannot be deleted),
+// so the registry's duplicate panic cannot fire.
+func newStreamMetrics(s *Server, st *stream) *streamMetrics {
+	reg := s.metrics.reg
+	lbl := obs.L("stream", st.id)
+	m := &streamMetrics{
+		EventsIngested: reg.Counter("qserved_stream_events_ingested_total",
+			"Events accepted into the stream's window.", lbl),
+		EventsRejected: reg.Counter("qserved_stream_events_rejected_total",
+			"Ingested events rejected by validation.", lbl),
+		TasksSealed: reg.Counter("qserved_stream_tasks_sealed_total",
+			"Tasks sealed (final event seen).", lbl),
+		Estimates: reg.Counter("qserved_stream_estimates_total",
+			"Estimates published for the stream.", lbl),
+		EstimateErrors: reg.Counter("qserved_stream_estimate_errors_total",
+			"Estimation passes that failed for the stream.", lbl),
+		SkippedRuns: reg.Counter("qserved_stream_skipped_runs_total",
+			"Estimation wake-ups skipped (window unchanged or too small).", lbl),
+		SweepsRun: reg.Counter("qserved_stream_sweeps_total",
+			"Gibbs sweeps run for the stream.", lbl),
+		varz: make(map[string]any, 16),
+	}
+	reg.GaugeFunc("qserved_stream_window_tasks",
+		"Sealed tasks currently in the sliding window.",
+		func() float64 {
+			sealed, _, _ := st.store.counts()
+			return float64(sealed)
+		}, lbl)
+	reg.GaugeFunc("qserved_stream_open_tasks",
+		"Tasks still receiving events.",
+		func() float64 {
+			_, open, _ := st.store.counts()
+			return float64(open)
+		}, lbl)
+	reg.GaugeFunc("qserved_stream_window_lag_tasks",
+		"Tasks sealed since the last published estimate (estimation backlog).",
+		func() float64 {
+			_, _, epoch := st.store.counts()
+			if est := st.estimate.Load(); est != nil {
+				return float64(epoch - est.Epoch)
+			}
+			return float64(epoch)
+		}, lbl)
+	reg.GaugeFunc("qserved_stream_estimate_staleness_seconds",
+		"Age of the published estimate (NaN until the first one).",
+		func() float64 {
+			if est := st.estimate.Load(); est != nil {
+				return time.Since(est.ComputedAt).Seconds()
+			}
+			return math.NaN()
+		}, lbl)
+
+	nq := st.cfg.NumQueues
+	m.meanService = make([]*obs.FloatGauge, nq-1)
+	m.meanWait = make([]*obs.FloatGauge, nq-1)
+	m.ess = make([]*obs.FloatGauge, nq-1)
+	m.rhat = make([]*obs.FloatGauge, nq-1)
+	for q := 1; q < nq; q++ {
+		qlbl := obs.L("queue", strconv.Itoa(q))
+		m.meanService[q-1] = reg.FloatGauge("qserved_queue_mean_service_seconds",
+			"Posterior mean service time at the queue (latest estimate).", lbl, qlbl)
+		m.meanWait[q-1] = reg.FloatGauge("qserved_queue_mean_wait_seconds",
+			"Posterior mean waiting time at the queue (latest estimate).", lbl, qlbl)
+		m.ess[q-1] = reg.FloatGauge("qserved_queue_ess",
+			"Effective sample size of the queue's mean-wait chain.", lbl, qlbl)
+		m.rhat[q-1] = reg.FloatGauge("qserved_queue_rhat",
+			"Split Gelman-Rubin R-hat of the queue's mean-wait chain.", lbl, qlbl)
+		m.meanService[q-1].Set(math.NaN())
+		m.meanWait[q-1].Set(math.NaN())
+		m.ess[q-1].Set(math.NaN())
+		m.rhat[q-1].Set(math.NaN())
+	}
+	return m
+}
+
+// updateQueueGauges publishes the per-queue posterior chain diagnostics
+// after a successful estimation pass.
+func (m *streamMetrics) updateQueueGauges(meanService, meanWait []float64, waitChain [][]float64) {
+	for q := 1; q < len(meanService) && q-1 < len(m.meanWait); q++ {
+		m.meanService[q-1].Set(meanService[q])
+		m.meanWait[q-1].Set(meanWait[q])
+		chain := waitChain[q]
+		if len(chain) == 0 {
+			m.ess[q-1].Set(math.NaN())
+			m.rhat[q-1].Set(math.NaN())
+			continue
+		}
+		m.ess[q-1].Set(stats.ESS(chain))
+		m.rhat[q-1].Set(stats.SplitRHat(chain))
+	}
+}
+
+// snapshotInto refreshes the reused /varz counter block in place — the
+// per-scrape map allocation this replaces showed up in scrape profiles.
+func (m *streamMetrics) snapshotInto(out map[string]any) {
+	out["events_ingested"] = m.EventsIngested.Value()
+	out["events_rejected"] = m.EventsRejected.Value()
+	out["tasks_sealed"] = m.TasksSealed.Value()
+	out["estimates"] = m.Estimates.Value()
+	out["estimate_errors"] = m.EstimateErrors.Value()
+	out["skipped_runs"] = m.SkippedRuns.Value()
+	out["sweeps_run"] = m.SweepsRun.Value()
+}
+
+// Totals is the daemon-wide counter snapshot: the shutdown summary qserved
+// logs after draining.
+type Totals struct {
+	EventsIngested uint64
+	EventsRejected uint64
+	TasksSealed    uint64
+	Estimates      uint64
+	EstimateErrors uint64
+	Sweeps         uint64
+	Streams        int
+	Uptime         time.Duration
+}
+
+// Totals aggregates every stream's counters plus the daemon totals.
+func (s *Server) Totals() Totals {
+	t := Totals{
+		Estimates:      s.metrics.estimates.Value(),
+		EstimateErrors: s.metrics.estimateErrors.Value(),
+		Sweeps:         s.metrics.sweeps.Value(),
+		Uptime:         time.Since(s.start),
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t.Streams = len(s.streams)
+	for _, st := range s.streams {
+		t.EventsIngested += st.m.EventsIngested.Value()
+		t.EventsRejected += st.m.EventsRejected.Value()
+		t.TasksSealed += st.m.TasksSealed.Value()
+	}
+	return t
 }

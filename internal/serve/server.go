@@ -14,6 +14,8 @@
 //	GET  /v1/streams/{id}/windows   windowed bottleneck stats (503 until ready)
 //	GET  /v1/streams                list streams
 //	GET  /healthz                   liveness
+//	GET  /metrics                   Prometheus text exposition
+//	GET  /metrics.json              same registry as JSON
 //	GET  /varz (also /debug/vars)   ingest/inference counters
 package serve
 
@@ -22,14 +24,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // stream is one event stream: its store, its worker's published
-// snapshots, and its counters.
+// snapshots, and its instruments.
 type stream struct {
 	id       string
 	cfg      StreamConfig
@@ -37,7 +43,7 @@ type stream struct {
 	kick     chan struct{}
 	estimate atomic.Pointer[Estimate]
 	windows  atomic.Pointer[WindowsSnapshot]
-	c        counters
+	m        *streamMetrics
 }
 
 // Server is the qserved daemon core, independent of the HTTP listener: it
@@ -49,13 +55,17 @@ type Server struct {
 	mu      sync.RWMutex
 	streams map[string]*stream
 
-	totals struct {
-		estimates  atomic.Uint64
-		sweeps     atomic.Uint64
-		errors     atomic.Uint64
-		lastErr    atomic.Pointer[string]
-		lastErrDat atomic.Pointer[time.Time]
-	}
+	metrics *serverMetrics
+
+	lastErr   atomic.Pointer[string]
+	lastErrAt atomic.Pointer[time.Time]
+
+	// varzMu guards the reused /varz response maps (one block per stream,
+	// refreshed in place on every scrape).
+	varzMu      sync.Mutex
+	varzTop     map[string]any
+	varzStreams map[string]any
+	varzBlocks  map[string]map[string]any
 
 	ctx         context.Context
 	cancel      context.CancelFunc
@@ -66,20 +76,24 @@ type Server struct {
 
 	start time.Time
 	mux   *http.ServeMux
-	logf  func(format string, args ...any)
+	log   *slog.Logger
 }
 
 // New returns a running Server (collector started, no streams yet). The
 // defaults seed every stream's unset StreamConfig fields.
 func New(defaults StreamConfig) *Server {
 	s := &Server{
-		defaults: defaults,
-		streams:  make(map[string]*stream),
-		results:  make(chan workerResult, 64),
-		start:    time.Now(),
-		mux:      http.NewServeMux(),
-		logf:     func(string, ...any) {},
+		defaults:    defaults,
+		streams:     make(map[string]*stream),
+		results:     make(chan workerResult, 64),
+		start:       time.Now(),
+		mux:         http.NewServeMux(),
+		log:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+		varzTop:     make(map[string]any, 8),
+		varzStreams: make(map[string]any, 4),
+		varzBlocks:  make(map[string]map[string]any, 4),
 	}
+	s.metrics = newServerMetrics(s)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.collectorWG.Add(1)
 	go s.collect()
@@ -87,11 +101,20 @@ func New(defaults StreamConfig) *Server {
 	return s
 }
 
-// SetLogf installs a logger for worker errors and lifecycle events.
-func (s *Server) SetLogf(logf func(format string, args ...any)) { s.logf = logf }
+// SetLogger installs a structured logger for worker errors and lifecycle
+// events. The default discards everything.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the daemon's metrics registry (the /metrics backing
+// store), for embedding callers that add their own instruments.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // Close stops every stream worker, waits for in-flight inference to
 // drain, and shuts down the collector. It is idempotent.
@@ -110,17 +133,18 @@ func (s *Server) collect() {
 	defer s.collectorWG.Done()
 	for res := range s.results {
 		if res.err != nil {
-			s.totals.errors.Add(1)
+			s.metrics.estimateErrors.Inc()
 			msg := fmt.Sprintf("stream %s: %v", res.stream, res.err)
 			now := time.Now()
-			s.totals.lastErr.Store(&msg)
-			s.totals.lastErrDat.Store(&now)
-			s.logf("serve: estimate error on stream %s: %v", res.stream, res.err)
+			s.lastErr.Store(&msg)
+			s.lastErrAt.Store(&now)
+			s.log.Error("estimate failed", "stream", res.stream, "err", res.err, "elapsed", res.elapsed)
 			continue
 		}
-		s.totals.estimates.Add(1)
-		s.totals.sweeps.Add(res.sweeps)
-		s.logf("serve: stream %s estimate seq=%d epoch=%d in %s", res.stream, res.seq, res.epoch, res.elapsed)
+		s.metrics.estimates.Inc()
+		s.metrics.sweeps.Add(res.sweeps)
+		s.log.Info("estimate published",
+			"stream", res.stream, "seq", res.seq, "epoch", res.epoch, "elapsed", res.elapsed)
 	}
 }
 
@@ -131,6 +155,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/streams/{id}/windows", s.handleWindows)
 	s.mux.HandleFunc("GET /v1/streams", s.handleList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	s.mux.Handle("GET /metrics.json", s.metrics.reg.JSONHandler())
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVarz)
 }
@@ -189,15 +215,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		store: newStore(cfg.NumQueues, cfg.WindowTasks),
 		kick:  make(chan struct{}, 1),
 	}
+	st.m = newStreamMetrics(s, st)
 	s.streams[id] = st
-	wk := newWorker(st, s.results)
+	wk := newWorker(st, s.results, s.metrics)
 	ctx := s.ctx
 	s.workersWG.Add(1)
 	go func() {
 		defer s.workersWG.Done()
 		wk.run(ctx)
 	}()
-	s.logf("serve: stream %q created (queues=%d window=%d interval=%dms)", id, cfg.NumQueues, cfg.WindowTasks, cfg.IntervalMS)
+	s.log.Info("stream created",
+		"stream", id, "queues", cfg.NumQueues, "window", cfg.WindowTasks, "interval_ms", cfg.IntervalMS)
 	writeJSON(w, http.StatusCreated, cfg)
 }
 
@@ -208,6 +236,8 @@ const maxIngestBody = 64 << 20
 // are rejected individually; valid lines in the same body are kept. The
 // response reports both counts (400 only when nothing was accepted).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.ingestLatency.Observe(time.Since(start).Seconds()) }()
 	st := s.lookup(r.PathValue("id"))
 	if st == nil {
 		writeError(w, http.StatusNotFound, "unknown stream %q (PUT /v1/streams/{id} first)", r.PathValue("id"))
@@ -245,9 +275,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	st.c.EventsIngested.Add(uint64(sum.Accepted))
-	st.c.EventsRejected.Add(uint64(sum.Rejected))
-	st.c.TasksSealed.Add(uint64(sum.SealedTasks))
+	st.m.EventsIngested.Add(uint64(sum.Accepted))
+	st.m.EventsRejected.Add(uint64(sum.Rejected))
+	st.m.TasksSealed.Add(uint64(sum.SealedTasks))
 	sum.WindowTasks, sum.OpenTasks, _ = st.store.counts()
 	if sum.SealedTasks > 0 {
 		select {
@@ -327,29 +357,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleVarz serves the debug counters: daemon totals plus one block per
-// stream, including estimate staleness and window drop counts.
+// stream, including estimate staleness and window drop counts. The response
+// maps are reused across scrapes (refreshed in place under varzMu) — the
+// output shape matches the original expvar-style /debug/vars exactly.
 func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
-	out := map[string]any{
-		"uptime_ms":           float64(time.Since(s.start)) / float64(time.Millisecond),
-		"estimates_published": s.totals.estimates.Load(),
-		"sweeps_run":          s.totals.sweeps.Load(),
-		"estimate_errors":     s.totals.errors.Load(),
-	}
-	if msg := s.totals.lastErr.Load(); msg != nil {
+	s.varzMu.Lock()
+	defer s.varzMu.Unlock()
+	out := s.varzTop
+	out["uptime_ms"] = float64(time.Since(s.start)) / float64(time.Millisecond)
+	out["estimates_published"] = s.metrics.estimates.Value()
+	out["sweeps_run"] = s.metrics.sweeps.Value()
+	out["estimate_errors"] = s.metrics.estimateErrors.Value()
+	delete(out, "last_error")
+	delete(out, "last_error_at")
+	if msg := s.lastErr.Load(); msg != nil {
 		out["last_error"] = *msg
-		if at := s.totals.lastErrDat.Load(); at != nil {
+		if at := s.lastErrAt.Load(); at != nil {
 			out["last_error_at"] = at.Format(time.RFC3339Nano)
 		}
 	}
-	streams := map[string]any{}
 	s.mu.RLock()
 	for id, st := range s.streams {
-		vars := st.c.snapshot()
-		slid, evicted := st.store.dropStats()
-		block := map[string]any{}
-		for k, v := range vars {
-			block[k] = v
+		block, ok := s.varzBlocks[id]
+		if !ok {
+			block = make(map[string]any, 16)
+			s.varzBlocks[id] = block
 		}
+		st.m.snapshotInto(block)
+		slid, evicted := st.store.dropStats()
 		block["tasks_slid_off_window"] = slid
 		block["open_tasks_evicted"] = evicted
 		sealed, open, epoch := st.store.counts()
@@ -359,10 +394,13 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		if est := st.estimate.Load(); est != nil {
 			block["estimate_seq"] = est.Seq
 			block["estimate_staleness_ms"] = float64(time.Since(est.ComputedAt)) / float64(time.Millisecond)
+		} else {
+			delete(block, "estimate_seq")
+			delete(block, "estimate_staleness_ms")
 		}
-		streams[id] = block
+		s.varzStreams[id] = block
 	}
 	s.mu.RUnlock()
-	out["streams"] = streams
+	out["streams"] = s.varzStreams
 	writeJSON(w, http.StatusOK, out)
 }

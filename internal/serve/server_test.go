@@ -85,10 +85,10 @@ func TestIngestMixedValidity(t *testing.T) {
 		t.Fatal("all-invalid ingest should 400")
 	}
 	st := srv.lookup("s")
-	if got := st.c.EventsIngested.Load(); got != 2 {
+	if got := st.m.EventsIngested.Value(); got != 2 {
 		t.Errorf("events_ingested=%d, want 2", got)
 	}
-	if got := st.c.EventsRejected.Load(); got != 2 {
+	if got := st.m.EventsRejected.Value(); got != 2 {
 		t.Errorf("events_rejected=%d, want 2", got)
 	}
 }
@@ -192,7 +192,7 @@ func TestConcurrentIngestAndServe(t *testing.T) {
 		t.Errorf("lambda %v", est.Lambda)
 	}
 	srv.Close() // drains workers; idempotent with the cleanup
-	if got := srv.totals.estimates.Load(); got == 0 {
+	if got := srv.metrics.estimates.Value(); got == 0 {
 		t.Error("collector recorded no estimates")
 	}
 }

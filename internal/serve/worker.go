@@ -28,6 +28,7 @@ type workerResult struct {
 type worker struct {
 	st      *stream
 	results chan<- workerResult
+	sm      *serverMetrics
 	est     *core.OnlineEstimator
 	rng     *xrand.RNG
 	seq     uint64
@@ -36,14 +37,15 @@ type worker struct {
 	lastEpoch uint64
 }
 
-func newWorker(st *stream, results chan<- workerResult) *worker {
+func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics) *worker {
 	cfg := st.cfg
 	return &worker{
 		st:      st,
 		results: results,
+		sm:      sm,
 		est: core.NewOnlineEstimator(
-			core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers},
-			core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.Workers},
+			core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers, Observer: sm.sweep},
+			core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.Workers, Observer: sm.sweep},
 		),
 		rng: xrand.New(cfg.Seed),
 	}
@@ -69,7 +71,7 @@ func (w *worker) run(ctx context.Context) {
 func (w *worker) runOnce(ctx context.Context) {
 	sealed, _, epoch := w.st.store.counts()
 	if epoch == w.lastEpoch || sealed < w.st.cfg.MinTasks {
-		w.st.c.SkippedRuns.Add(1)
+		w.st.m.SkippedRuns.Inc()
 		return
 	}
 	start := time.Now()
@@ -79,8 +81,9 @@ func (w *worker) runOnce(ctx context.Context) {
 			res.err = fmt.Errorf("estimation panic: %v", r)
 		}
 		res.elapsed = time.Since(start)
+		w.sm.estimateLatency.Observe(res.elapsed.Seconds())
 		if res.err != nil {
-			w.st.c.EstimateErrors.Add(1)
+			w.st.m.EstimateErrors.Inc()
 		}
 		select {
 		case w.results <- res:
@@ -141,10 +144,11 @@ func (w *worker) runOnce(ctx context.Context) {
 		w.st.windows.Store(ws)
 	}
 	w.lastEpoch = epoch
-	w.st.c.Estimates.Add(1)
+	w.st.m.Estimates.Inc()
+	w.st.m.updateQueueGauges(post.MeanService, post.MeanWait, post.WaitChain)
 	res.seq = w.seq
 	res.sweeps = uint64(cfg.EMIters + cfg.PostSweeps + cfg.WindowSweeps)
-	w.st.c.SweepsRun.Add(res.sweeps)
+	w.st.m.SweepsRun.Add(res.sweeps)
 }
 
 // windowed runs the fixed-parameter windowed posterior pass over the
@@ -164,7 +168,7 @@ func (w *worker) windowed(es *trace.EventSet, params core.Params, offset float64
 	}
 	cfg := w.st.cfg
 	stats, err := core.PosteriorWindows(es, params, w.rng,
-		core.PosteriorOptions{Sweeps: cfg.WindowSweeps, Workers: cfg.Workers}, lo, hi, cfg.Windows)
+		core.PosteriorOptions{Sweeps: cfg.WindowSweeps, Workers: cfg.Workers, Observer: w.sm.sweep}, lo, hi, cfg.Windows)
 	if err != nil {
 		return nil, err
 	}

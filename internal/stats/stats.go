@@ -373,6 +373,18 @@ func GelmanRubin(chains [][]float64) float64 {
 	return math.Sqrt(vhat / w)
 }
 
+// SplitRHat returns the split-chain R-hat of a single chain: the chain is
+// halved and the halves compared with GelmanRubin, so within-chain drift
+// (a still-warming sampler) registers as R-hat > 1 even without parallel
+// chains. It returns NaN for chains shorter than 4.
+func SplitRHat(xs []float64) float64 {
+	n := len(xs) / 2
+	if n < 2 {
+		return math.NaN()
+	}
+	return GelmanRubin([][]float64{xs[:n], xs[n : 2*n]})
+}
+
 // ---------------------------------------------------------------------------
 // Bootstrap
 

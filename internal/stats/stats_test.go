@@ -261,6 +261,32 @@ func TestGelmanRubinDiverged(t *testing.T) {
 	}
 }
 
+func TestSplitRHat(t *testing.T) {
+	if v := SplitRHat([]float64{1, 2, 3}); !math.IsNaN(v) {
+		t.Errorf("SplitRHat of a 3-sample chain = %v, want NaN", v)
+	}
+	r := xrand.New(28)
+	stationary := make([]float64, 4000)
+	for i := range stationary {
+		stationary[i] = r.Norm()
+	}
+	if v := SplitRHat(stationary); math.Abs(v-1) > 0.02 {
+		t.Errorf("SplitRHat of a stationary chain = %v, want ~1", v)
+	}
+	// A drifting chain separates its own halves.
+	drifting := make([]float64, 1000)
+	for i := range drifting {
+		drifting[i] = r.Norm() + float64(i)*0.02
+	}
+	if v := SplitRHat(drifting); v < 1.5 {
+		t.Errorf("SplitRHat of a drifting chain = %v, want >> 1", v)
+	}
+	// Odd lengths drop the last sample rather than comparing ragged halves.
+	if v := SplitRHat(stationary[:3999]); math.IsNaN(v) {
+		t.Errorf("SplitRHat of an odd-length chain = NaN, want finite")
+	}
+}
+
 func TestBootstrapCICoversMean(t *testing.T) {
 	r := xrand.New(27)
 	xs := make([]float64, 400)

@@ -9,8 +9,8 @@ go vet ./...
 go build ./...
 go test -race ./...
 
-# Focused race gate for the chromatic parallel Gibbs engine: the core
-# property/determinism tests and the serve e2e test on the parallel path,
-# with a fresh -count=1 run so schedule/sharding races can't hide behind
-# the test cache.
-go test -race -count=1 -run 'Parallel' ./internal/core ./internal/serve
+# Focused race gate for the concurrent paths: the chromatic parallel Gibbs
+# engine (core), the serve e2e test plus the metrics scrape storm, and the
+# telemetry registry's writer-vs-scraper test, with a fresh -count=1 run so
+# schedule/sharding races can't hide behind the test cache.
+go test -race -count=1 -run 'Parallel' ./internal/core ./internal/serve ./internal/obs
