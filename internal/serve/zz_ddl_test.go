@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScrapeCreateDeadlock(t *testing.T) {
+	s := New(StreamConfig{})
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3000; j++ {
+				s.metrics.reg.WritePrometheus(io.Discard)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3000; j++ {
+				req := httptest.NewRequest("PUT", fmt.Sprintf("/v1/streams/x%d", j), nil)
+				req.SetPathValue("id", fmt.Sprintf("x%d", j))
+				w := httptest.NewRecorder()
+				s.handleCreate(w, req)
+			}
+		}()
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: scrape vs create wedged")
+	}
+}
