@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -263,7 +264,10 @@ func BenchmarkObservedGibbsSweep(b *testing.B) {
 }
 
 // BenchmarkPosterior measures the full fixed-parameter posterior pass (30
-// sweeps, incremental per-queue statistics) across the same worker grid.
+// sweeps, incremental per-queue statistics) across the same worker grid,
+// the way a steady-state caller runs it: working copies drawn from a
+// ClonePool and results written into a reused summary via PosteriorInto, so
+// allocs/op reflects the sampler itself rather than per-call buffer churn.
 func BenchmarkPosterior(b *testing.B) {
 	truth, net := benchTraceLarge(b)
 	params, err := core.NewParams(net.ServiceRates())
@@ -276,13 +280,16 @@ func BenchmarkPosterior(b *testing.B) {
 	}
 	for _, bc := range benchWorkerGrid() {
 		b.Run(bc.name, func(b *testing.B) {
+			var pool trace.ClonePool
+			var sum core.PosteriorSummary
 			for i := 0; i < b.N; i++ {
-				working := base.Clone()
-				if _, err := core.Posterior(working, params, xrand.New(3), core.PosteriorOptions{
+				working := pool.Get(base)
+				if err := core.PosteriorInto(&sum, working, params, xrand.New(3), core.PosteriorOptions{
 					Sweeps: 30, Workers: bc.workers,
 				}); err != nil {
 					b.Fatal(err)
 				}
+				pool.Put(working)
 			}
 		})
 	}

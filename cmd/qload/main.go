@@ -90,7 +90,9 @@ func main() {
 	log.Info("replay done",
 		"events", stats.Events, "batches", stats.Batches,
 		"accepted", stats.Accepted, "rejected", stats.Rejected,
-		"elapsed", stats.Duration.Round(time.Millisecond))
+		"bytes", stats.Bytes,
+		"elapsed", stats.Duration.Round(time.Millisecond),
+		"events_per_sec", fmt.Sprintf("%.0f", stats.EventsPerSec()))
 
 	wctx, cancel := context.WithTimeout(ctx, *wait)
 	defer cancel()

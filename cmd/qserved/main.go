@@ -68,6 +68,7 @@ func main() {
 	windowSweeps := flag.Int("window-sweeps", 30, "default windowed-stats sweeps")
 	workers := flag.Int("workers", 0, "default Gibbs sweep workers per stream (0 sequential, -1 one per CPU)")
 	seed := flag.Uint64("seed", 1, "default stream RNG seed")
+	maxLine := flag.Int("max-line", 1<<20, "max NDJSON line length in bytes (longer lines get HTTP 413)")
 	quiet := flag.Bool("quiet", false, "suppress per-estimate logging (warn level and up only)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -93,6 +94,7 @@ func main() {
 		Seed:         *seed,
 	})
 	srv.SetLogger(logger)
+	srv.SetMaxLineBytes(*maxLine)
 
 	handler := srv.Handler()
 	if *pprofOn {

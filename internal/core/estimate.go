@@ -62,6 +62,23 @@ type PosteriorSummary struct {
 	WaitChain [][]float64
 	// Sweeps actually averaged.
 	Sweeps int
+
+	// svc and wait are the per-sweep accumulation scratch, kept on the
+	// summary so PosteriorInto reuses them across calls.
+	svc, wait []float64
+}
+
+// resizeFloats returns b resized to n zeroed entries, reusing its backing
+// array when the capacity allows.
+func resizeFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
 }
 
 // Posterior runs the Gibbs sampler with the given fixed parameters and
@@ -74,37 +91,61 @@ type PosteriorSummary struct {
 // statistics — O(queues) per kept sweep instead of a full O(events)
 // rescan; set DebugStats to cross-check them against the rescan.
 func Posterior(es *trace.EventSet, params Params, rng *xrand.RNG, opts PosteriorOptions) (*PosteriorSummary, error) {
+	sum := &PosteriorSummary{}
+	if err := PosteriorInto(sum, es, params, rng, opts); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// PosteriorInto is Posterior with caller-owned result storage: it fills sum
+// in place, reusing its MeanService/MeanWait/WaitChain backings (and the
+// internal scratch) from earlier calls. A steady-state caller — the online
+// estimator re-running every window, or a benchmark loop — pays no per-call
+// summary allocations once the buffers have grown to size. The previous
+// contents of sum are overwritten; slices handed out from an earlier call
+// must not be retained across calls.
+func PosteriorInto(sum *PosteriorSummary, es *trace.EventSet, params Params, rng *xrand.RNG, opts PosteriorOptions) error {
 	opts = opts.withDefaults()
 	if opts.BurnIn >= opts.Sweeps {
-		return nil, fmt.Errorf("core: burn-in %d >= sweeps %d", opts.BurnIn, opts.Sweeps)
+		return fmt.Errorf("core: burn-in %d >= sweeps %d", opts.BurnIn, opts.Sweeps)
 	}
 	g, err := newGibbsForWorkers(es, params, rng, opts.Workers)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	g.SetObserver(opts.Observer)
 	g.EnableQueueStats()
 	nq := es.NumQueues
 	kept := opts.Sweeps - opts.BurnIn
-	sum := &PosteriorSummary{
-		MeanService: make([]float64, nq),
-		MeanWait:    make([]float64, nq),
-		WaitChain:   make([][]float64, nq),
+	sum.MeanService = resizeFloats(sum.MeanService, nq)
+	sum.MeanWait = resizeFloats(sum.MeanWait, nq)
+	if cap(sum.WaitChain) < nq {
+		sum.WaitChain = make([][]float64, nq)
+	} else {
+		sum.WaitChain = sum.WaitChain[:nq]
 	}
 	// Queues with no events never get chain entries; leave their slots nil
 	// rather than allocating always-empty slices.
 	for q := 0; q < nq; q++ {
-		if len(es.ByQueue[q]) > 0 {
+		if len(es.ByQueue[q]) == 0 {
+			sum.WaitChain[q] = nil
+			continue
+		}
+		if c := sum.WaitChain[q]; cap(c) >= kept {
+			sum.WaitChain[q] = c[:0]
+		} else {
 			sum.WaitChain[q] = make([]float64, 0, kept)
 		}
 	}
-	svc := make([]float64, nq)
-	wait := make([]float64, nq)
+	sum.svc = resizeFloats(sum.svc, nq)
+	sum.wait = resizeFloats(sum.wait, nq)
+	svc, wait := sum.svc, sum.wait
 	for sweep := 0; sweep < opts.Sweeps; sweep++ {
 		g.Sweep()
 		if opts.DebugStats {
 			if err := g.CheckQueueStats(1e-9); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		if sweep < opts.BurnIn {
@@ -130,7 +171,7 @@ func Posterior(es *trace.EventSet, params Params, rng *xrand.RNG, opts Posterior
 		sum.MeanWait[q] /= float64(kept)
 	}
 	sum.Sweeps = kept
-	return sum, nil
+	return nil
 }
 
 // Estimate is the complete pipeline the paper evaluates: StEM for the

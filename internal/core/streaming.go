@@ -55,6 +55,8 @@ type OnlineEstimator struct {
 	Post PosteriorOptions
 
 	warm *Params
+	// sum is the reused posterior summary handed out by Estimate.
+	sum PosteriorSummary
 }
 
 // NewOnlineEstimator returns an estimator with the given per-window
@@ -81,6 +83,10 @@ func (o *OnlineEstimator) Reset() { o.warm = nil }
 // when a previous estimate exists) and the fixed-parameter posterior pass,
 // and records the new estimate as the next warm start. The event set is
 // mutated in place (shifted, then imputed).
+//
+// The returned summary is owned by the estimator and reused: it is valid
+// until the next Estimate call. Callers that retain any of its slices past
+// that point must copy them.
 func (o *OnlineEstimator) Estimate(es *trace.EventSet, rng *xrand.RNG) (*EMResult, *PosteriorSummary, error) {
 	if err := shiftTowardZero(es); err != nil {
 		return nil, nil, err
@@ -94,13 +100,12 @@ func (o *OnlineEstimator) Estimate(es *trace.EventSet, rng *xrand.RNG) (*EMResul
 	if err != nil {
 		return nil, nil, err
 	}
-	post, err := Posterior(es, emRes.Params, rng, o.Post)
-	if err != nil {
+	if err := PosteriorInto(&o.sum, es, emRes.Params, rng, o.Post); err != nil {
 		return nil, nil, err
 	}
 	w := emRes.Params.Clone()
 	o.warm = &w
-	return emRes, post, nil
+	return emRes, &o.sum, nil
 }
 
 // shiftTowardZero translates a window cut from a longer trace so that the
@@ -158,7 +163,9 @@ func StreamingEstimate(es *trace.EventSet, rng *xrand.RNG, opts StreamingOptions
 			StartTime: startTime,
 			EndTime:   endTime,
 			Params:    emRes.Params,
-			MeanWait:  post.MeanWait,
+			// The estimator reuses its summary across blocks; copy what the
+			// BlockEstimate retains.
+			MeanWait: append([]float64(nil), post.MeanWait...),
 		})
 	}
 	return out, nil

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // This file defines the wire types of the qserved HTTP API: the stream
@@ -93,26 +95,12 @@ func (c StreamConfig) validate() error {
 	return nil
 }
 
-// IngestEvent is one line of the NDJSON ingest body: one arrival/departure
-// pair of one task at one queue. Events of a task must be posted in path
-// order — the first event's arrival is the task's system entry time, every
-// later arrival must equal the previous event's departure, and the last
-// event carries final=true to seal the task into the estimation window.
-// Queue 0 is the implicit arrival queue and must not appear.
-type IngestEvent struct {
-	Task    string  `json:"task"`
-	State   int     `json:"state"`
-	Queue   int     `json:"queue"`
-	Arrival float64 `json:"arrival"`
-	Depart  float64 `json:"depart"`
-	// ObsArrival and ObsDepart mark which times the inference may treat as
-	// measured; unobserved times are re-imputed by the sampler, so a
-	// replayed ground-truth trace with a sparse mask exercises genuine
-	// partial-observation inference.
-	ObsArrival bool `json:"obs_arrival,omitempty"`
-	ObsDepart  bool `json:"obs_depart,omitempty"`
-	Final      bool `json:"final,omitempty"`
-}
+// IngestEvent is one line of the NDJSON ingest body. It aliases
+// trace.WireEvent — the wire format now lives next to its zero-allocation
+// codec in internal/trace — so existing literal construction and the HTTP
+// contract are unchanged. A task's final event carries final=true to seal
+// the task into the estimation window.
+type IngestEvent = trace.WireEvent
 
 // IngestSummary is the response of POST /v1/streams/{id}/events.
 type IngestSummary struct {
@@ -122,6 +110,14 @@ type IngestSummary struct {
 	WindowTasks int      `json:"window_tasks"`
 	OpenTasks   int      `json:"open_tasks"`
 	Errors      []string `json:"errors,omitempty"`
+}
+
+// reject records one rejected line, capping the echoed error list at 5.
+func (s *IngestSummary) reject(line int, err error) {
+	s.Rejected++
+	if len(s.Errors) < 5 {
+		s.Errors = append(s.Errors, fmt.Sprintf("line %d: %v", line, err))
+	}
 }
 
 // JSONFloat is a float64 that marshals NaN and ±Inf as null (encoding/json

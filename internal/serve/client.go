@@ -9,7 +9,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ErrNotReady is returned by Client.Estimate and Client.Windows while the
@@ -72,17 +75,45 @@ func (c *Client) CreateStream(ctx context.Context, id string, cfg StreamConfig) 
 	return c.do(ctx, http.MethodPut, "/v1/streams/"+id, bytes.NewReader(body), nil)
 }
 
-// PostEvents sends a batch of events as NDJSON.
-func (c *Client) PostEvents(ctx context.Context, id string, events []IngestEvent) (*IngestSummary, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+// encodeBufPool recycles NDJSON encode buffers across PostEvents calls.
+var encodeBufPool sync.Pool
+
+// AppendEvents encodes events as NDJSON lines onto dst using the canonical
+// fast encoder (the same grammar the server decodes without allocating).
+func AppendEvents(dst []byte, events []IngestEvent) ([]byte, error) {
 	for i := range events {
-		if err := enc.Encode(&events[i]); err != nil {
-			return nil, err
+		var err error
+		if dst, err = trace.AppendWireEvent(dst, &events[i]); err != nil {
+			return dst, err
 		}
 	}
+	return dst, nil
+}
+
+// PostEvents sends a batch of events as NDJSON.
+func (c *Client) PostEvents(ctx context.Context, id string, events []IngestEvent) (*IngestSummary, error) {
+	bp, _ := encodeBufPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	defer func() {
+		*bp = (*bp)[:0]
+		encodeBufPool.Put(bp)
+	}()
+	buf, err := AppendEvents((*bp)[:0], events)
+	*bp = buf
+	if err != nil {
+		return nil, err
+	}
+	return c.PostNDJSON(ctx, id, buf)
+}
+
+// PostNDJSON sends a pre-encoded NDJSON body (one IngestEvent per line) to
+// the stream's ingest endpoint. Callers that encode with AppendEvents and
+// reuse the buffer get an allocation-free client-side hot path.
+func (c *Client) PostNDJSON(ctx context.Context, id string, body []byte) (*IngestSummary, error) {
 	var sum IngestSummary
-	if err := c.do(ctx, http.MethodPost, "/v1/streams/"+id+"/events", &buf, &sum); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/streams/"+id+"/events", bytes.NewReader(body), &sum); err != nil {
 		return nil, err
 	}
 	return &sum, nil

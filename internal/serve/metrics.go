@@ -17,6 +17,15 @@ type serverMetrics struct {
 
 	// ingestLatency times each POST /events request end to end.
 	ingestLatency *obs.Histogram
+	// batchEvents is the size distribution of store-application batches
+	// (events applied per store-lock acquisition).
+	batchEvents *obs.Histogram
+	// ingestBytes counts NDJSON body bytes read by the ingest endpoint.
+	ingestBytes *obs.Counter
+	// lockWait[i] accumulates nanoseconds ingest batches spent acquiring
+	// store locks of streams in registry shard i — a direct read on how
+	// contended each shard's streams are.
+	lockWait [numStreamShards]*obs.Counter
 	// estimateLatency times each estimation pass (StEM + posterior +
 	// windowed stats), including failed ones.
 	estimateLatency *obs.Histogram
@@ -37,6 +46,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 		reg: reg,
 		ingestLatency: reg.Histogram("qserved_ingest_request_seconds",
 			"Latency of POST /v1/streams/{id}/events requests.", obs.LatencyBuckets()),
+		batchEvents: reg.Histogram("qserved_ingest_batch_events",
+			"Events applied to a stream store per batch (one lock acquisition each).",
+			obs.ExpBuckets(1, 2, 15)),
+		ingestBytes: reg.Counter("qserved_ingest_bytes_total",
+			"NDJSON body bytes read by POST /v1/streams/{id}/events."),
 		estimateLatency: reg.Histogram("qserved_estimate_seconds",
 			"Latency of one estimation pass (StEM, posterior, windowed stats).", obs.LatencyBuckets()),
 		sweep: obs.NewSweepMetrics(reg, "qserved"),
@@ -52,11 +66,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 		func() float64 { return time.Since(s.start).Seconds() })
 	reg.GaugeFunc("qserved_streams",
 		"Number of configured streams.",
-		func() float64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return float64(len(s.streams))
-		})
+		func() float64 { return float64(s.registry.len()) })
+	for i := range m.lockWait {
+		m.lockWait[i] = reg.Counter("qserved_ingest_lock_wait_nanos_total",
+			"Nanoseconds ingest batches spent waiting to acquire store locks, by registry shard.",
+			obs.L("shard", strconv.Itoa(i)))
+	}
 	return m
 }
 
@@ -212,13 +227,11 @@ func (s *Server) Totals() Totals {
 		Sweeps:         s.metrics.sweeps.Value(),
 		Uptime:         time.Since(s.start),
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t.Streams = len(s.streams)
-	for _, st := range s.streams {
+	t.Streams = s.registry.len()
+	s.registry.forEach(func(st *stream) {
 		t.EventsIngested += st.m.EventsIngested.Value()
 		t.EventsRejected += st.m.EventsRejected.Value()
 		t.TasksSealed += st.m.TasksSealed.Value()
-	}
+	})
 	return t
 }

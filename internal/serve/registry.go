@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// numStreamShards is the fan-out of the stream registry. 32 shards keep the
+// per-shard maps tiny and make it vanishingly unlikely that two streams
+// being ingested concurrently share a registry lock, while the per-shard
+// lock-wait counters stay at a bounded, scrape-friendly cardinality.
+const numStreamShards = 32
+
+// streamShard is one registry partition: a map of stream id → stream under
+// its own RWMutex. Lookups on the ingest hot path take only this shard's
+// read lock, so concurrent ingest on different streams never serializes on
+// a registry-wide lock the way the old single map did.
+type streamShard struct {
+	mu sync.RWMutex
+	m  map[string]*stream
+}
+
+// streamRegistry is the sharded stream table. Streams are only ever added
+// (the API has no delete), so iteration under per-shard read locks observes
+// a consistent superset of any earlier point in time.
+type streamRegistry struct {
+	shards [numStreamShards]streamShard
+	count  atomic.Int64
+}
+
+func newStreamRegistry() *streamRegistry {
+	r := &streamRegistry{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]*stream)
+	}
+	return r
+}
+
+// shardIndex hashes a stream id to its shard with FNV-1a (inlined so the
+// per-request lookup does not allocate a hash.Hash32).
+func shardIndex(id string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % numStreamShards)
+}
+
+func (r *streamRegistry) shard(id string) *streamShard {
+	return &r.shards[shardIndex(id)]
+}
+
+// get returns the stream with the given id, or nil.
+func (r *streamRegistry) get(id string) *stream {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	st := sh.m[id]
+	sh.mu.RUnlock()
+	return st
+}
+
+// len returns the number of registered streams without touching any lock.
+func (r *streamRegistry) len() int { return int(r.count.Load()) }
+
+// forEach visits every stream, holding one shard's read lock at a time.
+// Visit order is unspecified (as it was with the single map).
+func (r *streamRegistry) forEach(fn func(*stream)) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, st := range sh.m {
+			fn(st)
+		}
+		sh.mu.RUnlock()
+	}
+}

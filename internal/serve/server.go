@@ -20,9 +20,10 @@
 package serve
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // stream is one event stream: its store, its worker's published
@@ -52,8 +54,14 @@ type stream struct {
 type Server struct {
 	defaults StreamConfig
 
-	mu      sync.RWMutex
-	streams map[string]*stream
+	// registry is the sharded stream table: lookups and creations touch
+	// only the id's shard, so ingest on many streams never serializes on a
+	// server-wide lock.
+	registry *streamRegistry
+
+	// maxLineBytes bounds one NDJSON line; longer lines get HTTP 413 with
+	// the offending line number (SetMaxLineBytes to raise).
+	maxLineBytes int
 
 	metrics *serverMetrics
 
@@ -83,15 +91,16 @@ type Server struct {
 // defaults seed every stream's unset StreamConfig fields.
 func New(defaults StreamConfig) *Server {
 	s := &Server{
-		defaults:    defaults,
-		streams:     make(map[string]*stream),
-		results:     make(chan workerResult, 64),
-		start:       time.Now(),
-		mux:         http.NewServeMux(),
-		log:         slog.New(slog.NewTextHandler(io.Discard, nil)),
-		varzTop:     make(map[string]any, 8),
-		varzStreams: make(map[string]any, 4),
-		varzBlocks:  make(map[string]map[string]any, 4),
+		defaults:     defaults,
+		registry:     newStreamRegistry(),
+		maxLineBytes: defaultMaxLineBytes,
+		results:      make(chan workerResult, 64),
+		start:        time.Now(),
+		mux:          http.NewServeMux(),
+		log:          slog.New(slog.NewTextHandler(io.Discard, nil)),
+		varzTop:      make(map[string]any, 8),
+		varzStreams:  make(map[string]any, 4),
+		varzBlocks:   make(map[string]map[string]any, 4),
 	}
 	s.metrics = newServerMetrics(s)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
@@ -106,6 +115,16 @@ func New(defaults StreamConfig) *Server {
 func (s *Server) SetLogger(l *slog.Logger) {
 	if l != nil {
 		s.log = l
+	}
+}
+
+// SetMaxLineBytes raises (or lowers) the per-line size limit of the NDJSON
+// ingest endpoint. Lines longer than the limit are answered with HTTP 413
+// naming the offending line. Call before serving traffic; n <= 0 keeps the
+// current limit.
+func (s *Server) SetMaxLineBytes(n int) {
+	if n > 0 {
+		s.maxLineBytes = n
 	}
 }
 
@@ -162,9 +181,7 @@ func (s *Server) routes() {
 }
 
 func (s *Server) lookup(id string) *stream {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.streams[id]
+	return s.registry.get(id)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -195,13 +212,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.registry.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if s.ctx.Err() != nil {
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
-	if st, ok := s.streams[id]; ok {
+	if st, ok := sh.m[id]; ok {
 		if st.cfg == cfg {
 			writeJSON(w, http.StatusOK, cfg)
 			return
@@ -216,7 +234,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		kick:  make(chan struct{}, 1),
 	}
 	st.m = newStreamMetrics(s, st)
-	s.streams[id] = st
+	sh.m[id] = st
+	s.registry.count.Add(1)
 	wk := newWorker(st, s.results, s.metrics)
 	ctx := s.ctx
 	s.workersWG.Add(1)
@@ -232,9 +251,64 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // maxIngestBody bounds one ingest request (64 MiB of NDJSON).
 const maxIngestBody = 64 << 20
 
+// defaultMaxLineBytes is the default per-line limit of the ingest body
+// (the old bufio.Scanner buffer cap, now configurable via SetMaxLineBytes
+// and answered with a proper 413 instead of a generic scan error).
+const defaultMaxLineBytes = 1 << 20
+
+// ingestChunk is the batch granularity of store application: at most this
+// many decoded events are applied per store-lock acquisition, so one huge
+// body cannot starve the estimation worker's access to the store.
+const ingestChunk = 4096
+
+// bodyPool recycles whole-request read buffers across ingest requests;
+// buffers keep the largest capacity they have grown to.
+var bodyPool sync.Pool
+
+// batchPool recycles decoded-event batch buffers (one ingestChunk each).
+var batchPool sync.Pool
+
+// readIngestBody reads the whole request body into a pooled buffer.
+// Always returns the pool token (put it back via putIngestBody); the body
+// slice is only valid until then.
+func readIngestBody(w http.ResponseWriter, r *http.Request) (*[]byte, []byte, error) {
+	src := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	bp, _ := bodyPool.Get().(*[]byte)
+	if bp == nil {
+		b := make([]byte, 0, 64<<10)
+		bp = &b
+	}
+	buf := (*bp)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := src.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		*bp = buf
+		if err == io.EOF {
+			return bp, buf, nil
+		}
+		if err != nil {
+			return bp, nil, err
+		}
+	}
+}
+
+func putIngestBody(bp *[]byte) {
+	*bp = (*bp)[:0]
+	bodyPool.Put(bp)
+}
+
 // handleIngest appends NDJSON events to the stream's window. Invalid lines
 // are rejected individually; valid lines in the same body are kept. The
-// response reports both counts (400 only when nothing was accepted).
+// response reports both counts (400 only when nothing was accepted; 413
+// when the body or a single line exceeds its size limit).
+//
+// This is the batched fast path: the body is read once into a pooled
+// buffer, lines are decoded with the zero-allocation NDJSON decoder
+// (trace.DecodeEventLine) into a pooled batch, and each batch is applied
+// to the stream store under a single lock acquisition.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.ingestLatency.Observe(time.Since(start).Seconds()) }()
@@ -243,38 +317,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q (PUT /v1/streams/{id} first)", r.PathValue("id"))
 		return
 	}
-	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxIngestBody))
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	var sum IngestSummary
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	bp, body, err := readIngestBody(w, r)
+	defer putIngestBody(bp)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
 		}
-		var ev IngestEvent
-		err := json.Unmarshal(raw, &ev)
-		var sealed bool
-		if err == nil {
-			sealed, err = st.store.append(ev)
-		}
-		if err != nil {
-			sum.Rejected++
-			if len(sum.Errors) < 5 {
-				sum.Errors = append(sum.Errors, fmt.Sprintf("line %d: %v", line, err))
-			}
-			continue
-		}
-		sum.Accepted++
-		if sealed {
-			sum.SealedTasks++
-		}
-	}
-	if err := sc.Err(); err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
+	sum, tooLongLine := s.ingestBody(st, body)
 	st.m.EventsIngested.Add(uint64(sum.Accepted))
 	st.m.EventsRejected.Add(uint64(sum.Rejected))
 	st.m.TasksSealed.Add(uint64(sum.SealedTasks))
@@ -285,11 +339,85 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		default:
 		}
 	}
+	if tooLongLine > 0 {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"line %d exceeds the %d-byte line limit (%d earlier events were applied)",
+			tooLongLine, s.maxLineBytes, sum.Accepted)
+		return
+	}
 	code := http.StatusOK
 	if sum.Accepted == 0 && sum.Rejected > 0 {
 		code = http.StatusBadRequest
 	}
 	writeJSON(w, code, sum)
+}
+
+// ingestBody decodes and applies one NDJSON body to the stream. It returns
+// the ingest summary and, if a line exceeded the line limit, that line's
+// number (events on earlier lines have already been applied). Factored off
+// the HTTP handler so benchmarks can drive the data plane directly.
+func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLongLine int) {
+	shard := shardIndex(st.id)
+	bp, _ := batchPool.Get().(*[]batchEvent)
+	if bp == nil {
+		b := make([]batchEvent, 0, ingestChunk)
+		bp = &b
+	}
+	batch := (*bp)[:0]
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.metrics.batchEvents.Observe(float64(len(batch)))
+		_, lockWait := st.store.appendBatch(batch, &sum)
+		s.metrics.lockWait[shard].Add(uint64(lockWait.Nanoseconds()))
+		clear(batch) // drop borrowed body pointers before pooling
+		batch = batch[:0]
+	}
+	line := 0
+	rest := body
+	for len(rest) > 0 {
+		var ln []byte
+		if nl := bytes.IndexByte(rest, '\n'); nl >= 0 {
+			ln, rest = rest[:nl], rest[nl+1:]
+		} else {
+			ln, rest = rest, nil
+		}
+		line++
+		if n := len(ln); n > 0 && ln[n-1] == '\r' {
+			ln = ln[:n-1]
+		}
+		if len(ln) == 0 {
+			continue
+		}
+		if len(ln) > s.maxLineBytes {
+			tooLongLine = line
+			break
+		}
+		batch = append(batch, batchEvent{line: line})
+		be := &batch[len(batch)-1]
+		err := trace.DecodeEventLine(ln, &be.ev)
+		if err == nil {
+			err = validateEvent(&be.ev, st.store.numQueues)
+		}
+		if err != nil {
+			batch = batch[:len(batch)-1]
+			// Flush queued events before recording the reject so errors
+			// land in sum.Errors in line order, exactly as the per-event
+			// path produced them.
+			flush()
+			sum.reject(line, err)
+			continue
+		}
+		if len(batch) >= ingestChunk {
+			flush()
+		}
+	}
+	flush()
+	*bp = batch[:0]
+	batchPool.Put(bp)
+	s.metrics.ingestBytes.Add(uint64(len(body)))
+	return sum, tooLongLine
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -335,17 +463,15 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 		Epoch       uint64       `json:"epoch"`
 		EstimateSeq uint64       `json:"estimate_seq"`
 	}
-	s.mu.RLock()
-	out := make([]streamInfo, 0, len(s.streams))
-	for _, st := range s.streams {
+	out := make([]streamInfo, 0, s.registry.len())
+	s.registry.forEach(func(st *stream) {
 		sealed, open, epoch := st.store.counts()
 		info := streamInfo{ID: st.id, Config: st.cfg, SealedTasks: sealed, OpenTasks: open, Epoch: epoch}
 		if est := st.estimate.Load(); est != nil {
 			info.EstimateSeq = est.Seq
 		}
 		out = append(out, info)
-	}
-	s.mu.RUnlock()
+	})
 	writeJSON(w, http.StatusOK, map[string]any{"streams": out})
 }
 
@@ -376,8 +502,8 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 			out["last_error_at"] = at.Format(time.RFC3339Nano)
 		}
 	}
-	s.mu.RLock()
-	for id, st := range s.streams {
+	s.registry.forEach(func(st *stream) {
+		id := st.id
 		block, ok := s.varzBlocks[id]
 		if !ok {
 			block = make(map[string]any, 16)
@@ -399,8 +525,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 			delete(block, "estimate_staleness_ms")
 		}
 		s.varzStreams[id] = block
-	}
-	s.mu.RUnlock()
+	})
 	out["streams"] = s.varzStreams
 	writeJSON(w, http.StatusOK, out)
 }

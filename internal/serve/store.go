@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -13,11 +14,34 @@ import (
 // on ingested events (matches the builder's tolerance).
 const timeTol = 1e-6
 
+// taskEvent is one ingested event with the task id stripped: inside a
+// taskBuf the id is implied, so storing it per event would only duplicate
+// the string across the whole window.
+type taskEvent struct {
+	state, queue    int
+	arrival, depart float64
+	obsArr, obsDep  bool
+}
+
 // taskBuf accumulates one task's events in path order until it is sealed.
+// Buffers are recycled through the store's freelist once their task slides
+// off the window, so steady-state ingest reuses both the struct and its
+// events backing array.
 type taskBuf struct {
 	id     string
 	seq    uint64 // creation order, for stale-open eviction
-	events []IngestEvent
+	events []taskEvent
+}
+
+// maxFreeTaskBufs bounds the freelist so a transient burst of tiny tasks
+// cannot pin memory forever.
+const maxFreeTaskBufs = 1024
+
+// winTask is one sealed task deep-copied out of the store for window
+// assembly. The copy decouples the builder from the freelist: a recycled
+// taskBuf may be overwritten by ingest while the worker is still building.
+type winTask struct {
+	events []taskEvent
 }
 
 // store is the bounded sliding window of one stream: open tasks still
@@ -31,12 +55,18 @@ type store struct {
 	nextSeq uint64
 	open    map[string]*taskBuf
 	sealed  []*taskBuf
+	free    []*taskBuf // recycled taskBufs (slid or evicted)
 	// epoch counts tasks sealed over the stream's lifetime; workers use it
 	// to skip re-estimating an unchanged window.
 	epoch uint64
 
 	slidTasks   uint64 // sealed tasks that slid off the window
 	evictedOpen uint64 // open tasks evicted for exceeding the open cap
+
+	// win is the reusable window-assembly scratch. It is touched only by
+	// window(), which has a single caller (the stream's worker goroutine),
+	// so it needs no lock of its own.
+	win []winTask
 }
 
 func newStore(numQueues, windowTasks int) *store {
@@ -47,52 +77,159 @@ func newStore(numQueues, windowTasks int) *store {
 	}
 }
 
-// append validates one ingested event and adds it to its task, sealing the
-// task when the event is final. It reports whether the event sealed a task.
-func (s *store) append(ev IngestEvent) (sealed bool, err error) {
-	if ev.Task == "" {
-		return false, fmt.Errorf("missing task id")
+// validateEvent runs the stateless checks of one ingested event — the ones
+// that need no store state beyond the queue count. The ingest hot path
+// calls it outside any lock; error messages are identical to the historic
+// single-event append path.
+func validateEvent(ev *trace.RawEvent, numQueues int) error {
+	if len(ev.Task) == 0 {
+		return fmt.Errorf("missing task id")
 	}
-	if ev.Queue < 1 || ev.Queue >= s.numQueues {
-		return false, fmt.Errorf("task %s: queue %d out of range [1,%d)", ev.Task, ev.Queue, s.numQueues)
+	if ev.Queue < 1 || ev.Queue >= numQueues {
+		return fmt.Errorf("task %s: queue %d out of range [1,%d)", ev.Task, ev.Queue, numQueues)
 	}
 	if math.IsNaN(ev.Arrival) || math.IsInf(ev.Arrival, 0) || math.IsNaN(ev.Depart) || math.IsInf(ev.Depart, 0) {
-		return false, fmt.Errorf("task %s: non-finite event times", ev.Task)
+		return fmt.Errorf("task %s: non-finite event times", ev.Task)
 	}
 	if ev.Depart < ev.Arrival-timeTol {
-		return false, fmt.Errorf("task %s: departure %v before arrival %v", ev.Task, ev.Depart, ev.Arrival)
+		return fmt.Errorf("task %s: departure %v before arrival %v", ev.Task, ev.Depart, ev.Arrival)
 	}
+	return nil
+}
 
+// append validates one ingested event and adds it to its task, sealing the
+// task when the event is final. It reports whether the event sealed a task.
+// (Single-event convenience over the batch path; the HTTP handler applies
+// whole decoded batches with appendBatch instead.)
+func (s *store) append(ev IngestEvent) (sealed bool, err error) {
+	raw := trace.RawEvent{
+		Task:       []byte(ev.Task),
+		State:      ev.State,
+		Queue:      ev.Queue,
+		Arrival:    ev.Arrival,
+		Depart:     ev.Depart,
+		ObsArrival: ev.ObsArrival,
+		ObsDepart:  ev.ObsDepart,
+		Final:      ev.Final,
+	}
+	if err := validateEvent(&raw, s.numQueues); err != nil {
+		return false, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tb, ok := s.open[ev.Task]
+	return s.appendLocked(&raw)
+}
+
+// batchEvent is one decoded, statelessly-validated event queued for batch
+// application, with its body line number for error reporting. ev.Task
+// borrows the request body buffer, which outlives the batch.
+type batchEvent struct {
+	ev   trace.RawEvent
+	line int
+}
+
+// appendBatch applies a batch of decoded events under ONE lock acquisition
+// — the core of the batched ingest plane: the per-event lock/unlock pair of
+// the old path dominated ingest CPU once decoding stopped allocating.
+// Results (accepted/rejected/sealed counts, per-line errors) accumulate
+// into sum exactly as the per-event path would have produced them. The
+// returned duration is how long acquiring the store lock took, which feeds
+// the per-shard lock-wait counter.
+func (s *store) appendBatch(batch []batchEvent, sum *IngestSummary) (sealed int, lockWait time.Duration) {
+	if len(batch) == 0 {
+		return 0, 0
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	lockWait = time.Since(t0)
+	for i := range batch {
+		be := &batch[i]
+		didSeal, err := s.appendLocked(&be.ev)
+		if err != nil {
+			sum.reject(be.line, err)
+			continue
+		}
+		sum.Accepted++
+		if didSeal {
+			sealed++
+			sum.SealedTasks++
+		}
+	}
+	s.mu.Unlock()
+	return sealed, lockWait
+}
+
+// appendLocked adds one statelessly-validated event to its task. ev.Task is
+// only materialized into a string for tasks not yet open (the map lookup
+// itself compiles to an alloc-free string view).
+func (s *store) appendLocked(ev *trace.RawEvent) (sealed bool, err error) {
+	tb, ok := s.open[string(ev.Task)]
 	if !ok {
 		if ev.Arrival < 0 {
 			return false, fmt.Errorf("task %s: negative entry time %v", ev.Task, ev.Arrival)
 		}
-		tb = &taskBuf{id: ev.Task, seq: s.nextSeq}
-		s.nextSeq++
-		s.open[ev.Task] = tb
+		tb = s.newTaskLocked(string(ev.Task))
+		s.open[tb.id] = tb
 		s.capOpenLocked()
 	} else {
-		prev := tb.events[len(tb.events)-1]
-		if math.Abs(prev.Depart-ev.Arrival) > timeTol {
+		prev := &tb.events[len(tb.events)-1]
+		if math.Abs(prev.depart-ev.Arrival) > timeTol {
 			return false, fmt.Errorf("task %s: arrival %v != previous departure %v (events must be in path order)",
-				ev.Task, ev.Arrival, prev.Depart)
+				ev.Task, ev.Arrival, prev.depart)
 		}
 	}
-	tb.events = append(tb.events, ev)
+	tb.events = append(tb.events, taskEvent{
+		state:   ev.State,
+		queue:   ev.Queue,
+		arrival: ev.Arrival,
+		depart:  ev.Depart,
+		obsArr:  ev.ObsArrival,
+		obsDep:  ev.ObsDepart,
+	})
 	if !ev.Final {
 		return false, nil
 	}
-	delete(s.open, ev.Task)
+	delete(s.open, tb.id)
 	s.sealed = append(s.sealed, tb)
 	s.epoch++
 	if over := len(s.sealed) - s.windowTasks; over > 0 {
-		s.sealed = append(s.sealed[:0:0], s.sealed[over:]...)
+		for _, old := range s.sealed[:over] {
+			s.recycleLocked(old)
+		}
+		n := copy(s.sealed, s.sealed[over:])
+		clear(s.sealed[n:]) // drop stale pointers so slid tasks can be collected
+		s.sealed = s.sealed[:n]
 		s.slidTasks += uint64(over)
 	}
 	return true, nil
+}
+
+// newTaskLocked takes a taskBuf from the freelist (or allocates one) and
+// claims the next sequence number for it.
+func (s *store) newTaskLocked(id string) *taskBuf {
+	var tb *taskBuf
+	if n := len(s.free); n > 0 {
+		tb = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		tb = &taskBuf{}
+	}
+	tb.id = id
+	tb.seq = s.nextSeq
+	s.nextSeq++
+	return tb
+}
+
+// recycleLocked returns a retired taskBuf (and its events capacity) to the
+// freelist. Callers must have removed it from open/sealed already.
+func (s *store) recycleLocked(tb *taskBuf) {
+	if len(s.free) >= maxFreeTaskBufs {
+		return
+	}
+	tb.id = ""
+	tb.events = tb.events[:0]
+	s.free = append(s.free, tb)
 }
 
 // capOpenLocked evicts the stalest open task when the open map outgrows
@@ -108,6 +245,7 @@ func (s *store) capOpenLocked() {
 		}
 	}
 	delete(s.open, oldest.id)
+	s.recycleLocked(oldest)
 	s.evictedOpen++
 }
 
@@ -127,32 +265,44 @@ func (s *store) dropStats() (slid, evictedOpen uint64) {
 
 // window assembles the sealed tasks, ordered by entry time, into a fresh
 // EventSet carrying the ingested observation mask. It returns the epoch
-// the window corresponds to.
+// the window corresponds to. The sealed tasks are deep-copied into the
+// reusable win scratch under the lock — taskBufs are recycled once they
+// slide off the window, so holding bare pointers across the unlock (as the
+// pre-freelist code did) would race with ingest.
 func (s *store) window() (*trace.EventSet, uint64, error) {
 	s.mu.Lock()
-	tasks := append([]*taskBuf(nil), s.sealed...)
+	if n := len(s.sealed); cap(s.win) < n {
+		grown := make([]winTask, n)
+		copy(grown, s.win[:cap(s.win)])
+		s.win = grown
+	}
+	win := s.win[:len(s.sealed)]
+	s.win = win
+	for i, tb := range s.sealed {
+		win[i].events = append(win[i].events[:0], tb.events...)
+	}
 	epoch := s.epoch
 	s.mu.Unlock()
-	if len(tasks) == 0 {
+	if len(win) == 0 {
 		return nil, epoch, fmt.Errorf("serve: no sealed tasks")
 	}
-	sort.SliceStable(tasks, func(i, j int) bool {
-		return tasks[i].events[0].Arrival < tasks[j].events[0].Arrival
+	sort.SliceStable(win, func(i, j int) bool {
+		return win[i].events[0].arrival < win[j].events[0].arrival
 	})
 	b := trace.NewBuilder(s.numQueues)
 	type flag struct{ arr, dep bool }
 	var flags []flag
-	for _, tb := range tasks {
+	for _, tb := range win {
 		entry := tb.events[0]
-		k := b.StartTask(entry.Arrival)
+		k := b.StartTask(entry.arrival)
 		// The initial q0 event's departure is the first real event's
 		// arrival (the same latent variable), so its mask follows it.
-		flags = append(flags, flag{true, entry.ObsArrival})
+		flags = append(flags, flag{true, entry.obsArr})
 		for _, ev := range tb.events {
-			if _, err := b.AddEvent(k, ev.State, ev.Queue, ev.Arrival, ev.Depart); err != nil {
+			if _, err := b.AddEvent(k, ev.state, ev.queue, ev.arrival, ev.depart); err != nil {
 				return nil, epoch, err
 			}
-			flags = append(flags, flag{ev.ObsArrival, ev.ObsDepart})
+			flags = append(flags, flag{ev.obsArr, ev.obsDep})
 		}
 	}
 	es, err := b.Build()

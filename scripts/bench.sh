@@ -1,23 +1,34 @@
 #!/usr/bin/env sh
-# Gibbs-engine benchmark harness: runs the sweep and posterior benchmarks
-# across the worker grid (sequential scan, chromatic engine at 1, 2, and
-# NumCPU workers) AND the -cpu 1,2,4 GOMAXPROCS grid, then writes the
-# results as JSON to BENCH_gibbs.json at the repo root (one row per
-# benchmark × variant × GOMAXPROCS), for the speedup table in README.md.
-# Running every variant at every -cpu level separates the two axes the
-# numbers conflate otherwise: worker count (how the sweep is sharded) and
-# scheduler parallelism (how many shards can actually run at once).
+# Benchmark harness. Two sections:
+#
+# 1. Gibbs engine: runs the sweep and posterior benchmarks across the
+#    worker grid (sequential scan, chromatic engine at 1, 2, and NumCPU
+#    workers) AND the -cpu 1,2,4 GOMAXPROCS grid, then writes the results
+#    as JSON to BENCH_gibbs.json at the repo root (one row per benchmark ×
+#    variant × GOMAXPROCS), for the speedup table in README.md. Running
+#    every variant at every -cpu level separates the two axes the numbers
+#    conflate otherwise: worker count (how the sweep is sharded) and
+#    scheduler parallelism (how many shards can actually run at once).
+#
+# 2. Ingest data plane: runs the BenchmarkIngest* benchmarks (zero-alloc
+#    NDJSON decode in internal/trace, whole-body ingest and parallel
+#    multi-stream ingest in internal/serve) and writes BENCH_ingest.json
+#    with events/sec and allocs/event per row — the before/after contract
+#    for the ingest fast path (the stdlib variants are the baseline).
 #
 # Usage: sh scripts/bench.sh [benchtime]   (default 5x)
-# Env:   BENCH_OUT overrides the output path (used by benchdiff.sh).
+# Env:   BENCH_OUT / BENCH_INGEST_OUT override the output paths (used by
+#        benchdiff.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-5x}"
 OUT="${BENCH_OUT:-BENCH_gibbs.json}"
+INGEST_OUT="${BENCH_INGEST_OUT:-BENCH_ingest.json}"
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+RAW_INGEST=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_INGEST"' EXIT
 
 go test -bench 'BenchmarkGibbsSweep|BenchmarkPosterior' -benchmem \
     -cpu 1,2,4 -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
@@ -54,3 +65,45 @@ END {
 }' hostcpus="$(nproc 2>/dev/null || echo 1)" "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+go test -bench 'BenchmarkIngest' -benchmem -benchtime "$BENCHTIME" -run '^$' \
+    ./internal/trace ./internal/serve | tee "$RAW_INGEST"
+
+awk '
+BEGIN { n = 0 }
+/^BenchmarkIngest/ {
+    name = $1
+    procs[n] = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs[n] = substr(name, RSTART + 1)
+        sub(/-[0-9]+$/, "", name)
+    }
+    split(name, parts, "/")
+    bench[n] = parts[1]; variant[n] = (2 in parts ? parts[2] : "")
+    iters[n] = $2; nsop[n] = $3
+    evop[n] = ""; evsec[n] = ""; bop[n] = ""; aop[n] = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "events/op") evop[n] = $i
+        if ($(i+1) == "events/s") evsec[n] = $i
+        if ($(i+1) == "B/op") bop[n] = $i
+        if ($(i+1) == "allocs/op") aop[n] = $i
+    }
+    n++
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n  \"cpu\": \"%s\",\n  \"host_cpus\": %d,\n  \"results\": [\n", cpu, hostcpus
+    for (i = 0; i < n; i++) {
+        printf "    {\"bench\": \"%s\", \"variant\": \"%s\", \"gomaxprocs\": %s, \"iters\": %s, \"ns_per_op\": %s",
+            bench[i], variant[i], procs[i], iters[i], nsop[i]
+        if (evop[i] != "") printf ", \"events_per_op\": %s", evop[i]
+        if (evsec[i] != "") printf ", \"events_per_sec\": %s", evsec[i]
+        if (bop[i] != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop[i], aop[i]
+        if (evop[i] != "" && aop[i] != "" && evop[i] + 0 > 0)
+            printf ", \"allocs_per_event\": %.4f", aop[i] / evop[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' hostcpus="$(nproc 2>/dev/null || echo 1)" "$RAW_INGEST" > "$INGEST_OUT"
+
+echo "wrote $INGEST_OUT"

@@ -1,10 +1,19 @@
 #!/usr/bin/env sh
-# Benchmark regression gate: re-runs the Gibbs worker-grid benchmarks and
-# compares each (benchmark, variant, GOMAXPROCS) row against the committed
-# BENCH_gibbs.json baseline. The sweep benchmarks (BenchmarkGibbsSweep) are
-# the hot-path contract, so they gate hard: >20% ns/op growth or ANY
-# allocs/op growth fails. Posterior rows are printed for context but do not
-# gate (they include clone + initializer noise and short-run variance).
+# Benchmark regression gate: re-runs the Gibbs worker-grid and ingest
+# data-plane benchmarks and compares each row against the committed
+# baselines.
+#
+# - BENCH_gibbs.json: the sweep benchmarks (BenchmarkGibbsSweep) are the
+#   inference hot-path contract, so they gate hard: >20% ns/op growth or
+#   ANY allocs/op growth fails. Posterior rows are printed for context but
+#   do not gate (they include clone + initializer noise and short-run
+#   variance).
+# - BENCH_ingest.json: the ingest fast path gates on its two
+#   noise-immune contracts: the fast variant must stay >= 2x the stdlib
+#   variant measured in the SAME run (cross-run wall-clock on a shared box
+#   swings too much to gate on), and allocs/event on the fast rows must
+#   not grow versus the baseline (allocations are deterministic).
+#   Cross-run events/sec deltas are printed for context only.
 #
 # Usage: sh scripts/benchdiff.sh [benchtime]   (default 5x; raise for a
 # quieter signal, e.g. `sh scripts/benchdiff.sh 50x`)
@@ -13,14 +22,24 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BASE=BENCH_gibbs.json
+INGEST_BASE=BENCH_ingest.json
 if [ ! -f "$BASE" ]; then
     echo "benchdiff: no baseline $BASE; run 'make bench' and commit it" >&2
     exit 1
 fi
+if [ ! -f "$INGEST_BASE" ]; then
+    echo "benchdiff: no baseline $INGEST_BASE; run 'make bench' and commit it" >&2
+    exit 1
+fi
 
 FRESH=$(mktemp)
-trap 'rm -f "$FRESH"' EXIT
-BENCH_OUT="$FRESH" sh scripts/bench.sh "${1:-5x}" >/dev/null
+FRESH_INGEST=$(mktemp)
+trap 'rm -f "$FRESH" "$FRESH_INGEST"' EXIT
+BENCH_OUT="$FRESH" BENCH_INGEST_OUT="$FRESH_INGEST" sh scripts/bench.sh "${1:-5x}" >/dev/null
+
+# Both sections run even when the first regresses, so one report covers the
+# whole surface; the gate fails at the end if either did.
+rc=0
 
 awk '
 function num(line, key,    s) {
@@ -61,6 +80,66 @@ FNR == NR && /"bench":/ {
 }
 END {
     if (bad) { print "benchdiff: sweep benchmark regression" | "cat 1>&2"; exit 1 }
-}' "$BASE" "$FRESH"
+}' "$BASE" "$FRESH" || rc=1
 
-echo "benchdiff: ok"
+awk '
+function num(line, key,    s) {
+    if (!match(line, "\"" key "\": *-?[0-9.e+]+")) return -1
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: */, "", s)
+    return s + 0
+}
+function str(line, key,    s) {
+    if (!match(line, "\"" key "\": *\"[^\"]*\"")) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: *"/, "", s); sub(/"$/, "", s)
+    return s
+}
+function rowkey(line) {
+    return str(line, "bench") "/" str(line, "variant")
+}
+FNR == NR && /"bench":/ {
+    k = rowkey($0)
+    bev[k] = num($0, "events_per_sec"); bae[k] = num($0, "allocs_per_event")
+    next
+}
+/"bench":/ {
+    k = rowkey($0)
+    ev = num($0, "events_per_sec"); ae = num($0, "allocs_per_event")
+    b = str($0, "bench"); v = str($0, "variant")
+    fresh_ev[b "/" v] = ev
+    status = "ok"
+    if (!(k in bev)) {
+        printf "%-44s %38s\n", k, "new row (no baseline)"
+        next
+    }
+    gated = (v == "fast" || b == "BenchmarkIngestParallelStreams")
+    # +0.05 absorbs sync.Pool eviction jitter; real leaks show up as
+    # whole allocations per event. Pool churn in the parallel benchmark
+    # moves with goroutine scheduling, so it gates on an absolute ceiling.
+    if (gated) {
+        if (b == "BenchmarkIngestParallelStreams") {
+            if (ae > 1.0) { status = "FAIL allocs/event"; bad = 1 }
+        } else if (ae > bae[k] + 0.05) { status = "FAIL allocs/event"; bad = 1 }
+    }
+    if (bev[k] > 0 && ev > 0)
+        printf "%-44s %11.0f -> %11.0f events/s (%+6.1f%%)  allocs/event %.3f -> %.3f  %s\n",
+            k, bev[k], ev, (ev / bev[k] - 1) * 100, bae[k], ae, status
+}
+END {
+    # Same-run speedup contract: the fast decoder/ingest path must hold
+    # >= 2x over the stdlib variant of the same benchmark.
+    for (key in fresh_ev) {
+        if (key !~ /\/fast$/) continue
+        base = key; sub(/\/fast$/, "/stdlib", base)
+        if (!(base in fresh_ev) || fresh_ev[base] <= 0) continue
+        speedup = fresh_ev[key] / fresh_ev[base]
+        status = "ok"
+        if (speedup < 2.0) { status = "FAIL speedup < 2x"; bad = 1 }
+        printf "%-44s %26.1fx fast vs stdlib  %s\n", key, speedup, status
+    }
+    if (bad) { print "benchdiff: ingest benchmark regression" | "cat 1>&2"; exit 1 }
+}' "$INGEST_BASE" "$FRESH_INGEST" || rc=1
+
+[ "$rc" -eq 0 ] && echo "benchdiff: ok"
+exit "$rc"
