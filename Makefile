@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race verify bench bench-all benchdiff
+.PHONY: build test race verify bench bench-all benchdiff fuzz
 
 build:
 	$(GO) build ./...
@@ -29,4 +30,10 @@ bench-all:
 # ingest benchmarks vs BENCH_ingest.json.
 benchdiff:
 	sh scripts/benchdiff.sh
+
+# fuzz runs the two wire-format fuzzers (NDJSON event grammar, WAL record
+# framing) for a short fixed budget each; raise with FUZZTIME=1m.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzNDJSONDecode -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzWALRecord -fuzztime $(FUZZTIME) ./internal/wal
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"sort"
 	"time"
 
 	"repro"
@@ -93,6 +94,17 @@ func main() {
 		"bytes", stats.Bytes,
 		"elapsed", stats.Duration.Round(time.Millisecond),
 		"events_per_sec", fmt.Sprintf("%.0f", stats.EventsPerSec()))
+	if stats.Failed() {
+		// The daemon refused batches mid-replay (e.g. 413 oversized body,
+		// 503 while draining): summarize per status code and exit non-zero
+		// so scripted replays can't silently under-deliver a trace.
+		for _, code := range sortedKeys(stats.StatusErrors) {
+			log.Error("batches refused", "http_status", code, "batches", stats.StatusErrors[code])
+		}
+		log.Error("replay incomplete",
+			"failed_batches", stats.FailedBatches, "failed_events", stats.FailedEvents)
+		os.Exit(1)
+	}
 
 	wctx, cancel := context.WithTimeout(ctx, *wait)
 	defer cancel()
@@ -129,4 +141,13 @@ func main() {
 func fatal(err error) {
 	log.Error(err.Error())
 	os.Exit(1)
+}
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -16,6 +16,13 @@
 //	curl localhost:8645/v1/streams/web/estimate
 //	curl localhost:8645/metrics           # Prometheus exposition
 //
+// With -wal-dir set the daemon is durable: every accepted event batch is
+// appended to a per-shard write-ahead log before it is applied, stream
+// state is snapshotted on -snapshot-interval, and a restart with the same
+// directory replays the log to bit-identical windows and estimates. The
+// -wal-sync policy trades fsync latency for the durability window (see
+// DESIGN.md §14).
+//
 // Logs are structured (log/slog); -log-format selects text or json and
 // -log-level the threshold. The daemon shuts down gracefully on
 // SIGINT/SIGTERM, draining in-flight inference before logging a final
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func newLogger(format, level string, quiet bool) (*slog.Logger, error) {
@@ -69,6 +77,9 @@ func main() {
 	workers := flag.Int("workers", 0, "default Gibbs sweep workers per stream (0 sequential, -1 one per CPU)")
 	seed := flag.Uint64("seed", 1, "default stream RNG seed")
 	maxLine := flag.Int("max-line", 1<<20, "max NDJSON line length in bytes (longer lines get HTTP 413)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory for durable streams (empty = in-memory only)")
+	walSync := flag.String("wal-sync", "batch", "WAL fsync policy: batch (fsync per request), off, or an interval like 50ms")
+	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "how often durable stream state is snapshotted and the WAL compacted")
 	quiet := flag.Bool("quiet", false, "suppress per-estimate logging (warn level and up only)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -82,7 +93,7 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	srv := serve.New(serve.StreamConfig{
+	defaults := serve.StreamConfig{
 		WindowTasks:  *window,
 		MinTasks:     *minTasks,
 		IntervalMS:   int(interval.Milliseconds()),
@@ -92,7 +103,35 @@ func main() {
 		WindowSweeps: *windowSweeps,
 		Workers:      *workers,
 		Seed:         *seed,
-	})
+	}
+	var srv *serve.Server
+	if *walDir != "" {
+		wcfg := serve.WALConfig{Dir: *walDir, SnapshotInterval: *snapInterval}
+		switch *walSync {
+		case "batch":
+			wcfg.Sync = wal.SyncBatch
+		case "off":
+			wcfg.Sync = wal.SyncOff
+		default:
+			iv, err := time.ParseDuration(*walSync)
+			if err != nil || iv <= 0 {
+				fmt.Fprintf(os.Stderr, "qserved: bad -wal-sync %q (want batch, off, or a positive duration)\n", *walSync)
+				os.Exit(2)
+			}
+			wcfg.Sync = wal.SyncInterval
+			wcfg.SyncInterval = iv
+		}
+		start := time.Now()
+		var err error
+		if srv, err = serve.NewDurable(defaults, wcfg); err != nil {
+			logger.Error("wal recovery failed", "dir", *walDir, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wal recovered", "dir", *walDir, "sync", *walSync,
+			"elapsed", time.Since(start).Round(time.Millisecond))
+	} else {
+		srv = serve.New(defaults)
+	}
 	srv.SetLogger(logger)
 	srv.SetMaxLineBytes(*maxLine)
 

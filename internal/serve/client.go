@@ -19,6 +19,30 @@ import (
 // stream has not yet published a snapshot (HTTP 503).
 var ErrNotReady = errors.New("serve: estimate not ready")
 
+// APIError is a non-2xx daemon response, carrying the HTTP status so
+// callers can tell transient backpressure (413, 503) from hard failures
+// and tally failures by code (see ReplayStats.StatusErrors).
+// errors.Is(err, ErrNotReady) remains true for 503 responses.
+type APIError struct {
+	Status  int
+	Method  string
+	Path    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("serve: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("serve: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// Is keeps errors.Is(err, ErrNotReady) working for 503 responses now that
+// they carry the response detail instead of the bare sentinel.
+func (e *APIError) Is(target error) bool {
+	return target == ErrNotReady && e.Status == http.StatusServiceUnavailable
+}
+
 // Client is a minimal client for the qserved HTTP API, shared by
 // cmd/qload, the examples, and the end-to-end tests.
 type Client struct {
@@ -45,19 +69,16 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusServiceUnavailable {
-		io.Copy(io.Discard, resp.Body)
-		return ErrNotReady
-	}
 	if resp.StatusCode >= 400 {
 		var apiErr struct {
 			Error string `json:"error"`
 		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		e := &APIError{Status: resp.StatusCode, Method: method, Path: path}
+		if json.Unmarshal(msg, &apiErr) == nil {
+			e.Message = apiErr.Error
 		}
-		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return e
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)

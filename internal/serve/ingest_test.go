@@ -382,10 +382,10 @@ func BenchmarkIngestBody(b *testing.B) {
 		// reflects the steady state at any -benchtime.
 		var sum IngestSummary
 		for i := 0; i < 2; i++ {
-			sum, _ = srv.ingestBody(st, body)
+			sum, _, _ = srv.ingestBody(st, body)
 		}
 		for b.Loop() {
-			sum, _ = srv.ingestBody(st, body)
+			sum, _, _ = srv.ingestBody(st, body)
 		}
 		report(b, sum)
 	})
@@ -424,7 +424,7 @@ func BenchmarkIngestParallelStreams(b *testing.B) {
 	streams := make([]*stream, workers)
 	for i := range streams {
 		streams[i] = benchStream(b, srv, fmt.Sprintf("pstream-%d", i), nq, 2*tasks)
-		if sum, _ := srv.ingestBody(streams[i], body); sum.Rejected != 0 {
+		if sum, _, _ := srv.ingestBody(streams[i], body); sum.Rejected != 0 {
 			b.Fatalf("rejects in benchmark body: %v", sum.Errors)
 		}
 	}
@@ -439,7 +439,7 @@ func BenchmarkIngestParallelStreams(b *testing.B) {
 		next++
 		mu.Unlock()
 		for pb.Next() {
-			sum, _ := srv.ingestBody(st, body)
+			sum, _, _ := srv.ingestBody(st, body)
 			if sum.Rejected != 0 {
 				b.Errorf("rejects: %v", sum.Errors)
 				return

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -39,7 +40,18 @@ type ReplayStats struct {
 	// Bytes is the total NDJSON payload shipped to the daemon.
 	Bytes    int
 	Duration time.Duration
+	// FailedBatches and FailedEvents count batches (and the events they
+	// carried) the daemon refused with an HTTP error status mid-replay —
+	// e.g. 413 for an oversized body or 503 while draining. The replay
+	// continues past such batches; transport errors still abort it.
+	FailedBatches int
+	FailedEvents  int
+	// StatusErrors tallies failed batches by HTTP status code.
+	StatusErrors map[int]int
 }
+
+// Failed reports whether any batch was refused by the daemon.
+func (s *ReplayStats) Failed() bool { return s.FailedBatches > 0 }
 
 // EventsPerSec is the achieved ingest rate of the replay (0 before any
 // time has elapsed).
@@ -111,7 +123,21 @@ func Replay(ctx context.Context, c *Client, es *trace.EventSet, opts ReplayOptio
 		}
 		sum, err := c.PostNDJSON(ctx, opts.Stream, encodeBuf)
 		if err != nil {
-			return err
+			// An HTTP-status refusal (413 oversized, 503 draining, ...) is
+			// recorded and skipped so one bad batch doesn't abandon the
+			// rest of the trace; anything else (transport, context) aborts.
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) {
+				return err
+			}
+			stats.FailedBatches++
+			stats.FailedEvents += len(batch)
+			if stats.StatusErrors == nil {
+				stats.StatusErrors = make(map[int]int)
+			}
+			stats.StatusErrors[apiErr.Status]++
+			batch = batch[:0]
+			return nil
 		}
 		stats.Batches++
 		stats.Accepted += sum.Accepted

@@ -65,6 +65,17 @@ type Server struct {
 
 	metrics *serverMetrics
 
+	// wal is the durable event store (NewDurable); nil means in-memory
+	// only, and the ingest hot path pays a single nil check for it.
+	wal *serveWAL
+
+	// draining flips when Close begins; ingest answers 503 from then on.
+	// ingestGate counts in-flight ingest requests (read-locked per
+	// request): Close write-locks it to wait for them, so every accepted
+	// event is in the store — and the WAL — before Totals is computed.
+	draining   atomic.Bool
+	ingestGate sync.RWMutex
+
 	lastErr   atomic.Pointer[string]
 	lastErrAt atomic.Pointer[time.Time]
 
@@ -135,14 +146,23 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // store), for embedding callers that add their own instruments.
 func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
-// Close stops every stream worker, waits for in-flight inference to
-// drain, and shuts down the collector. It is idempotent.
+// Close drains the daemon: new ingest is refused (503), in-flight ingest
+// requests finish (so their events are counted and durably logged), every
+// stream worker stops, the collector shuts down, and — when running
+// durably — a final snapshot is written and the logs are fsynced and
+// closed. It is idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.ingestGate.Lock()
+		s.ingestGate.Unlock() // draining keeps new ingest out from here on
 		s.cancel()
 		s.workersWG.Wait()
 		close(s.results)
 		s.collectorWG.Wait()
+		if s.wal != nil {
+			s.wal.shutdown(s)
+		}
 	})
 }
 
@@ -215,7 +235,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	sh := s.registry.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if s.ctx.Err() != nil {
+	if s.draining.Load() || s.ctx.Err() != nil {
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
@@ -227,6 +247,29 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "stream %q already exists with a different config", id)
 		return
 	}
+	// Log the config record before constructing the stream: if the WAL
+	// append fails nothing was registered, so a retried PUT is clean.
+	var cfgLSN uint64
+	if s.wal != nil {
+		var err error
+		if cfgLSN, err = s.wal.logConfig(shardIndex(id), id, cfg); err != nil {
+			writeError(w, http.StatusInternalServerError, "logging stream config: %v", err)
+			return
+		}
+	}
+	st := s.buildStream(id, cfg)
+	st.store.appliedLSN = cfgLSN
+	sh.m[id] = st
+	s.registry.count.Add(1)
+	s.startWorker(st)
+	s.log.Info("stream created",
+		"stream", id, "queues", cfg.NumQueues, "window", cfg.WindowTasks, "interval_ms", cfg.IntervalMS)
+	writeJSON(w, http.StatusCreated, cfg)
+}
+
+// buildStream constructs a stream and registers its instruments; the
+// caller inserts it into the registry and starts its worker.
+func (s *Server) buildStream(id string, cfg StreamConfig) *stream {
 	st := &stream{
 		id:    id,
 		cfg:   cfg,
@@ -234,18 +277,23 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		kick:  make(chan struct{}, 1),
 	}
 	st.m = newStreamMetrics(s, st)
-	sh.m[id] = st
-	s.registry.count.Add(1)
+	return st
+}
+
+// startWorker launches st's inference worker. A stream restored from a
+// WAL snapshot resumes its estimate sequence where the snapshot left off
+// rather than republishing seq 1.
+func (s *Server) startWorker(st *stream) {
 	wk := newWorker(st, s.results, s.metrics)
+	if est := st.estimate.Load(); est != nil {
+		wk.seq, wk.lastEpoch = est.Seq, est.Epoch
+	}
 	ctx := s.ctx
 	s.workersWG.Add(1)
 	go func() {
 		defer s.workersWG.Done()
 		wk.run(ctx)
 	}()
-	s.log.Info("stream created",
-		"stream", id, "queues", cfg.NumQueues, "window", cfg.WindowTasks, "interval_ms", cfg.IntervalMS)
-	writeJSON(w, http.StatusCreated, cfg)
 }
 
 // maxIngestBody bounds one ingest request (64 MiB of NDJSON).
@@ -260,6 +308,14 @@ const defaultMaxLineBytes = 1 << 20
 // many decoded events are applied per store-lock acquisition, so one huge
 // body cannot starve the estimation worker's access to the store.
 const ingestChunk = 4096
+
+// ingestChunkBytes additionally flushes a batch once its input lines
+// exceed this many bytes, bounding one WAL record (the canonical
+// re-encoding of a batch) well below the log's 64 MiB record cap even for
+// maximum-length lines. The rule depends only on the body bytes — not on
+// whether a WAL is attached — so durable and in-memory servers chunk, and
+// therefore apply, identically.
+const ingestChunkBytes = 8 << 20
 
 // bodyPool recycles whole-request read buffers across ingest requests;
 // buffers keep the largest capacity they have grown to.
@@ -312,6 +368,15 @@ func putIngestBody(bp *[]byte) {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.ingestLatency.Observe(time.Since(start).Seconds()) }()
+	// The drain gate: Close sets draining and then write-locks ingestGate
+	// to wait for requests that already hold the read lock. TryRLock
+	// (instead of RLock) means a request racing the drain is refused
+	// rather than blocking Close.
+	if s.draining.Load() || !s.ingestGate.TryRLock() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	defer s.ingestGate.RUnlock()
 	st := s.lookup(r.PathValue("id"))
 	if st == nil {
 		writeError(w, http.StatusNotFound, "unknown stream %q (PUT /v1/streams/{id} first)", r.PathValue("id"))
@@ -328,11 +393,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	sum, tooLongLine := s.ingestBody(st, body)
+	sum, tooLongLine, err := s.ingestBody(st, body)
 	st.m.EventsIngested.Add(uint64(sum.Accepted))
 	st.m.EventsRejected.Add(uint64(sum.Rejected))
 	st.m.TasksSealed.Add(uint64(sum.SealedTasks))
 	sum.WindowTasks, sum.OpenTasks, _ = st.store.counts()
+	if err != nil {
+		// WAL append or sync failed: events applied before the failure are
+		// counted above, but their durability cannot be promised.
+		writeError(w, http.StatusInternalServerError, "durable append failed: %v", err)
+		return
+	}
 	if sum.SealedTasks > 0 {
 		select {
 		case st.kick <- struct{}{}:
@@ -356,7 +427,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // the ingest summary and, if a line exceeded the line limit, that line's
 // number (events on earlier lines have already been applied). Factored off
 // the HTTP handler so benchmarks can drive the data plane directly.
-func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLongLine int) {
+// When the server is durable (NewDurable), each flushed batch is first
+// encoded as one WAL record — the canonical NDJSON re-encoding of its
+// events — and appended to the stream's shard log inside the store lock;
+// one group-commit Sync covers the whole request before it returns. A WAL
+// failure aborts the body with a non-nil error.
+func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLongLine int, err error) {
 	shard := shardIndex(st.id)
 	bp, _ := batchPool.Get().(*[]batchEvent)
 	if bp == nil {
@@ -364,15 +440,45 @@ func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLong
 		bp = &b
 	}
 	batch := (*bp)[:0]
-	flush := func() {
+	defer func() {
+		clear(batch) // drop borrowed body pointers before pooling
+		*bp = batch[:0]
+		batchPool.Put(bp)
+	}()
+	var wa *walAppend
+	var walBuf *[]byte
+	if s.wal != nil {
+		walBuf = s.wal.getRecBuf()
+		defer s.wal.putRecBuf(walBuf)
+		wa = &walAppend{log: s.wal.logs[shard]}
+	}
+	chunkBytes := 0
+	flush := func() error {
 		if len(batch) == 0 {
-			return
+			return nil
+		}
+		if wa != nil {
+			rec, rerr := appendEventRecord((*walBuf)[:0], st.id, batch)
+			*walBuf = rec
+			if rerr != nil {
+				return rerr
+			}
+			wa.rec = rec
 		}
 		s.metrics.batchEvents.Observe(float64(len(batch)))
-		_, lockWait := st.store.appendBatch(batch, &sum)
+		_, lockWait, aerr := st.store.appendBatch(batch, &sum, wa)
 		s.metrics.lockWait[shard].Add(uint64(lockWait.Nanoseconds()))
+		if aerr != nil {
+			return aerr
+		}
+		if wa != nil {
+			s.wal.m.appendRecords.Inc()
+			s.wal.m.appendBytes.Add(uint64(len(wa.rec)))
+		}
 		clear(batch) // drop borrowed body pointers before pooling
 		batch = batch[:0]
+		chunkBytes = 0
+		return nil
 	}
 	line := 0
 	rest := body
@@ -405,19 +511,32 @@ func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLong
 			// Flush queued events before recording the reject so errors
 			// land in sum.Errors in line order, exactly as the per-event
 			// path produced them.
-			flush()
+			if ferr := flush(); ferr != nil {
+				return sum, 0, ferr
+			}
 			sum.reject(line, err)
 			continue
 		}
-		if len(batch) >= ingestChunk {
-			flush()
+		chunkBytes += len(ln)
+		if len(batch) >= ingestChunk || chunkBytes >= ingestChunkBytes {
+			if ferr := flush(); ferr != nil {
+				return sum, 0, ferr
+			}
 		}
 	}
-	flush()
-	*bp = batch[:0]
-	batchPool.Put(bp)
+	if ferr := flush(); ferr != nil {
+		return sum, tooLongLine, ferr
+	}
+	// The request's durability point: one fsync covers every batch above
+	// (group commit — under SyncBatch a concurrent request's Sync may
+	// already have covered us, making this a no-op).
+	if wa != nil {
+		if serr := wa.log.Sync(); serr != nil {
+			return sum, tooLongLine, serr
+		}
+	}
 	s.metrics.ingestBytes.Add(uint64(len(body)))
-	return sum, tooLongLine
+	return sum, tooLongLine, nil
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {

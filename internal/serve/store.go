@@ -63,6 +63,11 @@ type store struct {
 	slidTasks   uint64 // sealed tasks that slid off the window
 	evictedOpen uint64 // open tasks evicted for exceeding the open cap
 
+	// appliedLSN is the WAL LSN of the last record applied to this store:
+	// the stream's config record at creation, then each applied batch.
+	// Stays zero when the server runs without a WAL. Guarded by mu.
+	appliedLSN uint64
+
 	// win is the reusable window-assembly scratch. It is touched only by
 	// window(), which has a single caller (the stream's worker goroutine),
 	// so it needs no lock of its own.
@@ -135,13 +140,25 @@ type batchEvent struct {
 // into sum exactly as the per-event path would have produced them. The
 // returned duration is how long acquiring the store lock took, which feeds
 // the per-shard lock-wait counter.
-func (s *store) appendBatch(batch []batchEvent, sum *IngestSummary) (sealed int, lockWait time.Duration) {
+// When wa is non-nil the batch's WAL record is appended INSIDE the store
+// lock, before application: the per-stream record order in the log is then
+// exactly the apply order, which is what lets replay reproduce this store
+// bit for bit. A WAL append failure aborts the batch unapplied.
+func (s *store) appendBatch(batch []batchEvent, sum *IngestSummary, wa *walAppend) (sealed int, lockWait time.Duration, err error) {
 	if len(batch) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	t0 := time.Now()
 	s.mu.Lock()
 	lockWait = time.Since(t0)
+	if wa != nil {
+		lsn, werr := wa.log.Append(wa.rec)
+		if werr != nil {
+			s.mu.Unlock()
+			return 0, lockWait, werr
+		}
+		s.appliedLSN = lsn
+	}
 	for i := range batch {
 		be := &batch[i]
 		didSeal, err := s.appendLocked(&be.ev)
@@ -156,7 +173,21 @@ func (s *store) appendBatch(batch []batchEvent, sum *IngestSummary) (sealed int,
 		}
 	}
 	s.mu.Unlock()
-	return sealed, lockWait
+	return sealed, lockWait, nil
+}
+
+// applyRecovered re-applies one replayed WAL batch. Rejects are recomputed
+// rather than replayed: the logged events were all statelessly valid, and
+// the stateful checks (path order, negative entry) are deterministic
+// functions of store state, so the same events fail the same way they did
+// at original ingest.
+func (s *store) applyRecovered(batch []batchEvent, lsn uint64) {
+	s.mu.Lock()
+	for i := range batch {
+		_, _ = s.appendLocked(&batch[i].ev)
+	}
+	s.appliedLSN = lsn
+	s.mu.Unlock()
 }
 
 // appendLocked adds one statelessly-validated event to its task. ev.Task is
@@ -314,4 +345,96 @@ func (s *store) window() (*trace.EventSet, uint64, error) {
 		es.Events[i].ObsDepart = flags[i].dep
 	}
 	return es, epoch, nil
+}
+
+// eventSnap / taskSnap / storeSnap are the JSON serialization of a store
+// for WAL snapshots. encoding/json round-trips float64 exactly (shortest
+// round-trip representation), so a restored store is bit-identical to the
+// snapshotted one.
+type eventSnap struct {
+	State   int     `json:"s,omitempty"`
+	Queue   int     `json:"q"`
+	Arrival float64 `json:"a"`
+	Depart  float64 `json:"d"`
+	ObsArr  bool    `json:"oa,omitempty"`
+	ObsDep  bool    `json:"od,omitempty"`
+}
+
+type taskSnap struct {
+	ID     string      `json:"id"`
+	Seq    uint64      `json:"seq"`
+	Events []eventSnap `json:"events"`
+}
+
+type storeSnap struct {
+	NextSeq     uint64     `json:"next_seq"`
+	Epoch       uint64     `json:"epoch"`
+	SlidTasks   uint64     `json:"slid_tasks,omitempty"`
+	EvictedOpen uint64     `json:"evicted_open,omitempty"`
+	AppliedLSN  uint64     `json:"applied_lsn"`
+	Open        []taskSnap `json:"open,omitempty"`
+	Sealed      []taskSnap `json:"sealed,omitempty"`
+}
+
+func snapTask(tb *taskBuf) taskSnap {
+	ts := taskSnap{ID: tb.id, Seq: tb.seq, Events: make([]eventSnap, len(tb.events))}
+	for i, ev := range tb.events {
+		ts.Events[i] = eventSnap{
+			State: ev.state, Queue: ev.queue,
+			Arrival: ev.arrival, Depart: ev.depart,
+			ObsArr: ev.obsArr, ObsDep: ev.obsDep,
+		}
+	}
+	return ts
+}
+
+// snapshot captures the store's full logical state, and the WAL LSN that
+// state covers, under one lock acquisition. Open tasks are emitted in seq
+// order so the snapshot bytes are deterministic.
+func (s *store) snapshot() storeSnap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn := storeSnap{
+		NextSeq: s.nextSeq, Epoch: s.epoch,
+		SlidTasks: s.slidTasks, EvictedOpen: s.evictedOpen,
+		AppliedLSN: s.appliedLSN,
+	}
+	for _, tb := range s.open {
+		sn.Open = append(sn.Open, snapTask(tb))
+	}
+	sort.Slice(sn.Open, func(i, j int) bool { return sn.Open[i].Seq < sn.Open[j].Seq })
+	for _, tb := range s.sealed {
+		sn.Sealed = append(sn.Sealed, snapTask(tb))
+	}
+	return sn
+}
+
+func restoreTask(ts *taskSnap) *taskBuf {
+	tb := &taskBuf{id: ts.ID, seq: ts.Seq, events: make([]taskEvent, len(ts.Events))}
+	for i := range ts.Events {
+		ev := &ts.Events[i]
+		tb.events[i] = taskEvent{
+			state: ev.State, queue: ev.Queue,
+			arrival: ev.Arrival, depart: ev.Depart,
+			obsArr: ev.ObsArr, obsDep: ev.ObsDep,
+		}
+	}
+	return tb
+}
+
+// restore loads a snapshot into a freshly created store. No locking: the
+// store is not yet shared when recovery runs.
+func (s *store) restore(sn *storeSnap) {
+	s.nextSeq = sn.NextSeq
+	s.epoch = sn.Epoch
+	s.slidTasks = sn.SlidTasks
+	s.evictedOpen = sn.EvictedOpen
+	s.appliedLSN = sn.AppliedLSN
+	for i := range sn.Open {
+		tb := restoreTask(&sn.Open[i])
+		s.open[tb.id] = tb
+	}
+	for i := range sn.Sealed {
+		s.sealed = append(s.sealed, restoreTask(&sn.Sealed[i]))
+	}
 }

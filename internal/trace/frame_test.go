@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"task":"a","queue":1,"arrival":0,"depart":1,"final":true}` + "\n"),
+		[]byte{},
+		bytes.Repeat([]byte{0xff}, 4096),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		var got []byte
+		var err error
+		got, rest, err = ReadFrame(rest, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after last frame", len(rest))
+	}
+}
+
+func TestFrameTornAndCorrupt(t *testing.T) {
+	payload := []byte(`{"task":"x","queue":1,"arrival":0,"depart":1}` + "\n")
+	full := AppendFrame(nil, payload)
+
+	// Every strict prefix of a frame is torn, never corrupt: a crash
+	// mid-append must be distinguishable from bit rot.
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ReadFrame(full[:cut], 1<<20); !errors.Is(err, ErrFrameTorn) {
+			t.Fatalf("prefix of %d bytes: got %v, want ErrFrameTorn", cut, err)
+		}
+	}
+
+	// A single flipped payload bit is a CRC failure.
+	for _, bit := range []int{0, 3, len(payload) - 1} {
+		bad := append([]byte(nil), full...)
+		bad[FrameHeaderSize+bit] ^= 0x01
+		if _, _, err := ReadFrame(bad, 1<<20); !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("flipped payload byte %d: got %v, want ErrFrameCRC", bit, err)
+		}
+	}
+
+	// A flipped CRC byte likewise.
+	bad := append([]byte(nil), full...)
+	bad[5] ^= 0x80
+	if _, _, err := ReadFrame(bad, 1<<20); !errors.Is(err, ErrFrameCRC) {
+		t.Fatalf("flipped crc byte: got %v, want ErrFrameCRC", err)
+	}
+
+	// A length beyond maxPayload is corruption, not truncation: garbage
+	// headers must not be read as "keep waiting for 4 GiB more".
+	bad = append([]byte(nil), full...)
+	bad[3] = 0x7f
+	if _, _, err := ReadFrame(bad, 1<<20); !errors.Is(err, ErrFrameCRC) {
+		t.Fatalf("absurd length: got %v, want ErrFrameCRC", err)
+	}
+}

@@ -397,29 +397,45 @@ var errBadTaskUTF8 = errors.New("trace: task id is not valid UTF-8")
 // non-finite times or non-UTF-8 task ids are rejected, mirroring
 // encoding/json.
 func AppendWireEvent(dst []byte, ev *WireEvent) ([]byte, error) {
-	if isNonFinite(ev.Arrival) || isNonFinite(ev.Depart) {
+	return appendEventLine(dst, ev.Task, ev.State, ev.Queue, ev.Arrival, ev.Depart,
+		ev.ObsArrival, ev.ObsDepart, ev.Final)
+}
+
+// AppendRawEvent encodes a decoded RawEvent back to its canonical NDJSON
+// line without materializing the task id as a string — the WAL's append
+// path re-encodes whole decoded batches, so this must not allocate per
+// event. The task bytes are copied into dst before the call returns, so the
+// borrowed view never outlives its buffer.
+func AppendRawEvent(dst []byte, ev *RawEvent) ([]byte, error) {
+	return appendEventLine(dst, bytesToString(ev.Task), ev.State, ev.Queue, ev.Arrival, ev.Depart,
+		ev.ObsArrival, ev.ObsDepart, ev.Final)
+}
+
+func appendEventLine(dst []byte, task string, state, queue int, arrival, depart float64,
+	obsArr, obsDep, final bool) ([]byte, error) {
+	if isNonFinite(arrival) || isNonFinite(depart) {
 		return dst, errNonFinite
 	}
-	if !utf8.ValidString(ev.Task) {
+	if !utf8.ValidString(task) {
 		return dst, errBadTaskUTF8
 	}
 	dst = append(dst, `{"task":`...)
-	dst = appendJSONString(dst, ev.Task)
+	dst = appendJSONString(dst, task)
 	dst = append(dst, `,"state":`...)
-	dst = strconv.AppendInt(dst, int64(ev.State), 10)
+	dst = strconv.AppendInt(dst, int64(state), 10)
 	dst = append(dst, `,"queue":`...)
-	dst = strconv.AppendInt(dst, int64(ev.Queue), 10)
+	dst = strconv.AppendInt(dst, int64(queue), 10)
 	dst = append(dst, `,"arrival":`...)
-	dst = strconv.AppendFloat(dst, ev.Arrival, 'g', -1, 64)
+	dst = strconv.AppendFloat(dst, arrival, 'g', -1, 64)
 	dst = append(dst, `,"depart":`...)
-	dst = strconv.AppendFloat(dst, ev.Depart, 'g', -1, 64)
-	if ev.ObsArrival {
+	dst = strconv.AppendFloat(dst, depart, 'g', -1, 64)
+	if obsArr {
 		dst = append(dst, `,"obs_arrival":true`...)
 	}
-	if ev.ObsDepart {
+	if obsDep {
 		dst = append(dst, `,"obs_depart":true`...)
 	}
-	if ev.Final {
+	if final {
 		dst = append(dst, `,"final":true`...)
 	}
 	dst = append(dst, '}', '\n')

@@ -1,0 +1,51 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzWALRecord drives the frame decoder with arbitrary bytes and checks
+// the two invariants recovery depends on: a decode either yields a payload
+// whose re-encoding is byte-identical to the consumed input, or fails with
+// a typed torn/corrupt error — and scanRecords never accepts bytes past
+// the first damage point.
+func FuzzWALRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(trace.AppendFrame(nil, []byte(`{"task":"a","queue":1,"arrival":0,"depart":1}`+"\n")))
+	f.Add(trace.AppendFrame(trace.AppendFrame(nil, []byte("one")), []byte("two")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 0, 'a', 'b', 'c', 'd'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, rest, err := trace.ReadFrame(data, maxRecordBytes)
+		if err == nil {
+			consumed := data[:len(data)-len(rest)]
+			if !bytes.Equal(trace.AppendFrame(nil, payload), consumed) {
+				t.Fatalf("re-encoding decoded frame does not reproduce input bytes")
+			}
+		}
+
+		records, valid := scanRecords(data)
+		if valid > len(data) {
+			t.Fatalf("validLen %d exceeds input %d", valid, len(data))
+		}
+		// The accepted prefix must itself decode cleanly, record by record,
+		// and hold exactly the number of records the scan reported.
+		rest = data[:valid]
+		n := 0
+		for len(rest) > 0 {
+			_, next, err := trace.ReadFrame(rest, maxRecordBytes)
+			if err != nil {
+				t.Fatalf("record %d in accepted prefix fails to decode: %v", n, err)
+			}
+			rest = next
+			n++
+		}
+		if n != records {
+			t.Fatalf("scan reported %d records, re-decode found %d", records, n)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package wal
+
+// Snapshot files ride alongside the segment files: snap-<cutoff>.snap holds
+// an opaque payload (qserved serializes per-stream window + estimator state
+// there) framed with the same CRC32C record format, where <cutoff> is the
+// LSN the payload covers — replaying records with LSN > cutoff on top of
+// the snapshot reproduces the live state.
+//
+// Retention and compaction are deliberately conservative: the two newest
+// snapshots are kept, and segments are only compacted up to the OLDER
+// retained snapshot's cutoff. If the newest snapshot file is corrupt at
+// recovery, the older one plus the (longer) log suffix still reconstructs
+// everything; only losing both forces a full replay, and the log needed
+// for that was never deleted out from under it.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func snapName(cutoff uint64) string { return fmt.Sprintf("snap-%020d.snap", cutoff) }
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len("snap-"):len(name)-len(".snap")], 10, 64)
+	return n, err == nil
+}
+
+// snapshotCutoffs returns the cutoffs of the snapshot files present,
+// ascending.
+func (l *Log) snapshotCutoffs() ([]uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var cuts []uint64
+	for _, e := range entries {
+		if c, ok := parseSnapName(e.Name()); ok {
+			cuts = append(cuts, c)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	return cuts, nil
+}
+
+// WriteSnapshot durably writes payload as the snapshot covering cutoff
+// (tmp file + fsync + rename + dir fsync), prunes all but the two newest
+// snapshots, and compacts segments up to the older retained cutoff.
+func (l *Log) WriteSnapshot(payload []byte, cutoff uint64) error {
+	framed := trace.AppendFrame(make([]byte, 0, len(payload)+trace.FrameHeaderSize), payload)
+	tmp := filepath.Join(l.dir, "snap.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(framed); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(cutoff))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+
+	cuts, err := l.snapshotCutoffs()
+	if err != nil {
+		return err
+	}
+	for len(cuts) > 2 {
+		if err := os.Remove(filepath.Join(l.dir, snapName(cuts[0]))); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		cuts = cuts[1:]
+	}
+	if len(cuts) == 2 {
+		// Compact only to the OLDER retained snapshot: the newer one may
+		// still turn out to be unreadable at recovery.
+		if _, err := l.Compact(cuts[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot returns the payload and cutoff of the newest readable
+// snapshot, or ok=false when none exists (or none survives its checksum —
+// recovery then replays the whole log).
+func (l *Log) LoadSnapshot() (payload []byte, cutoff uint64, ok bool, err error) {
+	cuts, err := l.snapshotCutoffs()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for i := len(cuts) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(l.dir, snapName(cuts[i])))
+		if err != nil {
+			continue
+		}
+		p, rest, ferr := trace.ReadFrame(data, maxRecordBytes)
+		if ferr != nil || len(rest) != 0 {
+			continue // corrupt snapshot: fall back to the older one
+		}
+		return p, cuts[i], true, nil
+	}
+	return nil, 0, false, nil
+}

@@ -1,0 +1,490 @@
+// Package wal is a generic per-shard append-only write-ahead log: CRC32C-
+// checksummed, length-prefixed records (internal/trace's frame format) in
+// numbered segment files, with group-commit fsync batching, torn-tail
+// recovery, snapshot files, and horizon-keyed compaction.
+//
+// The package knows nothing about what the records mean — qserved logs the
+// canonical NDJSON wire events plus stream-config records (internal/serve),
+// but any byte payload works. The durability contract:
+//
+//   - Append assigns the record the next LSN (a per-log sequence number
+//     starting at 1) and buffers it; it is durable once a Sync covering its
+//     LSN returns.
+//   - A crash can lose only un-synced records, and can tear at most the
+//     tail record of the last segment; Open truncates the torn tail and the
+//     log continues from the last intact record.
+//   - Replay yields every surviving record in LSN order and fails hard on
+//     mid-log corruption (anything not at the very tail — that is bit rot,
+//     not a crash, and silently skipping records would corrupt recovery).
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// maxRecordBytes bounds one record payload: larger declared lengths are
+// treated as corruption. qserved caps ingest bodies at 64 MiB, so a record
+// (one applied batch) can never legitimately exceed this.
+const maxRecordBytes = 64 << 20
+
+// defaultSegmentBytes rotates segments at 64 MiB.
+const defaultSegmentBytes = 64 << 20
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncBatch leaves fsync to the caller's explicit Sync after each
+	// applied batch (group commit: concurrent callers share one fsync).
+	SyncBatch SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker; explicit Sync calls
+	// become flush-only (no fsync), so a crash can lose up to one interval.
+	SyncInterval
+	// SyncOff never fsyncs except at Close; the OS decides. Fastest, and
+	// exactly as durable as that sounds.
+	SyncOff
+)
+
+// Options configures Open.
+type Options struct {
+	// Policy is the fsync policy (default SyncBatch).
+	Policy SyncPolicy
+	// Interval is the SyncInterval ticker period (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// OnFsync, when set, observes the duration of every fsync — the hook
+	// qserved uses to feed its fsync-latency histogram without this
+	// package importing the metrics layer.
+	OnFsync func(time.Duration)
+}
+
+// Log is one append-only log: a directory of segment files plus up to two
+// retained snapshot files. All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	// mu guards the append state: the active segment file, its buffer, the
+	// segment list, and the LSN counter. Sync also runs under mu — blocking
+	// appends for the fsync's duration is the price of a simple, provably
+	// ordered log; qserved shards the registry 32 ways so one shard's fsync
+	// never stalls another's ingest.
+	mu      sync.Mutex
+	f       *os.File
+	buf     []byte // records appended since the last flush to f
+	segs    []uint64
+	segSize int64  // bytes in the active segment (including unflushed buf)
+	nextLSN uint64 // LSN the next Append will claim
+
+	// durableLSN is the highest LSN known to have reached stable storage
+	// (only advanced after a successful fsync). Atomic so Sync can skip the
+	// lock when a concurrent group commit already covered the caller.
+	durableLSN atomic.Uint64
+
+	closed bool
+	stopC  chan struct{} // interval syncer shutdown
+	doneC  chan struct{}
+
+	// Telemetry, read by qserved gauge functions.
+	appendedRecords atomic.Uint64
+	appendedBytes   atomic.Uint64
+	fsyncs          atomic.Uint64
+	truncatedTail   atomic.Uint64 // bytes cut by torn-tail recovery at Open
+}
+
+func segName(base uint64) string { return fmt.Sprintf("seg-%020d.wal", base) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len("seg-"):len(name)-len(".wal")], 10, 64)
+	return n, err == nil
+}
+
+// Open opens (creating if needed) the log rooted at dir, scans the segment
+// files, truncates any torn tail record of the last segment, and positions
+// the log to append after the last intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		if base, ok := parseSegName(e.Name()); ok {
+			l.segs = append(l.segs, base)
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i] < l.segs[j] })
+
+	if len(l.segs) == 0 {
+		if err := l.openSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		// Count the records of the last segment, truncating at the first
+		// bad frame: a crash can only tear the tail of the last segment.
+		base := l.segs[len(l.segs)-1]
+		path := filepath.Join(dir, segName(base))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		records, validLen := scanRecords(data)
+		if validLen < len(data) {
+			l.truncatedTail.Store(uint64(len(data) - validLen))
+			if err := os.Truncate(path, int64(validLen)); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			if err := syncDir(dir); err != nil {
+				return nil, err
+			}
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(int64(validLen), io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+		l.segSize = int64(validLen)
+		l.nextLSN = base + uint64(records)
+	}
+	// Everything that survived Open is on disk by definition.
+	l.durableLSN.Store(l.nextLSN - 1)
+
+	if opts.Policy == SyncInterval {
+		l.stopC = make(chan struct{})
+		l.doneC = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scanRecords walks frames in data, returning how many are intact and the
+// byte length of that intact prefix.
+func scanRecords(data []byte) (records, validLen int) {
+	rest := data
+	for len(rest) > 0 {
+		_, next, err := trace.ReadFrame(rest, maxRecordBytes)
+		if err != nil {
+			break
+		}
+		rest = next
+		records++
+	}
+	return records, len(data) - len(rest)
+}
+
+// openSegmentLocked creates and opens a fresh segment whose first record
+// will be LSN base. Caller holds mu (or is Open, pre-concurrency).
+func (l *Log) openSegmentLocked(base uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(base)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.segSize = 0
+	l.segs = append(l.segs, base)
+	return nil
+}
+
+// Append frames payload as the next record and buffers it, rotating the
+// segment first if the active one is full. The record is NOT durable until
+// a Sync covering the returned LSN succeeds (or, under SyncInterval/SyncOff,
+// until the OS and ticker get to it).
+func (l *Log) Append(payload []byte) (lsn uint64, err error) {
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(payload), maxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n := len(l.buf)
+	l.buf = trace.AppendFrame(l.buf, payload)
+	l.segSize += int64(len(l.buf) - n)
+	lsn = l.nextLSN
+	l.nextLSN++
+	l.appendedRecords.Add(1)
+	l.appendedBytes.Add(uint64(len(l.buf) - n))
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment (flush + fsync, so a sealed
+// segment is always fully durable and never reopened for writing) and
+// opens the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.fsyncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.openSegmentLocked(l.nextLSN)
+}
+
+// flushLocked writes the append buffer through to the active segment file.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// fsyncLocked fsyncs the active segment and advances durableLSN to cover
+// every record flushed so far.
+func (l *Log) fsyncLocked() error {
+	t0 := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.fsyncs.Add(1)
+	if l.opts.OnFsync != nil {
+		l.opts.OnFsync(time.Since(t0))
+	}
+	l.durableLSN.Store(l.nextLSN - 1)
+	return nil
+}
+
+// Sync makes every record appended so far durable. Under SyncBatch this is
+// the group commit point: a caller whose records were already covered by a
+// concurrent Sync returns without touching the file. Under SyncInterval and
+// SyncOff it only flushes the buffer (the ticker / the OS fsync).
+func (l *Log) Sync() error {
+	target := l.AppendedLSN()
+	if l.durableLSN.Load() >= target && l.opts.Policy == SyncBatch {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if l.opts.Policy != SyncBatch {
+		return nil
+	}
+	if l.durableLSN.Load() >= target {
+		return nil
+	}
+	return l.fsyncLocked()
+}
+
+// syncLoop is the SyncInterval ticker: flush + fsync every interval.
+func (l *Log) syncLoop() {
+	defer close(l.doneC)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopC:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				if err := l.flushLocked(); err == nil {
+					_ = l.fsyncLocked()
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes, fsyncs, and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.flushLocked()
+	if err == nil {
+		err = l.fsyncLocked()
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	l.mu.Unlock()
+	if l.stopC != nil {
+		close(l.stopC)
+		<-l.doneC
+	}
+	return err
+}
+
+// CloseNoSync closes the log WITHOUT flushing buffered records or
+// fsyncing — the crash-simulation hook for recovery tests: buffered
+// records are lost exactly as a process kill would lose them, and the
+// segment tail is left however the last write left it.
+func (l *Log) CloseNoSync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.f.Close()
+	l.mu.Unlock()
+	if l.stopC != nil {
+		close(l.stopC)
+		<-l.doneC
+	}
+	return err
+}
+
+// Replay calls fn for every record in LSN order, starting from the oldest
+// retained segment. The payload aliases an internal buffer valid only for
+// the duration of the call. Corruption anywhere but the (already truncated)
+// tail is a hard error. Call before concurrent appends begin.
+func (l *Log) Replay(fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	segs := append([]uint64(nil), l.segs...)
+	next := l.nextLSN
+	l.mu.Unlock()
+
+	for i, base := range segs {
+		data, err := os.ReadFile(filepath.Join(l.dir, segName(base)))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		lsn := base
+		rest := data
+		for len(rest) > 0 {
+			payload, nextRest, err := trace.ReadFrame(rest, maxRecordBytes)
+			if err != nil {
+				return fmt.Errorf("wal: segment %s record %d: %w", segName(base), lsn, err)
+			}
+			if err := fn(lsn, payload); err != nil {
+				return err
+			}
+			lsn++
+			rest = nextRest
+		}
+		// Record counts must tile the LSN space: a gap means a lost or
+		// truncated non-tail segment, which recovery must not paper over.
+		want := next
+		if i+1 < len(segs) {
+			want = segs[i+1]
+		}
+		if lsn != want {
+			return fmt.Errorf("wal: segment %s holds LSNs [%d,%d), want [%d,%d): log gap",
+				segName(base), base, lsn, base, want)
+		}
+	}
+	return nil
+}
+
+// Compact deletes sealed segments every record of which has LSN <= cutoff.
+// The active segment is never deleted. Returns how many were removed.
+func (l *Log) Compact(cutoff uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.segs) > 1 {
+		// Segment i spans [segs[i], segs[i+1]); removable when its last
+		// record segs[i+1]-1 is at or below the cutoff.
+		if l.segs[1]-1 > cutoff {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(l.segs[0]))); err != nil {
+			return removed, fmt.Errorf("wal: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// AppendedLSN returns the LSN of the last appended record (0 if none).
+func (l *Log) AppendedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// DurableLSN returns the highest LSN known to be on stable storage.
+func (l *Log) DurableLSN() uint64 { return l.durableLSN.Load() }
+
+// SegmentCount returns the number of live segment files.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// AppendedRecords and AppendedBytes are cumulative append telemetry;
+// Fsyncs counts fsync calls; TruncatedTailBytes reports how many bytes the
+// last Open cut off a torn tail (0 for a clean shutdown).
+func (l *Log) AppendedRecords() uint64    { return l.appendedRecords.Load() }
+func (l *Log) AppendedBytes() uint64      { return l.appendedBytes.Load() }
+func (l *Log) Fsyncs() uint64             { return l.fsyncs.Load() }
+func (l *Log) TruncatedTailBytes() uint64 { return l.truncatedTail.Load() }
+
+// syncDir fsyncs a directory so entry creation/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

@@ -16,9 +16,14 @@
 #    with events/sec and allocs/event per row — the before/after contract
 #    for the ingest fast path (the stdlib variants are the baseline).
 #
+# 3. Durability: runs BenchmarkWALAppend (fsync-off append throughput and
+#    allocs/record, plus the group-commit batch variant) and
+#    BenchmarkRecovery (Open + full 50k-record replay) in internal/wal and
+#    writes BENCH_wal.json.
+#
 # Usage: sh scripts/bench.sh [benchtime]   (default 5x)
-# Env:   BENCH_OUT / BENCH_INGEST_OUT override the output paths (used by
-#        benchdiff.sh).
+# Env:   BENCH_OUT / BENCH_INGEST_OUT / BENCH_WAL_OUT override the output
+#        paths (used by benchdiff.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,9 +31,11 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-5x}"
 OUT="${BENCH_OUT:-BENCH_gibbs.json}"
 INGEST_OUT="${BENCH_INGEST_OUT:-BENCH_ingest.json}"
+WAL_OUT="${BENCH_WAL_OUT:-BENCH_wal.json}"
 RAW=$(mktemp)
 RAW_INGEST=$(mktemp)
-trap 'rm -f "$RAW" "$RAW_INGEST"' EXIT
+RAW_WAL=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_INGEST" "$RAW_WAL"' EXIT
 
 go test -bench 'BenchmarkGibbsSweep|BenchmarkPosterior' -benchmem \
     -cpu 1,2,4 -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
@@ -107,3 +114,47 @@ END {
 }' hostcpus="$(nproc 2>/dev/null || echo 1)" "$RAW_INGEST" > "$INGEST_OUT"
 
 echo "wrote $INGEST_OUT"
+
+# The append rows always run a fixed 20000x: each op is sub-microsecond, so
+# per-op numbers only stabilize once file setup and buffer growth amortize
+# over many records — and benchdiff gates on them cross-run. Recovery scales
+# with the user benchtime like everything else.
+go test -bench 'BenchmarkWALAppend' -benchmem -benchtime 20000x -run '^$' \
+    ./internal/wal | tee "$RAW_WAL"
+go test -bench 'BenchmarkRecovery' -benchmem -benchtime "$BENCHTIME" -run '^$' \
+    ./internal/wal | tee -a "$RAW_WAL"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark(WALAppend|Recovery)/ {
+    name = $1
+    procs[n] = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs[n] = substr(name, RSTART + 1)
+        sub(/-[0-9]+$/, "", name)
+    }
+    split(name, parts, "/")
+    bench[n] = parts[1]; variant[n] = (2 in parts ? parts[2] : "")
+    iters[n] = $2; nsop[n] = $3
+    mbs[n] = ""; bop[n] = ""; aop[n] = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "MB/s") mbs[n] = $i
+        if ($(i+1) == "B/op") bop[n] = $i
+        if ($(i+1) == "allocs/op") aop[n] = $i
+    }
+    n++
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n  \"cpu\": \"%s\",\n  \"host_cpus\": %d,\n  \"results\": [\n", cpu, hostcpus
+    for (i = 0; i < n; i++) {
+        printf "    {\"bench\": \"%s\", \"variant\": \"%s\", \"gomaxprocs\": %s, \"iters\": %s, \"ns_per_op\": %s",
+            bench[i], variant[i], procs[i], iters[i], nsop[i]
+        if (mbs[i] != "") printf ", \"mb_per_sec\": %s", mbs[i]
+        if (bop[i] != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop[i], aop[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' hostcpus="$(nproc 2>/dev/null || echo 1)" "$RAW_WAL" > "$WAL_OUT"
+
+echo "wrote $WAL_OUT"

@@ -14,6 +14,12 @@
 #   swings too much to gate on), and allocs/event on the fast rows must
 #   not grow versus the baseline (allocations are deterministic).
 #   Cross-run events/sec deltas are printed for context only.
+# - BENCH_wal.json: the WAL append path gates on its fsync-free variant
+#   (BenchmarkWALAppend/off): any allocs/record growth fails, and append
+#   throughput below 0.5x the committed baseline fails (the wide band
+#   absorbs shared-box I/O variance; real regressions halve throughput).
+#   The batch4096 and Recovery rows are printed for context — both are
+#   fsync/page-cache bound and too noisy to gate.
 #
 # Usage: sh scripts/benchdiff.sh [benchtime]   (default 5x; raise for a
 # quieter signal, e.g. `sh scripts/benchdiff.sh 50x`)
@@ -23,19 +29,20 @@ cd "$(dirname "$0")/.."
 
 BASE=BENCH_gibbs.json
 INGEST_BASE=BENCH_ingest.json
-if [ ! -f "$BASE" ]; then
-    echo "benchdiff: no baseline $BASE; run 'make bench' and commit it" >&2
-    exit 1
-fi
-if [ ! -f "$INGEST_BASE" ]; then
-    echo "benchdiff: no baseline $INGEST_BASE; run 'make bench' and commit it" >&2
-    exit 1
-fi
+WAL_BASE=BENCH_wal.json
+for f in "$BASE" "$INGEST_BASE" "$WAL_BASE"; do
+    if [ ! -f "$f" ]; then
+        echo "benchdiff: no baseline $f; run 'make bench' and commit it" >&2
+        exit 1
+    fi
+done
 
 FRESH=$(mktemp)
 FRESH_INGEST=$(mktemp)
-trap 'rm -f "$FRESH" "$FRESH_INGEST"' EXIT
-BENCH_OUT="$FRESH" BENCH_INGEST_OUT="$FRESH_INGEST" sh scripts/bench.sh "${1:-5x}" >/dev/null
+FRESH_WAL=$(mktemp)
+trap 'rm -f "$FRESH" "$FRESH_INGEST" "$FRESH_WAL"' EXIT
+BENCH_OUT="$FRESH" BENCH_INGEST_OUT="$FRESH_INGEST" BENCH_WAL_OUT="$FRESH_WAL" \
+    sh scripts/bench.sh "${1:-5x}" >/dev/null
 
 # Both sections run even when the first regresses, so one report covers the
 # whole surface; the gate fails at the end if either did.
@@ -140,6 +147,48 @@ END {
     }
     if (bad) { print "benchdiff: ingest benchmark regression" | "cat 1>&2"; exit 1 }
 }' "$INGEST_BASE" "$FRESH_INGEST" || rc=1
+
+awk '
+function num(line, key,    s) {
+    if (!match(line, "\"" key "\": *-?[0-9.e+]+")) return -1
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: */, "", s)
+    return s + 0
+}
+function str(line, key,    s) {
+    if (!match(line, "\"" key "\": *\"[^\"]*\"")) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: *"/, "", s); sub(/"$/, "", s)
+    return s
+}
+function rowkey(line) {
+    return str(line, "bench") "/" str(line, "variant")
+}
+FNR == NR && /"bench":/ {
+    k = rowkey($0)
+    bmb[k] = num($0, "mb_per_sec"); bal[k] = num($0, "allocs_per_op")
+    next
+}
+/"bench":/ {
+    k = rowkey($0)
+    mb = num($0, "mb_per_sec"); al = num($0, "allocs_per_op")
+    if (!(k in bmb)) {
+        printf "%-44s %38s\n", k, "new row (no baseline)"
+        next
+    }
+    status = "ok"
+    if (k == "BenchmarkWALAppend/off") {
+        if (al > bal[k]) { status = "FAIL allocs/record"; bad = 1 }
+        if (bmb[k] > 0 && mb >= 0 && mb < 0.5 * bmb[k]) {
+            status = status " FAIL throughput < 0.5x baseline"; bad = 1
+        }
+    }
+    printf "%-44s %9.1f -> %9.1f MB/s (%+6.1f%%)  allocs %g -> %g  %s\n",
+        k, bmb[k], mb, (bmb[k] > 0 ? (mb / bmb[k] - 1) * 100 : 0), bal[k], al, status
+}
+END {
+    if (bad) { print "benchdiff: WAL benchmark regression" | "cat 1>&2"; exit 1 }
+}' "$WAL_BASE" "$FRESH_WAL" || rc=1
 
 [ "$rc" -eq 0 ] && echo "benchdiff: ok"
 exit "$rc"

@@ -10,7 +10,9 @@ go build ./...
 go test -race ./...
 
 # Focused race gate for the concurrent paths: the chromatic parallel Gibbs
-# engine (core), the serve e2e test plus the metrics scrape storm, and the
-# telemetry registry's writer-vs-scraper test, with a fresh -count=1 run so
+# engine (core), the serve e2e test plus the metrics scrape storm, the
+# telemetry registry's writer-vs-scraper test, the WAL's group-commit
+# writers, and the crash-recovery e2e oracle, with a fresh -count=1 run so
 # schedule/sharding races can't hide behind the test cache.
-go test -race -count=1 -run 'Parallel' ./internal/core ./internal/serve ./internal/obs
+go test -race -count=1 -run 'Parallel|Recovery' \
+    ./internal/core ./internal/serve ./internal/obs ./internal/wal
