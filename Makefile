@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race verify bench bench-all benchdiff fuzz
+.PHONY: build test race verify bench bench-all benchdiff profile fuzz
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ bench-all:
 # ingest benchmarks vs BENCH_ingest.json.
 benchdiff:
 	sh scripts/benchdiff.sh
+
+# profile captures CPU and heap pprof of the posterior hot path into
+# results/ with -top summaries; see scripts/profile.sh for knobs.
+profile:
+	sh scripts/profile.sh
 
 # fuzz runs the two wire-format fuzzers (NDJSON event grammar, WAL record
 # framing) for a short fixed budget each; raise with FUZZTIME=1m.

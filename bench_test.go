@@ -266,8 +266,11 @@ func BenchmarkObservedGibbsSweep(b *testing.B) {
 // BenchmarkPosterior measures the full fixed-parameter posterior pass (30
 // sweeps, incremental per-queue statistics) across the same worker grid,
 // the way a steady-state caller runs it: working copies drawn from a
-// ClonePool and results written into a reused summary via PosteriorInto, so
-// allocs/op reflects the sampler itself rather than per-call buffer churn.
+// ClonePool, results written into a reused summary via PosteriorInto, and
+// sampler construction state (schedule, build buffers, worker pool) reused
+// through a GibbsScratch — so bytes/op and allocs/op reflect the sampler
+// itself rather than per-call buffer churn, and the chromatic rows are
+// directly comparable to seq.
 func BenchmarkPosterior(b *testing.B) {
 	truth, net := benchTraceLarge(b)
 	params, err := core.NewParams(net.ServiceRates())
@@ -282,14 +285,21 @@ func BenchmarkPosterior(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			var pool trace.ClonePool
 			var sum core.PosteriorSummary
-			for i := 0; i < b.N; i++ {
+			var sc core.GibbsScratch
+			defer sc.Close()
+			run := func() {
 				working := pool.Get(base)
 				if err := core.PosteriorInto(&sum, working, params, xrand.New(3), core.PosteriorOptions{
-					Sweeps: 30, Workers: bc.workers,
+					Sweeps: 30, Workers: bc.workers, Scratch: &sc,
 				}); err != nil {
 					b.Fatal(err)
 				}
 				pool.Put(working)
+			}
+			run() // steady state: grow the scratch, summary, and clone pool
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
 			}
 		})
 	}

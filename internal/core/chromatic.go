@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -79,6 +80,11 @@ type schedule struct {
 	// rngs[si].
 	rngs []xrand.RNG
 	ctxs []moveCtx
+
+	// ctxStats is the flat backing of every context's incremental-statistics
+	// delta pair (dSvc, dWait), carved by EnableQueueStats. It lives on the
+	// schedule so scratch-reusing rebuilds keep the capacity.
+	ctxStats []float64
 }
 
 // numShards returns the shard count.
@@ -154,26 +160,63 @@ func writersByEvent(es *trace.EventSet, moves []int32) [][2]int32 {
 // into shards, splitting one RNG stream per shard from rng (consumed
 // deterministically, in shard order). Everything is laid out flat with
 // counting passes, so construction performs a constant number of
-// allocations regardless of trace size.
+// allocations regardless of trace size — and none at all when rebuilt
+// through a warm GibbsScratch.
 func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xrand.RNG) *schedule {
 	s := &schedule{}
+	var bs buildScratch
+	buildScheduleInto(s, &bs, es, arrivalMoves, departMoves, rng)
+	return s
+}
+
+// buildScheduleInto rebuilds s in place, reusing its arrays and the build
+// buffers in bs (both grow-only). The schedule contents are a deterministic
+// function of the event set and move lists, and the per-shard RNG splits
+// are consumed in the same canonical order as a fresh build, so a rebuilt
+// schedule drives a chain bit-identical to a freshly allocated one.
+func buildScheduleInto(s *schedule, bs *buildScratch, es *trace.EventSet, arrivalMoves, departMoves []int, rng *xrand.RNG) {
 	nm := len(arrivalMoves) + len(departMoves)
-	s.moves = make([]int32, 0, nm)
-	for _, i := range arrivalMoves {
-		s.moves = append(s.moves, packArrival(i))
+	s.moves = resizeI32(s.moves, nm)
+	for k, i := range arrivalMoves {
+		s.moves[k] = packArrival(i)
 	}
-	for _, i := range departMoves {
-		s.moves = append(s.moves, packDepart(i))
+	for k, i := range departMoves {
+		s.moves[len(arrivalMoves)+k] = packDepart(i)
 	}
 
-	writers := writersByEvent(es, s.moves)
+	// writers[ev] lists the (at most two) moves writing one of ev's times,
+	// as in writersByEvent but into the reusable buffer.
+	if cap(bs.writers) < len(es.Events) {
+		bs.writers = make([][2]int32, len(es.Events))
+	}
+	writers := bs.writers[:len(es.Events)]
+	for i := range writers {
+		writers[i] = [2]int32{-1, -1}
+	}
+	for mi, code := range s.moves {
+		ev := moveEvent(code)
+		if writers[ev][0] == -1 {
+			writers[ev][0] = int32(mi)
+		} else {
+			writers[ev][1] = int32(mi)
+		}
+		if code >= 0 {
+			p := es.Events[ev].PrevT
+			if writers[p][0] == -1 {
+				writers[p][0] = int32(mi)
+			} else {
+				writers[p][1] = int32(mi)
+			}
+		}
+	}
 
 	// Adjacency: m conflicts with every writer of every event it touches
 	// (touch sets include the move's own writes, so write-write conflicts
 	// are covered symmetrically). Built as a flat CSR array with a counting
 	// pass: first accumulate symmetric degrees, then fill.
 	var buf [6]int32
-	deg := make([]int32, nm+1)
+	bs.deg = zeroI32(bs.deg, nm+1)
+	deg := bs.deg
 	for mi := range s.moves {
 		n := moveTouched(es, s.moves[mi], &buf)
 		for k := 0; k < n; k++ {
@@ -190,8 +233,10 @@ func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xra
 		deg[i] += deg[i-1]
 	}
 	adjOff := deg // prefix sums; consumed as write cursors below
-	adjFlat := make([]int32, adjOff[nm])
-	fill := make([]int32, nm)
+	bs.adjFlat = resizeI32(bs.adjFlat, int(adjOff[nm]))
+	adjFlat := bs.adjFlat
+	bs.fill = zeroI32(bs.fill, nm)
+	fill := bs.fill
 	for mi := range s.moves {
 		n := moveTouched(es, s.moves[mi], &buf)
 		for k := 0; k < n; k++ {
@@ -209,8 +254,9 @@ func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xra
 
 	// Greedy coloring in canonical move order. usedBy stamps colors with
 	// the move currently probing them, avoiding a clear per move.
-	s.color = make([]int32, nm)
-	usedBy := make([]int32, 0, 16)
+	s.color = resizeI32(s.color, nm)
+	s.colors = 0
+	usedBy := bs.usedBy[:0]
 	for mi := range s.moves {
 		// Mark neighbor colors (only already-colored neighbors matter).
 		for _, n := range adjFlat[adjOff[mi] : adjOff[mi]+fill[mi]] {
@@ -232,10 +278,12 @@ func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xra
 			s.colors = int(c) + 1
 		}
 	}
+	bs.usedBy = usedBy
 
 	// Regroup moves by color class (counting pass), then carve fixed-size
 	// shards per class.
-	classOff := make([]int32, s.colors+1)
+	bs.classOff = zeroI32(bs.classOff, s.colors+1)
+	classOff := bs.classOff
 	for _, c := range s.color {
 		classOff[c+1]++
 	}
@@ -245,15 +293,21 @@ func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xra
 		numShards += (size + shardChunk - 1) / shardChunk
 		classOff[c+1] += classOff[c]
 	}
-	s.order = make([]int32, nm)
-	cursor := make([]int32, s.colors)
+	s.order = resizeI32(s.order, nm)
+	bs.cursor = zeroI32(bs.cursor, s.colors)
+	cursor := bs.cursor
 	for mi, code := range s.moves {
 		c := s.color[mi]
 		s.order[classOff[c]+cursor[c]] = code
 		cursor[c]++
 	}
-	s.shardOff = make([]int32, 1, numShards+1)
-	s.classShardOff = make([]int32, s.colors+1)
+	if cap(s.shardOff) < numShards+1 {
+		s.shardOff = make([]int32, 1, numShards+1)
+	} else {
+		s.shardOff = s.shardOff[:1]
+	}
+	s.shardOff[0] = 0
+	s.classShardOff = zeroI32(s.classShardOff, s.colors+1)
 	for c := 0; c < s.colors; c++ {
 		for lo := classOff[c]; lo < classOff[c+1]; lo += shardChunk {
 			hi := lo + shardChunk
@@ -266,14 +320,21 @@ func buildSchedule(es *trace.EventSet, arrivalMoves, departMoves []int, rng *xra
 	}
 
 	// One flat RNG block and one flat context block, streams split in
-	// canonical shard order.
-	s.rngs = make([]xrand.RNG, numShards)
-	s.ctxs = make([]moveCtx, numShards)
+	// canonical shard order. Contexts are reset wholesale: stale dSvc/dWait
+	// views from a previous build are dropped (EnableQueueStats re-carves
+	// them from ctxStats) and skip counters restart at zero.
+	if cap(s.rngs) < numShards {
+		s.rngs = make([]xrand.RNG, numShards)
+	}
+	s.rngs = s.rngs[:numShards]
+	if cap(s.ctxs) < numShards {
+		s.ctxs = make([]moveCtx, numShards)
+	}
+	s.ctxs = s.ctxs[:numShards]
 	for i := range s.rngs {
 		s.rngs[i] = rng.SplitValue()
-		s.ctxs[i].rng = &s.rngs[i]
+		s.ctxs[i] = moveCtx{rng: &s.rngs[i]}
 	}
-	return s
 }
 
 // checkColoring verifies that no two conflicting moves share a color — a
@@ -304,11 +365,24 @@ func checkColoring(es *trace.EventSet, s *schedule) error {
 // gpool is the persistent execution pool of one chromatic sampler. Its
 // workers are spawned once and parked on a channel barrier; each color
 // class of each sweep enlists them by sending one token per helper, and
-// collects them on a buffered done channel. All coordination state (class
-// bounds, scan direction, rate vector) is plain data written by the
-// coordinator before the sends — the channel operations order those writes
-// before any worker read — so the steady-state sweep allocates nothing and
-// needs no locks.
+// the last participant to run out of shards releases the barrier. All
+// coordination state (class bounds, scan direction, rate vector) is plain
+// data written by the coordinator before the sends — the channel
+// operations order those writes before any worker read — so the
+// steady-state sweep allocates nothing and needs no locks.
+//
+// Channel blocking is kept to the minimum: helpers park on a single
+// bare-channel receive (one runtime sudog each, versus two for a select)
+// and the coordinator never blocks on a channel at all — it yield-spins on
+// the pending countdown, which helpers decrement as they run out of
+// shards. That matters because the runtime drops its sudog caches at
+// every GC cycle and each channel block then re-allocates one (96 B),
+// which is where the historical ~1 B/op drift of the pooled sweep at
+// GOMAXPROCS >= 2 came from. Class barriers are microseconds apart, so
+// the yield-spin costs less than a park/unpark would; the GOMAXPROCS
+// clamp (effectiveWorkers) guarantees every participant has a P, and
+// Gosched keeps the spin cooperative even when the Ps are oversubscribed
+// mid-run (e.g. under testing.AllocsPerRun, which forces GOMAXPROCS=1).
 //
 // The pool deliberately holds no reference to its Gibbs sampler, only to
 // the event set, schedule and rate slice it operates on. That keeps the
@@ -325,10 +399,11 @@ type gpool struct {
 	base  int32 // first shard of the class being executed
 	count int32 // shards in that class
 	next  atomic.Int64
+	// pending counts the enlisted helpers still running shards; the
+	// coordinator yield-spins it down to zero to release the barrier.
+	pending atomic.Int32
 
-	work chan struct{} // parked workers wait here; one token = one helper
-	done chan struct{} // helpers report completion here
-	quit chan struct{} // closed to terminate the workers
+	work chan struct{} // parked helpers wait here; one token = one helper; closed to terminate
 
 	closeOnce sync.Once
 	helpers   int // background workers spawned (worker count - 1)
@@ -342,8 +417,6 @@ func newGpool(es *trace.EventSet, sched *schedule, workers int) *gpool {
 		sched:   sched,
 		helpers: workers - 1,
 		work:    make(chan struct{}, workers),
-		done:    make(chan struct{}, workers),
-		quit:    make(chan struct{}),
 	}
 	for i := 0; i < p.helpers; i++ {
 		go p.runWorker()
@@ -352,14 +425,9 @@ func newGpool(es *trace.EventSet, sched *schedule, workers int) *gpool {
 }
 
 func (p *gpool) runWorker() {
-	for {
-		select {
-		case <-p.work:
-		case <-p.quit:
-			return
-		}
+	for range p.work {
 		p.runShards()
-		p.done <- struct{}{}
+		p.pending.Add(-1)
 	}
 }
 
@@ -378,7 +446,10 @@ func (p *gpool) runShards() {
 }
 
 // runClass executes shards [base, base+count) with up to p.helpers helpers
-// plus the calling goroutine, returning when every shard has finished.
+// plus the calling goroutine, returning when every shard has finished. The
+// barrier is an atomic countdown the coordinator yield-spins on; atomics
+// are sequentially consistent, so observing the final decrement also
+// orders every helper's shard writes before the coordinator's return.
 func (p *gpool) runClass(rates []float64, base, count int, rev bool) {
 	p.rates = rates
 	p.rev = rev
@@ -389,31 +460,42 @@ func (p *gpool) runClass(rates []float64, base, count int, rev bool) {
 	if enlist > count-1 {
 		enlist = count - 1
 	}
+	p.pending.Store(int32(enlist))
 	for i := 0; i < enlist; i++ {
 		p.work <- struct{}{}
 	}
 	p.runShards()
-	for i := 0; i < enlist; i++ {
-		<-p.done
+	for p.pending.Load() != 0 {
+		runtime.Gosched()
 	}
+}
+
+// bind repoints the parked pool at a new event set and schedule (a
+// GibbsScratch reusing its pool across sampler constructions). Must not
+// race an in-flight sweep: the workers only read es/sched between the
+// channel barriers of runClass, whose sends order these writes.
+func (p *gpool) bind(es *trace.EventSet, sched *schedule) {
+	p.es = es
+	p.sched = sched
 }
 
 // close terminates the parked workers. Safe to call multiple times and
 // concurrently with nothing else; must not race an in-flight sweep.
 func (p *gpool) close() {
-	p.closeOnce.Do(func() { close(p.quit) })
+	p.closeOnce.Do(func() { close(p.work) })
 }
 
 // Close releases the sampler's worker pool, if any. Sweeps remain valid
 // after Close — they run the same schedule inline on the calling goroutine,
 // still bit-identical — so Close is purely a resource release. It is
 // idempotent and also runs automatically when an unclosed sampler becomes
-// unreachable.
+// unreachable. A pool owned by a GibbsScratch is only detached here — the
+// scratch (or its unreachability cleanup) stops those workers.
 func (g *Gibbs) Close() {
-	if g.pool != nil {
+	if g.pool != nil && !g.poolShared {
 		g.pool.close()
-		g.pool = nil
 	}
+	g.pool = nil
 }
 
 // ---------------------------------------------------------------------------

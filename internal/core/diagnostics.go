@@ -110,7 +110,9 @@ func DiagnosePosterior(es *trace.EventSet, params Params, rng *xrand.RNG, opts D
 				errs[c] = fmt.Errorf("core: chain %d init: %w", c, err)
 				return
 			}
-			g, err := newGibbsForWorkers(work, params, rngs[c], opts.Workers)
+			// Chains run concurrently, so they must not share one scratch; a
+			// nil scratch gives every chain private construction state.
+			g, err := newGibbsForWorkers(work, params, rngs[c], opts.Workers, nil)
 			if err != nil {
 				errs[c] = fmt.Errorf("core: chain %d: %w", c, err)
 				return

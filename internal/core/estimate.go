@@ -33,6 +33,12 @@ type PosteriorOptions struct {
 	// Observer, when non-nil, receives per-sweep telemetry (duration,
 	// resampled moves). It never perturbs the chain; see SweepObserver.
 	Observer SweepObserver
+	// Scratch, when non-nil, donates reusable sampler construction state
+	// (schedule arrays, conflict-graph build buffers, worker pool) so a
+	// steady-state caller pays no per-call sampler-construction
+	// allocations. The chain is bit-identical with or without a scratch.
+	// A scratch serializes the samplers built from it; see GibbsScratch.
+	Scratch *GibbsScratch
 }
 
 func (o PosteriorOptions) withDefaults() PosteriorOptions {
@@ -110,7 +116,7 @@ func PosteriorInto(sum *PosteriorSummary, es *trace.EventSet, params Params, rng
 	if opts.BurnIn >= opts.Sweeps {
 		return fmt.Errorf("core: burn-in %d >= sweeps %d", opts.BurnIn, opts.Sweeps)
 	}
-	g, err := newGibbsForWorkers(es, params, rng, opts.Workers)
+	g, err := newGibbsForWorkers(es, params, rng, opts.Workers, opts.Scratch)
 	if err != nil {
 		return err
 	}

@@ -51,10 +51,13 @@ type Gibbs struct {
 	// sched is non-nil when the chromatic parallel engine is active.
 	sched   *schedule
 	workers int
-	// pool is the persistent worker pool, non-nil when workers > 1. It is
-	// closed by Close or, failing that, by a runtime cleanup when the
-	// sampler becomes unreachable.
-	pool *gpool
+	// pool is the persistent worker pool, non-nil when the effective
+	// worker count (requested workers clamped to GOMAXPROCS) exceeds 1.
+	// A privately owned pool is closed by Close or, failing that, by a
+	// runtime cleanup when the sampler becomes unreachable; a pool shared
+	// through a GibbsScratch (poolShared) outlives the sampler.
+	pool       *gpool
+	poolShared bool
 
 	// stats, when non-nil, holds incremental per-queue Σservice/Σwait kept
 	// up to date by O(1) delta hooks on every latent-time write.
@@ -126,33 +129,36 @@ func (mc *moveCtx) commit(es *trace.EventSet) {
 // engine. The event set must already be in a feasible state (use an
 // Initializer after masking observations).
 func NewGibbs(es *trace.EventSet, params Params, rng *xrand.RNG) (*Gibbs, error) {
-	return newGibbs(es, params, rng, 0)
+	return newGibbs(es, params, rng, 0, nil)
 }
 
 // NewParallelGibbs builds the chromatic parallel engine with the given
 // worker count (workers <= 0 selects runtime.NumCPU()). The chain it
 // produces is bit-identical for a fixed seed at every worker count —
 // including 1, which runs the same chromatic schedule on the calling
-// goroutine — so the worker count is purely a throughput knob.
+// goroutine — so the worker count is purely a throughput knob. Worker
+// counts beyond GOMAXPROCS are recorded but not spawned: oversubscribing
+// the scheduler only adds barrier churn (see effectiveWorkers).
 func NewParallelGibbs(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*Gibbs, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return newGibbs(es, params, rng, workers)
+	return newGibbs(es, params, rng, workers, nil)
 }
 
 // newGibbsForWorkers maps the Workers option convention shared by
 // PosteriorOptions and EMOptions onto a sampler: 0 keeps the sequential
 // scan, W >= 1 runs the chromatic engine with W workers, W < 0 runs it
-// with NumCPU workers.
-func newGibbsForWorkers(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*Gibbs, error) {
-	if workers == 0 {
-		return NewGibbs(es, params, rng)
+// with NumCPU workers. A non-nil scratch donates its move lists, schedule
+// arrays, and worker pool to the construction (see GibbsScratch).
+func newGibbsForWorkers(es *trace.EventSet, params Params, rng *xrand.RNG, workers int, sc *GibbsScratch) (*Gibbs, error) {
+	if workers < 0 {
+		workers = runtime.NumCPU()
 	}
-	return NewParallelGibbs(es, params, rng, workers)
+	return newGibbs(es, params, rng, workers, sc)
 }
 
-func newGibbs(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*Gibbs, error) {
+func newGibbs(es *trace.EventSet, params Params, rng *xrand.RNG, workers int, sc *GibbsScratch) (*Gibbs, error) {
 	if len(params.Rates) != es.NumQueues {
 		return nil, fmt.Errorf("core: %d rates for %d queues", len(params.Rates), es.NumQueues)
 	}
@@ -169,6 +175,10 @@ func newGibbs(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*
 	}
 	g := &Gibbs{set: es, params: params, rng: rng, workers: workers}
 	g.seq.rng = rng
+	if sc != nil {
+		g.arrivalMoves = sc.arrivalMoves[:0]
+		g.departMoves = sc.departMoves[:0]
+	}
 	for i := range es.Events {
 		e := &es.Events[i]
 		if !e.Initial() && !e.ObsArrival {
@@ -178,15 +188,29 @@ func newGibbs(es *trace.EventSet, params Params, rng *xrand.RNG, workers int) (*
 			g.departMoves = append(g.departMoves, i)
 		}
 	}
-	if workers > 0 {
-		g.sched = buildSchedule(es, g.arrivalMoves, g.departMoves, rng)
+	if sc != nil {
+		sc.arrivalMoves = g.arrivalMoves
+		sc.departMoves = g.departMoves
 	}
-	if workers > 1 {
-		g.pool = newGpool(es, g.sched, workers)
-		// The pool does not reference g, so an unreachable sampler is
-		// collectible while its workers are parked; this cleanup then shuts
-		// them down. An explicit Close is idempotent with it.
-		runtime.AddCleanup(g, func(p *gpool) { p.close() }, g.pool)
+	if workers > 0 {
+		if sc != nil {
+			g.sched = sc.schedule()
+			buildScheduleInto(g.sched, &sc.bs, es, g.arrivalMoves, g.departMoves, rng)
+		} else {
+			g.sched = buildSchedule(es, g.arrivalMoves, g.departMoves, rng)
+		}
+	}
+	if eff := effectiveWorkers(workers); eff > 1 {
+		if sc != nil {
+			g.pool = sc.bindPool(es, g.sched, eff)
+			g.poolShared = true
+		} else {
+			g.pool = newGpool(es, g.sched, eff)
+			// The pool does not reference g, so an unreachable sampler is
+			// collectible while its workers are parked; this cleanup then
+			// shuts them down. An explicit Close is idempotent with it.
+			runtime.AddCleanup(g, func(p *gpool) { p.close() }, g.pool)
+		}
 	}
 	return g, nil
 }

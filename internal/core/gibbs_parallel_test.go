@@ -184,7 +184,7 @@ func TestIncrementalStatsMatchRescan(t *testing.T) {
 	working, _, params := initializedWorking(t, [3]int{2, 1, 4}, 400, 0.1, 17)
 	for _, workers := range []int{0, 4} {
 		es := working.Clone()
-		g, err := newGibbsForWorkers(es, params, xrand.New(23), workers)
+		g, err := newGibbsForWorkers(es, params, xrand.New(23), workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

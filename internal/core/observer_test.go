@@ -32,11 +32,11 @@ func TestObserverDoesNotPerturbChain(t *testing.T) {
 		plain := working.Clone()
 		observed := working.Clone()
 
-		gPlain, err := newGibbsForWorkers(plain, params, xrand.New(5), workers)
+		gPlain, err := newGibbsForWorkers(plain, params, xrand.New(5), workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gObs, err := newGibbsForWorkers(observed, params, xrand.New(5), workers)
+		gObs, err := newGibbsForWorkers(observed, params, xrand.New(5), workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -44,8 +44,17 @@ func (g *Gibbs) EnableQueueStats() {
 		g.seq.dWait = make([]float64, nq)
 	}
 	if g.sched != nil && len(g.sched.ctxs) > 0 && g.sched.ctxs[0].dSvc == nil {
-		// One flat backing array for every shard context's delta pair.
-		backing := make([]float64, 2*nq*len(g.sched.ctxs))
+		// One flat backing array for every shard context's delta pair. The
+		// backing lives on the schedule and is re-carved (zeroed) on reuse,
+		// so a scratch-rebuilt sampler pays no per-pass allocation here.
+		need := 2 * nq * len(g.sched.ctxs)
+		if cap(g.sched.ctxStats) < need {
+			g.sched.ctxStats = make([]float64, need)
+		} else {
+			g.sched.ctxStats = g.sched.ctxStats[:need]
+			clear(g.sched.ctxStats)
+		}
+		backing := g.sched.ctxStats
 		for i := range g.sched.ctxs {
 			base := 2 * nq * i
 			g.sched.ctxs[i].dSvc = backing[base : base+nq : base+nq]

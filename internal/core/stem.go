@@ -38,6 +38,13 @@ type EMOptions struct {
 	// Observer, when non-nil, receives per-sweep telemetry from the E-step
 	// sampler (duration, resampled moves); see SweepObserver.
 	Observer SweepObserver
+	// Scratch, when non-nil, donates reusable sampler construction state
+	// (schedule arrays, conflict-graph build buffers, worker pool); see
+	// PosteriorOptions.Scratch and GibbsScratch. Note EMResult.Sampler
+	// references the scratch's schedule and pool: it goes stale as soon as
+	// the scratch is reused for another construction, so don't sweep it
+	// after a subsequent StEM/Posterior call with the same scratch.
+	Scratch *GibbsScratch
 }
 
 func (o EMOptions) withDefaults() EMOptions {
@@ -98,7 +105,7 @@ func StEM(es *trace.EventSet, rng *xrand.RNG, opts EMOptions) (*EMResult, error)
 	if err := opts.Init.Initialize(es, params); err != nil {
 		return nil, fmt.Errorf("core: initialization: %w", err)
 	}
-	g, err := newGibbsForWorkers(es, params, rng, opts.Workers)
+	g, err := newGibbsForWorkers(es, params, rng, opts.Workers, opts.Scratch)
 	if err != nil {
 		return nil, err
 	}

@@ -57,6 +57,11 @@ type OnlineEstimator struct {
 	warm *Params
 	// sum is the reused posterior summary handed out by Estimate.
 	sum PosteriorSummary
+	// scratch is the sampler construction state reused by every window's
+	// StEM and posterior pass (EM.Scratch/Post.Scratch are overridden with
+	// it). One scratch per estimator is safe because the estimator is
+	// already serialized per stream.
+	scratch GibbsScratch
 }
 
 // NewOnlineEstimator returns an estimator with the given per-window
@@ -79,6 +84,17 @@ func (o *OnlineEstimator) WarmParams() *Params {
 // from scratch (EM.InitialParams or InitialRates).
 func (o *OnlineEstimator) Reset() { o.warm = nil }
 
+// Scratch exposes the estimator's reusable sampler construction state, for
+// callers that run extra passes (e.g. windowed posteriors) between
+// Estimate calls and want to share its buffers and worker pool. The same
+// serialization rule applies: never use it concurrently with Estimate.
+func (o *OnlineEstimator) Scratch() *GibbsScratch { return &o.scratch }
+
+// Close releases the estimator's pooled sweep workers. Optional (an
+// unreachable estimator's pool is reaped by a runtime cleanup) and
+// idempotent; the estimator remains usable afterwards.
+func (o *OnlineEstimator) Close() { o.scratch.Close() }
+
 // Estimate shifts the window toward time zero, runs StEM (warm-started
 // when a previous estimate exists) and the fixed-parameter posterior pass,
 // and records the new estimate as the next warm start. The event set is
@@ -92,6 +108,7 @@ func (o *OnlineEstimator) Estimate(es *trace.EventSet, rng *xrand.RNG) (*EMResul
 		return nil, nil, err
 	}
 	emOpts := o.EM
+	emOpts.Scratch = &o.scratch
 	if o.warm != nil {
 		w := o.warm.Clone()
 		emOpts.InitialParams = &w
@@ -100,7 +117,9 @@ func (o *OnlineEstimator) Estimate(es *trace.EventSet, rng *xrand.RNG) (*EMResul
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := PosteriorInto(&o.sum, es, emRes.Params, rng, o.Post); err != nil {
+	postOpts := o.Post
+	postOpts.Scratch = &o.scratch
+	if err := PosteriorInto(&o.sum, es, emRes.Params, rng, postOpts); err != nil {
 		return nil, nil, err
 	}
 	w := emRes.Params.Clone()
@@ -182,7 +201,7 @@ func PosteriorWindows(es *trace.EventSet, params Params, rng *xrand.RNG, opts Po
 	if opts.BurnIn >= opts.Sweeps {
 		return nil, fmt.Errorf("core: burn-in %d >= sweeps %d", opts.BurnIn, opts.Sweeps)
 	}
-	g, err := newGibbsForWorkers(es, params, rng, opts.Workers)
+	g, err := newGibbsForWorkers(es, params, rng, opts.Workers, opts.Scratch)
 	if err != nil {
 		return nil, err
 	}

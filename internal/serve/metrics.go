@@ -29,6 +29,13 @@ type serverMetrics struct {
 	// estimateLatency times each estimation pass (StEM + posterior +
 	// windowed stats), including failed ones.
 	estimateLatency *obs.Histogram
+	// windowBuildNanos accumulates time the builder goroutines spent
+	// assembling estimation windows; windowWaitNanos accumulates time
+	// estimation passes spent blocked waiting for one. Their ratio is the
+	// window/sweep overlap gauge: wait << build means assembly is hidden
+	// behind sweep compute.
+	windowBuildNanos *obs.Counter
+	windowWaitNanos  *obs.Counter
 	// sweep receives per-sweep telemetry from every stream's Gibbs sampler
 	// (duration, resampled moves). One daemon-wide pair of histograms: the
 	// hook is atomics-only, so sharing it across workers is free.
@@ -53,6 +60,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"NDJSON body bytes read by POST /v1/streams/{id}/events."),
 		estimateLatency: reg.Histogram("qserved_estimate_seconds",
 			"Latency of one estimation pass (StEM, posterior, windowed stats).", obs.LatencyBuckets()),
+		windowBuildNanos: reg.Counter("qserved_window_build_nanos_total",
+			"Nanoseconds builder goroutines spent assembling estimation windows."),
+		windowWaitNanos: reg.Counter("qserved_window_wait_nanos_total",
+			"Nanoseconds estimation passes spent waiting for an assembled window."),
 		sweep: obs.NewSweepMetrics(reg, "qserved"),
 		estimates: reg.Counter("qserved_estimates_total",
 			"Estimates published across all streams."),
@@ -61,6 +72,16 @@ func newServerMetrics(s *Server) *serverMetrics {
 		sweeps: reg.Counter("qserved_sweeps_total",
 			"Gibbs sweeps run across all streams."),
 	}
+	reg.GaugeFunc("qserved_window_overlap_ratio",
+		"Fraction of window-assembly time hidden behind sweep compute (1 - wait/build, clamped to [0,1]; NaN until a window has been built).",
+		func() float64 {
+			build := float64(m.windowBuildNanos.Value())
+			if build <= 0 {
+				return math.NaN()
+			}
+			r := 1 - float64(m.windowWaitNanos.Value())/build
+			return math.Max(0, math.Min(1, r))
+		})
 	reg.GaugeFunc("qserved_uptime_seconds",
 		"Seconds since the daemon started.",
 		func() float64 { return time.Since(s.start).Seconds() })

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -22,9 +23,25 @@ type workerResult struct {
 	err     error
 }
 
+// windowBuild is one assembled window, handed from the builder goroutine
+// to the estimation loop.
+type windowBuild struct {
+	es    *trace.EventSet
+	epoch uint64
+	err   error
+}
+
 // worker owns one stream's inference loop: a goroutine that wakes on a
-// ticker or an ingest kick, assembles the store's window, runs the
+// ticker or an ingest kick, takes an assembled window, runs the
 // warm-started estimator, and publishes immutable snapshots.
+//
+// Window assembly is pipelined with sweep compute: a builder goroutine
+// owns the store's window() scratch (keeping its single-caller contract),
+// and right before a pass starts sweeping window N the worker requests
+// window N+1, so the deep copy and EventSet construction of the next pass
+// run while the sampler is busy. The windowWaitNanos/windowBuildNanos
+// counters (and the qserved_window_overlap_ratio gauge derived from them)
+// measure how much of the assembly time the pipeline actually hides.
 type worker struct {
 	st      *stream
 	results chan<- workerResult
@@ -35,6 +52,13 @@ type worker struct {
 	// lastEpoch is the store epoch of the last published estimate; the
 	// worker skips passes where no new task has been sealed.
 	lastEpoch uint64
+
+	// buildReq asks the builder goroutine for one window; builds carries
+	// the result. Both have capacity 1: at most one build is in flight, and
+	// prefetched tracks whether one is.
+	buildReq   chan struct{}
+	builds     chan windowBuild
+	prefetched bool
 }
 
 func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics) *worker {
@@ -47,11 +71,21 @@ func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics) *work
 			core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers, Observer: sm.sweep},
 			core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.Workers, Observer: sm.sweep},
 		),
-		rng: xrand.New(cfg.Seed),
+		rng:      xrand.New(cfg.Seed),
+		buildReq: make(chan struct{}, 1),
+		builds:   make(chan windowBuild, 1),
 	}
 }
 
 func (w *worker) run(ctx context.Context) {
+	defer w.est.Close()
+	var bwg sync.WaitGroup
+	bwg.Add(1)
+	go func() {
+		defer bwg.Done()
+		w.buildLoop(ctx)
+	}()
+	defer bwg.Wait()
 	ticker := time.NewTicker(time.Duration(w.st.cfg.IntervalMS) * time.Millisecond)
 	defer ticker.Stop()
 	for {
@@ -62,6 +96,78 @@ func (w *worker) run(ctx context.Context) {
 		case <-w.st.kick:
 		}
 		w.runOnce(ctx)
+	}
+}
+
+// buildLoop is the builder goroutine: it assembles one window per request.
+// It is the sole caller of store.window(), so the store's reusable window
+// scratch still has exactly one touching goroutine.
+func (w *worker) buildLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.buildReq:
+		}
+		t0 := time.Now()
+		es, epoch, err := w.st.store.window()
+		w.sm.windowBuildNanos.Add(uint64(time.Since(t0).Nanoseconds()))
+		select {
+		case w.builds <- windowBuild{es: es, epoch: epoch, err: err}:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// takeWindow returns the next assembled window, requesting a synchronous
+// build when none was prefetched. A prefetched window whose epoch does not
+// exceed the last published estimate's is stale — it was assembled before
+// the seal that triggered this pass — and is discarded for a synchronous
+// rebuild; that blocking wait is charged to windowWaitNanos, correctly
+// dragging the overlap ratio toward zero when prefetching fails to help.
+func (w *worker) takeWindow(ctx context.Context) (*trace.EventSet, uint64, error) {
+	for {
+		if !w.prefetched {
+			select {
+			case w.buildReq <- struct{}{}:
+				w.prefetched = true
+			case <-ctx.Done():
+				return nil, 0, ctx.Err()
+			}
+		}
+		t0 := time.Now()
+		var b windowBuild
+		select {
+		case b = <-w.builds:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+		w.sm.windowWaitNanos.Add(uint64(time.Since(t0).Nanoseconds()))
+		w.prefetched = false
+		if b.err != nil {
+			return nil, 0, b.err
+		}
+		if b.epoch <= w.lastEpoch {
+			continue // stale prefetch; rebuild
+		}
+		return b.es, b.epoch, nil
+	}
+}
+
+// prefetchWindow asks the builder for the next pass's window without
+// waiting for it. Called right before the current pass starts sweeping, so
+// assembly overlaps compute. The prefetched window misses tasks sealed
+// after this moment; they are picked up one pass later (the epoch check in
+// takeWindow bounds the staleness to that single pass).
+func (w *worker) prefetchWindow() {
+	if w.prefetched {
+		return
+	}
+	select {
+	case w.buildReq <- struct{}{}:
+		w.prefetched = true
+	default:
 	}
 }
 
@@ -91,13 +197,18 @@ func (w *worker) runOnce(ctx context.Context) {
 		}
 	}()
 
-	es, epoch, err := w.st.store.window()
+	es, epoch, err := w.takeWindow(ctx)
 	if err != nil {
 		res.err = err
 		return
 	}
+	res.epoch = epoch
 	origStart := es.TaskEntry(0)
 	origEnd := es.TaskEntry(es.NumTasks - 1)
+
+	// Kick the next window's assembly before the sweeps start, so the
+	// builder deep-copies window N+1 while the sampler runs window N.
+	w.prefetchWindow()
 
 	emRes, post, err := w.est.Estimate(es, w.rng)
 	if err != nil {
@@ -167,8 +278,11 @@ func (w *worker) windowed(es *trace.EventSet, params core.Params, offset float64
 		return nil, fmt.Errorf("degenerate window span [%v,%v)", lo, hi)
 	}
 	cfg := w.st.cfg
+	// The estimator's scratch is reusable here: windowed() runs strictly
+	// between Estimate calls on the worker goroutine.
 	stats, err := core.PosteriorWindows(es, params, w.rng,
-		core.PosteriorOptions{Sweeps: cfg.WindowSweeps, Workers: cfg.Workers, Observer: w.sm.sweep}, lo, hi, cfg.Windows)
+		core.PosteriorOptions{Sweeps: cfg.WindowSweeps, Workers: cfg.Workers, Observer: w.sm.sweep,
+			Scratch: w.est.Scratch()}, lo, hi, cfg.Windows)
 	if err != nil {
 		return nil, err
 	}

@@ -7,7 +7,15 @@
 #   inference hot-path contract, so they gate hard: >20% ns/op growth or
 #   ANY allocs/op growth fails. Posterior rows are printed for context but
 #   do not gate (they include clone + initializer noise and short-run
-#   variance).
+#   variance). The fresh run also gates the speedup-vs-workers curve: a
+#   chromatic-wN sweep row measured with gomaxprocs >= N on a host with at
+#   least N CPUs must not be slower than the same-GOMAXPROCS seq row
+#   (1.05x tolerance) — parallelism that loses to the sequential scan on
+#   hardware that could exploit it is a regression, not noise. On hosts
+#   with fewer CPUs than N the curve is reported but cannot gate.
+#   A baseline written by an older bench.sh (no "schema": 2 marker) cannot
+#   be row-matched against the grid output; it is reseeded from the fresh
+#   run instead of failing the gate.
 # - BENCH_ingest.json: the ingest fast path gates on its two
 #   noise-immune contracts: the fast variant must stay >= 2x the stdlib
 #   variant measured in the SAME run (cross-run wall-clock on a shared box
@@ -48,6 +56,19 @@ BENCH_OUT="$FRESH" BENCH_INGEST_OUT="$FRESH_INGEST" BENCH_WAL_OUT="$FRESH_WAL" \
 # whole surface; the gate fails at the end if either did.
 rc=0
 
+# An old-schema baseline (pre-grid: no "schema": 2 marker, rows without
+# workers/host_cpus) cannot be row-matched against the grid output. Reseed
+# it from this run instead of failing; the cross-run diff resumes once the
+# reseeded file is committed. The same-run speedup gate below runs either
+# way — it needs no baseline.
+if grep -q '"schema": *2' "$BASE"; then
+    GIBBS_CMP="$BASE"
+else
+    echo "benchdiff: $BASE schema changed, seeding baseline from this run (commit it)"
+    cp "$FRESH" "$BASE"
+    GIBBS_CMP="$FRESH"
+fi
+
 awk '
 function num(line, key,    s) {
     if (!match(line, "\"" key "\": *-?[0-9.e+]+")) return -1
@@ -72,13 +93,16 @@ FNR == NR && /"bench":/ {
 /"bench":/ {
     k = rowkey($0)
     ns = num($0, "ns_per_op"); al = num($0, "allocs_per_op")
+    fb[k] = str($0, "bench"); fw[k] = num($0, "workers")
+    fp[k] = num($0, "gomaxprocs"); fh[k] = num($0, "host_cpus")
+    fns[k] = ns
     if (!(k in bns)) {
         printf "%-44s %38s\n", k, "new row (no baseline)"
         next
     }
     ratio = ns / bns[k]
     status = "ok"
-    if (str($0, "bench") == "BenchmarkGibbsSweep") {
+    if (fb[k] == "BenchmarkGibbsSweep") {
         if (ratio > 1.20) { status = "FAIL ns/op"; bad = 1 }
         if (al > bal[k])  { status = status " FAIL allocs"; bad = 1 }
     }
@@ -86,8 +110,24 @@ FNR == NR && /"bench":/ {
         k, bns[k], ns, (ratio - 1) * 100, bal[k], al, status
 }
 END {
+    # Same-run speedup-vs-workers curve: every chromatic sweep row against
+    # the seq row at the same GOMAXPROCS. Gates only where the hardware
+    # could show a speedup: workers >= 2, gomaxprocs >= workers, and
+    # host_cpus >= workers; elsewhere the curve is context.
+    for (k in fns) {
+        if (fb[k] != "BenchmarkGibbsSweep" || fw[k] < 1) continue
+        seqk = "BenchmarkGibbsSweep/seq@cpu" fp[k]
+        if (!(seqk in fns) || fns[seqk] <= 0 || fns[k] <= 0) continue
+        status = "ok"
+        if (fw[k] >= 2 && fp[k] >= fw[k] && fh[k] >= fw[k] && fns[k] > 1.05 * fns[seqk]) {
+            status = "FAIL slower than seq"; bad = 1
+        } else if (fw[k] > fh[k] || fw[k] > fp[k]) {
+            status = "context (host too small to gate)"
+        }
+        printf "%-44s %22.2fx vs seq @cpu%d  %s\n", k, fns[seqk] / fns[k], fp[k], status
+    }
     if (bad) { print "benchdiff: sweep benchmark regression" | "cat 1>&2"; exit 1 }
-}' "$BASE" "$FRESH" || rc=1
+}' "$GIBBS_CMP" "$FRESH" || rc=1
 
 awk '
 function num(line, key,    s) {

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Profile harness for the posterior hot path: runs BenchmarkPosterior with
+# CPU and heap profiling and drops the artifacts plus plain-text pprof
+# summaries into results/, so a perf investigation starts from files
+# instead of re-deriving the incantation.
+#
+# Outputs (under results/):
+#   posterior_cpu.pprof / posterior_heap.pprof   raw profiles
+#   posterior.test                               the bench binary the
+#                                                profiles refer to (pprof
+#                                                needs it for symbols)
+#   posterior_cpu.txt / posterior_heap.txt       `go tool pprof -top`
+#                                                summaries for quick diffs
+#
+# Usage: sh scripts/profile.sh [benchtime] [bench-regex]
+#        default 50x BenchmarkPosterior — enough iterations that the
+#        steady-state sweep dominates the one-time scratch construction.
+# Env:   PROFILE_DIR overrides the output directory.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-50x}"
+BENCH="${2:-BenchmarkPosterior}"
+DIR="${PROFILE_DIR:-results}"
+mkdir -p "$DIR"
+
+go test -bench "$BENCH" -benchtime "$BENCHTIME" -run '^$' \
+    -cpuprofile "$DIR/posterior_cpu.pprof" \
+    -memprofile "$DIR/posterior_heap.pprof" \
+    -o "$DIR/posterior.test" .
+
+go tool pprof -top -nodecount 25 "$DIR/posterior.test" \
+    "$DIR/posterior_cpu.pprof" > "$DIR/posterior_cpu.txt"
+# alloc_space surfaces transient per-sweep garbage that inuse_space hides.
+go tool pprof -top -nodecount 25 -sample_index alloc_space \
+    "$DIR/posterior.test" "$DIR/posterior_heap.pprof" > "$DIR/posterior_heap.txt"
+
+echo "wrote $DIR/posterior_cpu.pprof $DIR/posterior_heap.pprof (+ -top summaries)"
+sed -n '1,12p' "$DIR/posterior_cpu.txt"
