@@ -16,6 +16,13 @@
 //	curl localhost:8645/v1/streams/web/estimate
 //	curl localhost:8645/metrics           # Prometheus exposition
 //
+// Inference runs on a shared executor: a fixed pool of -inference-workers
+// goroutines drains a priority queue over streams ordered by estimate
+// staleness x seal rate, spending at most -visit-budget per visit and
+// publishing anytime snapshots as epochs progress (see DESIGN.md §16).
+// The daemon's inference goroutine count is the pool size, independent of
+// how many streams exist.
+//
 // With -wal-dir set the daemon is durable: every accepted event batch is
 // appended to a per-shard write-ahead log before it is applied, stream
 // state is snapshotted on -snapshot-interval, and a restart with the same
@@ -69,12 +76,16 @@ func main() {
 	addr := flag.String("addr", ":8645", "listen address")
 	window := flag.Int("window", 500, "default sliding window size (sealed tasks per stream)")
 	minTasks := flag.Int("min-tasks", 40, "default minimum sealed tasks before estimating")
-	interval := flag.Duration("interval", 250*time.Millisecond, "default estimation cadence")
+	interval := flag.Duration("interval", 250*time.Millisecond, "legacy estimation cadence (kept for config compatibility; scheduling is demand-driven)")
 	emIters := flag.Int("em-iters", 300, "default StEM iterations per window")
 	postSweeps := flag.Int("post-sweeps", 40, "default posterior sweeps per window")
 	windows := flag.Int("windows", 6, "default windowed-stats buckets")
 	windowSweeps := flag.Int("window-sweeps", 30, "default windowed-stats sweeps")
-	workers := flag.Int("workers", 0, "default Gibbs sweep workers per stream (0 sequential, -1 one per CPU)")
+	workers := flag.Int("workers", 0, "default Gibbs sweep workers per stream (0 incremental sequential, -1 one per CPU)")
+	infWorkers := flag.Int("inference-workers", -1, "shared inference executor pool size (-1 = one per CPU)")
+	queueDepth := flag.Int("queue-depth", 0, "inference queue bound; excess streams are shed and re-admitted (0 = max(64, 4x pool))")
+	visitBudget := flag.Duration("visit-budget", 50*time.Millisecond, "wall-clock budget of one inference visit")
+	sweepBatch := flag.Int("sweep-batch", 0, "default per-visit sweep cap per stream (0 = deadline-bounded only)")
 	seed := flag.Uint64("seed", 1, "default stream RNG seed")
 	maxLine := flag.Int("max-line", 1<<20, "max NDJSON line length in bytes (longer lines get HTTP 413)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory for durable streams (empty = in-memory only)")
@@ -93,6 +104,25 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
+	// Flag validation: catch nonsense at startup with a clear message
+	// instead of a confusing panic or a silently idle daemon.
+	if *workers < -1 {
+		fmt.Fprintf(os.Stderr, "qserved: -workers must be >= -1 (-1 = one per CPU), got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *infWorkers == 0 || *infWorkers < -1 {
+		fmt.Fprintf(os.Stderr, "qserved: -inference-workers must be positive (or -1 for one per CPU), got %d\n", *infWorkers)
+		os.Exit(2)
+	}
+	if *snapInterval <= 0 {
+		fmt.Fprintf(os.Stderr, "qserved: -snapshot-interval must be positive, got %v\n", *snapInterval)
+		os.Exit(2)
+	}
+	if *sweepBatch < 0 {
+		fmt.Fprintf(os.Stderr, "qserved: -sweep-batch must be >= 0, got %d\n", *sweepBatch)
+		os.Exit(2)
+	}
+
 	defaults := serve.StreamConfig{
 		WindowTasks:  *window,
 		MinTasks:     *minTasks,
@@ -102,7 +132,13 @@ func main() {
 		Windows:      *windows,
 		WindowSweeps: *windowSweeps,
 		Workers:      *workers,
+		SweepBatch:   *sweepBatch,
 		Seed:         *seed,
+	}
+	serverOpts := []serve.Option{
+		serve.WithInferenceWorkers(*infWorkers),
+		serve.WithQueueDepth(*queueDepth),
+		serve.WithVisitBudget(*visitBudget),
 	}
 	var srv *serve.Server
 	if *walDir != "" {
@@ -123,14 +159,14 @@ func main() {
 		}
 		start := time.Now()
 		var err error
-		if srv, err = serve.NewDurable(defaults, wcfg); err != nil {
+		if srv, err = serve.NewDurable(defaults, wcfg, serverOpts...); err != nil {
 			logger.Error("wal recovery failed", "dir", *walDir, "err", err)
 			os.Exit(1)
 		}
 		logger.Info("wal recovered", "dir", *walDir, "sync", *walSync,
 			"elapsed", time.Since(start).Round(time.Millisecond))
 	} else {
-		srv = serve.New(defaults)
+		srv = serve.New(defaults, serverOpts...)
 	}
 	srv.SetLogger(logger)
 	srv.SetMaxLineBytes(*maxLine)
@@ -170,8 +206,8 @@ func main() {
 		logger.Error("listen", "err", err)
 		os.Exit(1)
 	}
-	// The listener is closed; drain the stream workers (an in-flight
-	// estimation pass finishes, then every worker exits) and log the final
+	// The listener is closed; drain the shared executor (in-flight visits
+	// finish their budget slice, then the pool exits) and log the final
 	// counter summary.
 	srv.Close()
 	t := srv.Totals()

@@ -33,7 +33,7 @@ type GibbsScratch struct {
 	// s is the reusable schedule. Heap-allocated and held by pointer so the
 	// worker pool (whose parked goroutines reference the schedule) does not
 	// pin the whole scratch, which would defeat the unreachability cleanup.
-	s *schedule
+	s  *schedule
 	bs buildScratch
 
 	arrivalMoves, departMoves []int
@@ -47,13 +47,13 @@ type GibbsScratch struct {
 // buildScratch holds the conflict-graph construction buffers of
 // buildScheduleInto, reused across schedule rebuilds.
 type buildScratch struct {
-	writers [][2]int32
-	deg     []int32
-	adjFlat []int32
-	fill    []int32
-	usedBy  []int32
+	writers  [][2]int32
+	deg      []int32
+	adjFlat  []int32
+	fill     []int32
+	usedBy   []int32
 	classOff []int32
-	cursor  []int32
+	cursor   []int32
 }
 
 // Close parks no new work and releases the scratch's pooled workers, if
@@ -125,4 +125,3 @@ func effectiveWorkers(workers int) int {
 	}
 	return workers
 }
-

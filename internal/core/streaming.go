@@ -55,6 +55,10 @@ type OnlineEstimator struct {
 	Post PosteriorOptions
 
 	warm *Params
+	// warmWin is the incremental warm path (lazily created by
+	// WarmWindow): latent state and statistics carried across window
+	// slides instead of a per-window rebuild.
+	warmWin *WarmEstimator
 	// sum is the reused posterior summary handed out by Estimate.
 	sum PosteriorSummary
 	// scratch is the sampler construction state reused by every window's
@@ -80,9 +84,28 @@ func (o *OnlineEstimator) WarmParams() *Params {
 	return &w
 }
 
-// Reset discards the warm-start state, so the next window is estimated
-// from scratch (EM.InitialParams or InitialRates).
-func (o *OnlineEstimator) Reset() { o.warm = nil }
+// Reset discards the warm-start state — both the parameter warm start
+// and the incremental window's carried latent state — so the next window
+// is estimated from scratch (EM.InitialParams or InitialRates). Use it
+// after a stream gap: latent times carried across a long silence would
+// anchor the new window's chain to stale state.
+func (o *OnlineEstimator) Reset() {
+	o.warm = nil
+	if o.warmWin != nil {
+		o.warmWin.Reset()
+	}
+}
+
+// WarmWindow returns the estimator's incremental sliding-window engine,
+// creating it on first use with the given epoch schedule. The engine
+// shares the estimator's lifecycle (Reset clears it) and serialization
+// rule. cfg is only applied on creation.
+func (o *OnlineEstimator) WarmWindow(cfg WarmConfig) *WarmEstimator {
+	if o.warmWin == nil {
+		o.warmWin = NewWarmEstimator(cfg)
+	}
+	return o.warmWin
+}
 
 // Scratch exposes the estimator's reusable sampler construction state, for
 // callers that run extra passes (e.g. windowed posteriors) between

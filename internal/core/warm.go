@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// WarmConfig sizes one estimation epoch of a WarmEstimator: a StEM phase
+// of EMIters sweep+M-step iterations (parameters averaged after EMBurnIn)
+// followed by PostSweeps fixed-parameter posterior sweeps (means
+// accumulated after PostBurnIn). Zero values take the same defaults as
+// EMOptions/PosteriorOptions; NoBurnIn disables a burn-in.
+type WarmConfig struct {
+	NumQueues  int
+	EMIters    int
+	EMBurnIn   int
+	PostSweeps int
+	PostBurnIn int
+}
+
+func (c WarmConfig) withDefaults() WarmConfig {
+	if c.EMIters <= 0 {
+		c.EMIters = 200
+	}
+	switch {
+	case c.EMBurnIn == NoBurnIn:
+		c.EMBurnIn = 0
+	case c.EMBurnIn == 0:
+		c.EMBurnIn = c.EMIters / 2
+	}
+	if c.PostSweeps <= 0 {
+		c.PostSweeps = 50
+	}
+	switch {
+	case c.PostBurnIn == NoBurnIn:
+		c.PostBurnIn = 0
+	case c.PostBurnIn == 0:
+		c.PostBurnIn = c.PostSweeps / 5
+	}
+	return c
+}
+
+// WarmEstimator is the anytime estimator over an incrementally sliding
+// window: slides cost O(new + expired events) (SlidingWindow), and an
+// epoch's sweeps can be spent in batches — each Step advances the
+// EM-then-posterior schedule by at most maxSweeps, and SnapshotInto
+// always yields the best estimate of the work done so far (the current
+// StEM iterate mid-EM, the accumulated posterior mean once sweeps have
+// been kept). That is what lets a shared executor interleave many
+// streams: estimates improve monotonically within an epoch instead of
+// appearing only when a full pass completes.
+//
+// Not safe for concurrent use; serialize per stream.
+type WarmEstimator struct {
+	cfg WarmConfig
+	win *SlidingWindow
+
+	rates     []float64
+	haveRates bool
+
+	emDone int
+	emSum  []float64
+	emKept int
+
+	postDone int
+	svcSum   []float64
+	waitSum  []float64
+	postKept int
+	// waitChain[q] is the post-burn-in trajectory of queue q's mean wait
+	// this epoch (q0 stays empty: its wait is not meaningful in absolute
+	// stream time).
+	waitChain [][]float64
+
+	scratchSvc, scratchWait []float64
+
+	winPass [][]trace.WindowStats
+	winCnt  [][]int
+}
+
+// NewWarmEstimator returns an estimator over an empty window.
+func NewWarmEstimator(cfg WarmConfig) *WarmEstimator {
+	cfg = cfg.withDefaults()
+	nq := cfg.NumQueues
+	if nq < 2 {
+		panic("core: WarmConfig.NumQueues must be >= 2")
+	}
+	we := &WarmEstimator{
+		cfg:         cfg,
+		win:         NewSlidingWindow(nq),
+		rates:       make([]float64, nq),
+		emSum:       make([]float64, nq),
+		svcSum:      make([]float64, nq),
+		waitSum:     make([]float64, nq),
+		waitChain:   make([][]float64, nq),
+		scratchSvc:  make([]float64, nq),
+		scratchWait: make([]float64, nq),
+	}
+	for q := range we.rates {
+		we.rates[q] = 1
+	}
+	return we
+}
+
+// Window exposes the underlying sliding window (slides, invariants,
+// spans).
+func (we *WarmEstimator) Window() *SlidingWindow { return we.win }
+
+// Append slides one task in; see SlidingWindow.Append. On
+// ErrInfeasibleSlide the caller must Reset and rebuild cold.
+func (we *WarmEstimator) Append(t SlideTask) error { return we.win.Append(t) }
+
+// EvictOldest slides the oldest task out.
+func (we *WarmEstimator) EvictOldest() { we.win.EvictOldest() }
+
+// Reset drops the window and all carried state (latent times, statistics,
+// parameters): the next epoch starts cold. Use after a stream gap or an
+// infeasible slide.
+func (we *WarmEstimator) Reset() {
+	we.win.Reset()
+	we.haveRates = false
+	for q := range we.rates {
+		we.rates[q] = 1
+	}
+	we.BeginEpoch()
+}
+
+// BeginEpoch starts a new estimation epoch over the current window
+// contents: EM and posterior debts are reset, accumulators cleared, and
+// the parameters warm-start from the previous epoch (or, on the first
+// epoch, from the maximum-likelihood rates of the seeded latent state —
+// the warm path's cold start needs no separate initializer because the
+// window was constructed feasible).
+func (we *WarmEstimator) BeginEpoch() {
+	if !we.haveRates && we.win.LiveTasks() > 0 {
+		we.win.MLERatesInto(we.rates)
+		we.haveRates = true
+	}
+	we.emDone, we.emKept = 0, 0
+	we.postDone, we.postKept = 0, 0
+	for q := range we.emSum {
+		we.emSum[q] = 0
+		we.svcSum[q] = 0
+		we.waitSum[q] = 0
+		we.waitChain[q] = we.waitChain[q][:0]
+	}
+}
+
+// EpochSweeps returns the sweeps run so far this epoch.
+func (we *WarmEstimator) EpochSweeps() int { return we.emDone + we.postDone }
+
+// Remaining returns the sweeps left in the current epoch's schedule.
+func (we *WarmEstimator) Remaining() int {
+	return (we.cfg.EMIters - we.emDone) + (we.cfg.PostSweeps - we.postDone)
+}
+
+// Done reports whether the epoch's schedule is exhausted.
+func (we *WarmEstimator) Done() bool { return we.Remaining() <= 0 || we.win.LiveTasks() == 0 }
+
+// Step advances the epoch by at most maxSweeps sweeps (maxSweeps <= 0
+// runs the whole remaining schedule) and returns the sweeps actually
+// run. The EM phase runs sweep + M-step per iteration and finalizes the
+// parameters as the post-burn-in average; the posterior phase sweeps
+// with the finalized parameters, accumulating per-queue means and the
+// wait trajectory.
+func (we *WarmEstimator) Step(rng *xrand.RNG, maxSweeps int) int {
+	if we.win.LiveTasks() == 0 {
+		return 0
+	}
+	if !we.haveRates {
+		we.win.MLERatesInto(we.rates)
+		we.haveRates = true
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = we.Remaining()
+	}
+	ran := 0
+	for ran < maxSweeps && we.emDone < we.cfg.EMIters {
+		we.win.Sweep(we.rates, rng)
+		we.win.MLERatesInto(we.rates)
+		we.emDone++
+		ran++
+		if we.emDone > we.cfg.EMBurnIn {
+			for q := range we.emSum {
+				we.emSum[q] += we.rates[q]
+			}
+			we.emKept++
+		}
+		if we.emDone == we.cfg.EMIters && we.emKept > 0 {
+			for q := range we.rates {
+				we.rates[q] = we.emSum[q] / float64(we.emKept)
+			}
+		}
+	}
+	for ran < maxSweeps && we.postDone < we.cfg.PostSweeps {
+		we.win.Sweep(we.rates, rng)
+		we.postDone++
+		ran++
+		if we.postDone > we.cfg.PostBurnIn {
+			we.win.QueueMeansInto(we.scratchSvc, we.scratchWait)
+			for q := range we.svcSum {
+				we.svcSum[q] += we.scratchSvc[q]
+				we.waitSum[q] += we.scratchWait[q]
+				if q > 0 && we.win.qCount[q] > 0 {
+					we.waitChain[q] = append(we.waitChain[q], we.scratchWait[q])
+				}
+			}
+			we.postKept++
+		}
+	}
+	return ran
+}
+
+// RatesInto writes the current parameter estimate (the finalized epoch
+// average once EM is complete, the current StEM iterate before that)
+// into dst, growing it as needed, and returns it.
+func (we *WarmEstimator) RatesInto(dst []float64) []float64 {
+	dst = resizeFloats(dst, len(we.rates))
+	copy(dst, we.rates)
+	return dst
+}
+
+// SnapshotInto writes the epoch's best-so-far posterior summary into sum:
+// the accumulated posterior means when posterior sweeps have been kept,
+// otherwise the one-shot means of the current latent state. The summary's
+// slices are owned by sum and reused across calls.
+func (we *WarmEstimator) SnapshotInto(sum *PosteriorSummary) {
+	nq := we.cfg.NumQueues
+	sum.MeanService = resizeFloats(sum.MeanService, nq)
+	sum.MeanWait = resizeFloats(sum.MeanWait, nq)
+	if we.postKept > 0 {
+		k := float64(we.postKept)
+		for q := 0; q < nq; q++ {
+			sum.MeanService[q] = we.svcSum[q] / k
+			sum.MeanWait[q] = we.waitSum[q] / k
+		}
+		sum.Sweeps = we.postKept
+	} else {
+		we.win.QueueMeansInto(sum.MeanService, sum.MeanWait)
+		sum.Sweeps = 0
+	}
+	if cap(sum.WaitChain) < nq {
+		sum.WaitChain = make([][]float64, nq)
+	}
+	sum.WaitChain = sum.WaitChain[:nq]
+	for q := 0; q < nq; q++ {
+		sum.WaitChain[q] = append(sum.WaitChain[q][:0], we.waitChain[q]...)
+	}
+}
+
+// PosteriorWindows continues the chain with the current parameters for
+// sweeps sweeps and averages time-windowed per-queue summaries over the
+// post-burn-in ones — the warm-path equivalent of core.PosteriorWindows
+// (same accumulation rules; q0 events bucket by entry time since every
+// q0 arrival is 0).
+func (we *WarmEstimator) PosteriorWindows(rng *xrand.RNG, sweeps, burnIn int, lo, hi float64, n int) ([][]trace.WindowStats, error) {
+	if !(lo < hi) || n <= 0 {
+		return nil, fmt.Errorf("core: invalid windows [%v,%v) x %d", lo, hi, n)
+	}
+	if burnIn == NoBurnIn {
+		burnIn = 0
+	} else if burnIn == 0 {
+		burnIn = sweeps / 5
+	}
+	if burnIn >= sweeps {
+		return nil, fmt.Errorf("core: burn-in %d >= sweeps %d", burnIn, sweeps)
+	}
+	nq := we.cfg.NumQueues
+	acc := make([][]trace.WindowStats, nq)
+	counts := make([][]int, nq)
+	if len(we.winPass) != nq {
+		we.winPass = make([][]trace.WindowStats, nq)
+	}
+	width := (hi - lo) / float64(n)
+	for q := 0; q < nq; q++ {
+		acc[q] = make([]trace.WindowStats, n)
+		counts[q] = make([]int, n)
+		if cap(we.winPass[q]) < n {
+			we.winPass[q] = make([]trace.WindowStats, n)
+		}
+		we.winPass[q] = we.winPass[q][:n]
+		for b := 0; b < n; b++ {
+			acc[q][b] = trace.WindowStats{Queue: q, Lo: lo + float64(b)*width, Hi: lo + float64(b+1)*width}
+		}
+	}
+	for s := 0; s < sweeps; s++ {
+		we.win.Sweep(we.rates, rng)
+		if s < burnIn {
+			continue
+		}
+		for q := 0; q < nq; q++ {
+			for b := range we.winPass[q] {
+				we.winPass[q][b] = trace.WindowStats{}
+			}
+		}
+		we.win.windowedStatsInto(lo, hi, n, we.winPass)
+		for q := 0; q < nq; q++ {
+			for b := 0; b < n; b++ {
+				cell := we.winPass[q][b]
+				if cell.Events == 0 {
+					continue
+				}
+				c := float64(cell.Events)
+				acc[q][b].Events += cell.Events
+				acc[q][b].MeanService += cell.MeanService / c
+				acc[q][b].MeanWait += cell.MeanWait / c
+				counts[q][b]++
+			}
+		}
+	}
+	for q := range acc {
+		for b := range acc[q] {
+			if counts[q][b] == 0 {
+				acc[q][b].MeanService = math.NaN()
+				acc[q][b].MeanWait = math.NaN()
+				continue
+			}
+			c := float64(counts[q][b])
+			acc[q][b].MeanService /= c
+			acc[q][b].MeanWait /= c
+			acc[q][b].Events = int(math.Round(float64(acc[q][b].Events) / c))
+		}
+	}
+	return acc, nil
+}

@@ -25,9 +25,10 @@ type StreamConfig struct {
 	// MinTasks is the number of sealed tasks required before the worker
 	// runs inference (default 40).
 	MinTasks int `json:"min_tasks,omitempty"`
-	// IntervalMS is the worker's estimation cadence in milliseconds
-	// (default 250). Ingest also kicks the worker, so a quiet stream costs
-	// nothing between ticks.
+	// IntervalMS is retained for config compatibility (default 250).
+	// Scheduling is now demand-driven: ingest enqueues the stream with the
+	// shared executor, whose priority queue orders streams by estimate
+	// staleness x seal rate, so a quiet stream costs nothing.
 	IntervalMS int `json:"interval_ms,omitempty"`
 	// EMIters is the per-window StEM iteration count (default 300).
 	EMIters int `json:"em_iters,omitempty"`
@@ -39,11 +40,16 @@ type StreamConfig struct {
 	// WindowSweeps sizes the windowed-stats posterior pass (default 30).
 	WindowSweeps int `json:"window_sweeps,omitempty"`
 	// Workers selects the Gibbs sweep engine for the stream's inference
-	// passes: 0 (the default) runs the sequential scan; W >= 1 runs the
-	// chromatic parallel engine with W workers; -1 uses one worker per CPU.
-	// For a fixed seed the chromatic engine's output is identical at every
-	// W >= 1.
+	// passes: 0 (the default) runs the incremental warm path on the
+	// sequential scan; W >= 1 runs full passes on the chromatic parallel
+	// engine with W workers; -1 uses one worker per CPU. For a fixed seed
+	// the chromatic engine's output is identical at every W >= 1.
 	Workers int `json:"workers,omitempty"`
+	// SweepBatch caps the Gibbs sweeps one executor visit may spend on
+	// the stream (warm path only). 0 (the default) leaves the visit
+	// bounded by the executor's wall-clock budget alone; small values
+	// interleave many streams at a finer grain.
+	SweepBatch int `json:"sweep_batch,omitempty"`
 	// Seed seeds the stream's deterministic RNG (default 1).
 	Seed uint64 `json:"seed,omitempty"`
 }
@@ -86,7 +92,7 @@ func (c StreamConfig) validate() error {
 	if c.MinTasks < 2 {
 		return fmt.Errorf("serve: min_tasks must be >= 2, got %d", c.MinTasks)
 	}
-	if c.IntervalMS < 0 || c.EMIters < 0 || c.PostSweeps < 0 || c.Windows < 0 || c.WindowSweeps < 0 {
+	if c.IntervalMS < 0 || c.EMIters < 0 || c.PostSweeps < 0 || c.Windows < 0 || c.WindowSweeps < 0 || c.SweepBatch < 0 {
 		return fmt.Errorf("serve: negative option in stream config")
 	}
 	if c.Workers < -1 {

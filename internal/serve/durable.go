@@ -145,8 +145,8 @@ type serveWAL struct {
 // recovery reproduces the pre-crash stores, estimates, and window
 // snapshots exactly (minus whatever the chosen sync policy legitimately
 // lets a crash lose).
-func NewDurable(defaults StreamConfig, wcfg WALConfig) (*Server, error) {
-	s := New(defaults)
+func NewDurable(defaults StreamConfig, wcfg WALConfig, serverOpts ...Option) (*Server, error) {
+	s := New(defaults, serverOpts...)
 	w := &serveWAL{cfg: wcfg}
 	s.wal = w
 
@@ -227,9 +227,10 @@ func NewDurable(defaults StreamConfig, wcfg WALConfig) (*Server, error) {
 			return fail(fmt.Errorf("serve: recovering wal shard %d: %w", i, err))
 		}
 	}
-	// Workers start only after every shard has replayed, seeded from the
-	// restored estimates so the published seq sequence continues.
-	s.registry.forEach(func(st *stream) { s.startWorker(st) })
+	// Streams register with the executor only after every shard has
+	// replayed, seeded from the restored estimates so the published seq
+	// sequence continues.
+	s.registry.forEach(func(st *stream) { s.exec.register(st) })
 	w.m.recoverySeconds.Set(time.Since(t0).Seconds())
 
 	if wcfg.SnapshotInterval >= 0 {
@@ -246,10 +247,14 @@ func NewDurable(defaults StreamConfig, wcfg WALConfig) (*Server, error) {
 
 // recoverShard restores registry shard i from its latest readable snapshot
 // and replays the log suffix through the same batched-apply path ingest
-// uses. Runs before workers or HTTP traffic exist, so it takes no locks.
+// uses. No HTTP traffic exists yet, but the executor's scanner is already
+// iterating the registry, so the shard is write-locked for the duration
+// of its restore.
 func (s *Server) recoverShard(i int) error {
 	l := s.wal.logs[i]
 	sh := &s.registry.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
 	payload, _, ok, err := l.LoadSnapshot()
 	if err != nil {
@@ -453,7 +458,7 @@ func (s *Server) crashForTest() {
 		s.ingestGate.Lock()
 		s.ingestGate.Unlock()
 		s.cancel()
-		s.workersWG.Wait()
+		s.exec.close()
 		close(s.results)
 		s.collectorWG.Wait()
 		if s.wal == nil {

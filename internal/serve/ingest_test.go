@@ -298,8 +298,10 @@ func TestIngestMetricsExposed(t *testing.T) {
 	}
 }
 
-// benchStream builds a worker-less stream wired into srv's registry and
-// metrics, so benchmarks measure only the ingest data plane.
+// benchStream builds a stream wired into srv's registry and metrics but
+// never registered with the inference executor (sched.wk stays nil, so
+// notify and the scanner ignore it) — benchmarks measure only the ingest
+// data plane.
 func benchStream(tb testing.TB, srv *Server, id string, numQueues, window int) *stream {
 	tb.Helper()
 	st := &stream{
@@ -308,7 +310,6 @@ func benchStream(tb testing.TB, srv *Server, id string, numQueues, window int) *
 			NumQueues: numQueues, WindowTasks: window, MinTasks: window,
 		}.withDefaults(),
 		store: newStore(numQueues, window),
-		kick:  make(chan struct{}, 1),
 	}
 	st.m = newStreamMetrics(srv, st)
 	sh := srv.registry.shard(id)

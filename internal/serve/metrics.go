@@ -26,16 +26,27 @@ type serverMetrics struct {
 	// store locks of streams in registry shard i — a direct read on how
 	// contended each shard's streams are.
 	lockWait [numStreamShards]*obs.Counter
-	// estimateLatency times each estimation pass (StEM + posterior +
-	// windowed stats), including failed ones.
+	// estimateLatency times each inference visit (a budgeted slice of
+	// sweeps on the warm path, a full pass on the cold path), including
+	// failed ones.
 	estimateLatency *obs.Histogram
-	// windowBuildNanos accumulates time the builder goroutines spent
-	// assembling estimation windows; windowWaitNanos accumulates time
-	// estimation passes spent blocked waiting for one. Their ratio is the
-	// window/sweep overlap gauge: wait << build means assembly is hidden
-	// behind sweep compute.
-	windowBuildNanos *obs.Counter
-	windowWaitNanos  *obs.Counter
+	// visitSweeps is the distribution of sweeps actually spent per
+	// executor visit — the realized sweep budget after the deadline and
+	// the stream's SweepBatch cap.
+	visitSweeps *obs.Histogram
+	// overload counts streams shed from the executor's bounded queue
+	// (re-admitted later by the scanner).
+	overload *obs.Counter
+	// rebuilds counts cold window rebuilds on the warm path: a stream fell
+	// more than one window behind, a slide was infeasible, or a panic
+	// poisoned the window.
+	rebuilds *obs.Counter
+	// slideNew accumulates events appended by incremental window slides;
+	// slideWindow accumulates the live window size at each sync. Their
+	// ratio is the slide-reuse gauge: new << window means slides reuse
+	// almost all prior latent state.
+	slideNew    *obs.Counter
+	slideWindow *obs.Counter
 	// sweep receives per-sweep telemetry from every stream's Gibbs sampler
 	// (duration, resampled moves). One daemon-wide pair of histograms: the
 	// hook is atomics-only, so sharing it across workers is free.
@@ -59,11 +70,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 		ingestBytes: reg.Counter("qserved_ingest_bytes_total",
 			"NDJSON body bytes read by POST /v1/streams/{id}/events."),
 		estimateLatency: reg.Histogram("qserved_estimate_seconds",
-			"Latency of one estimation pass (StEM, posterior, windowed stats).", obs.LatencyBuckets()),
-		windowBuildNanos: reg.Counter("qserved_window_build_nanos_total",
-			"Nanoseconds builder goroutines spent assembling estimation windows."),
-		windowWaitNanos: reg.Counter("qserved_window_wait_nanos_total",
-			"Nanoseconds estimation passes spent waiting for an assembled window."),
+			"Latency of one inference visit (budgeted sweep slice or full pass).", obs.LatencyBuckets()),
+		visitSweeps: reg.Histogram("qserved_inference_visit_sweeps",
+			"Gibbs sweeps spent per executor visit.", obs.ExpBuckets(1, 2, 12)),
+		overload: reg.Counter("qserved_inference_overload_total",
+			"Streams shed from the bounded inference queue under overload."),
+		rebuilds: reg.Counter("qserved_inference_rebuilds_total",
+			"Cold window rebuilds on the incremental path (gap, infeasible slide, or poisoned window)."),
+		slideNew: reg.Counter("qserved_slide_new_events_total",
+			"Events appended by incremental window slides."),
+		slideWindow: reg.Counter("qserved_slide_window_events_total",
+			"Live window events at each incremental sync."),
 		sweep: obs.NewSweepMetrics(reg, "qserved"),
 		estimates: reg.Counter("qserved_estimates_total",
 			"Estimates published across all streams."),
@@ -72,14 +89,14 @@ func newServerMetrics(s *Server) *serverMetrics {
 		sweeps: reg.Counter("qserved_sweeps_total",
 			"Gibbs sweeps run across all streams."),
 	}
-	reg.GaugeFunc("qserved_window_overlap_ratio",
-		"Fraction of window-assembly time hidden behind sweep compute (1 - wait/build, clamped to [0,1]; NaN until a window has been built).",
+	reg.GaugeFunc("qserved_slide_reuse_ratio",
+		"Fraction of the window's latent state reused per incremental slide (1 - new/window, clamped to [0,1]; NaN until a sync has run).",
 		func() float64 {
-			build := float64(m.windowBuildNanos.Value())
-			if build <= 0 {
+			window := float64(m.slideWindow.Value())
+			if window <= 0 {
 				return math.NaN()
 			}
-			r := 1 - float64(m.windowWaitNanos.Value())/build
+			r := 1 - float64(m.slideNew.Value())/window
 			return math.Max(0, math.Min(1, r))
 		})
 	reg.GaugeFunc("qserved_uptime_seconds",

@@ -36,21 +36,22 @@ import (
 	"repro/internal/trace"
 )
 
-// stream is one event stream: its store, its worker's published
-// snapshots, and its instruments.
+// stream is one event stream: its store, its published snapshots, its
+// instruments, and its scheduling block in the shared executor.
 type stream struct {
 	id       string
 	cfg      StreamConfig
 	store    *store
-	kick     chan struct{}
 	estimate atomic.Pointer[Estimate]
 	windows  atomic.Pointer[WindowsSnapshot]
 	m        *streamMetrics
+	sched    streamSched
 }
 
 // Server is the qserved daemon core, independent of the HTTP listener: it
-// owns the streams, their worker goroutines, and the fan-in collector.
-// Create with New, mount Handler on an http.Server, and Close to drain.
+// owns the streams, the shared inference executor, and the fan-in
+// collector. Create with New, mount Handler on an http.Server, and Close
+// to drain.
 type Server struct {
 	defaults StreamConfig
 
@@ -89,18 +90,57 @@ type Server struct {
 	ctx         context.Context
 	cancel      context.CancelFunc
 	results     chan workerResult
-	workersWG   sync.WaitGroup
 	collectorWG sync.WaitGroup
 	closeOnce   sync.Once
+
+	// exec is the shared inference executor: a fixed worker pool draining
+	// a priority queue over all streams (see executor.go). The option
+	// fields below configure it before New constructs it.
+	exec            *executor
+	optInfWorkers   int
+	optQueueDepth   int
+	optScanInterval time.Duration
+	optVisitBudget  time.Duration
 
 	start time.Time
 	mux   *http.ServeMux
 	log   *slog.Logger
 }
 
-// New returns a running Server (collector started, no streams yet). The
-// defaults seed every stream's unset StreamConfig fields.
-func New(defaults StreamConfig) *Server {
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithInferenceWorkers sets the shared executor's goroutine pool size
+// (default: one per CPU). The daemon's inference goroutine count is this
+// number regardless of how many streams exist.
+func WithInferenceWorkers(n int) Option {
+	return func(s *Server) { s.optInfWorkers = n }
+}
+
+// WithQueueDepth bounds the executor's priority queue; streams past the
+// bound are shed (lowest priority first) and re-admitted by the scanner.
+// Default: max(64, 4 x workers).
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.optQueueDepth = n }
+}
+
+// WithScanInterval sets the executor's re-admission/rate-EWMA scan period
+// (default 100ms).
+func WithScanInterval(d time.Duration) Option {
+	return func(s *Server) { s.optScanInterval = d }
+}
+
+// WithVisitBudget sets the wall-clock deadline of one inference visit
+// (default 50ms). Smaller budgets interleave streams more finely at the
+// cost of more scheduling overhead.
+func WithVisitBudget(d time.Duration) Option {
+	return func(s *Server) { s.optVisitBudget = d }
+}
+
+// New returns a running Server (collector and executor started, no
+// streams yet). The defaults seed every stream's unset StreamConfig
+// fields.
+func New(defaults StreamConfig, opts ...Option) *Server {
 	s := &Server{
 		defaults:     defaults,
 		registry:     newStreamRegistry(),
@@ -113,8 +153,12 @@ func New(defaults StreamConfig) *Server {
 		varzStreams:  make(map[string]any, 4),
 		varzBlocks:   make(map[string]map[string]any, 4),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.metrics = newServerMetrics(s)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.exec = newExecutor(s, s.optInfWorkers, s.optQueueDepth, s.optScanInterval, s.optVisitBudget)
 	s.collectorWG.Add(1)
 	go s.collect()
 	s.routes()
@@ -147,17 +191,22 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // Close drains the daemon: new ingest is refused (503), in-flight ingest
-// requests finish (so their events are counted and durably logged), every
-// stream worker stops, the collector shuts down, and — when running
-// durably — a final snapshot is written and the logs are fsynced and
-// closed. It is idempotent.
+// requests finish (so their events are counted and durably logged), the
+// shared executor stops (in-flight visits finish their budget slice), the
+// collector shuts down, and — when running durably — a final snapshot is
+// written and the logs are fsynced and closed. It is idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.draining.Store(true)
 		s.ingestGate.Lock()
 		s.ingestGate.Unlock() // draining keeps new ingest out from here on
 		s.cancel()
-		s.workersWG.Wait()
+		s.exec.close()
+		s.registry.forEach(func(st *stream) {
+			if wk := st.sched.wk; wk != nil {
+				wk.close()
+			}
+		})
 		close(s.results)
 		s.collectorWG.Wait()
 		if s.wal != nil {
@@ -261,39 +310,22 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	st.store.appliedLSN = cfgLSN
 	sh.m[id] = st
 	s.registry.count.Add(1)
-	s.startWorker(st)
+	s.exec.register(st)
 	s.log.Info("stream created",
 		"stream", id, "queues", cfg.NumQueues, "window", cfg.WindowTasks, "interval_ms", cfg.IntervalMS)
 	writeJSON(w, http.StatusCreated, cfg)
 }
 
 // buildStream constructs a stream and registers its instruments; the
-// caller inserts it into the registry and starts its worker.
+// caller inserts it into the registry and registers it with the executor.
 func (s *Server) buildStream(id string, cfg StreamConfig) *stream {
 	st := &stream{
 		id:    id,
 		cfg:   cfg,
 		store: newStore(cfg.NumQueues, cfg.WindowTasks),
-		kick:  make(chan struct{}, 1),
 	}
 	st.m = newStreamMetrics(s, st)
 	return st
-}
-
-// startWorker launches st's inference worker. A stream restored from a
-// WAL snapshot resumes its estimate sequence where the snapshot left off
-// rather than republishing seq 1.
-func (s *Server) startWorker(st *stream) {
-	wk := newWorker(st, s.results, s.metrics)
-	if est := st.estimate.Load(); est != nil {
-		wk.seq, wk.lastEpoch = est.Seq, est.Epoch
-	}
-	ctx := s.ctx
-	s.workersWG.Add(1)
-	go func() {
-		defer s.workersWG.Done()
-		wk.run(ctx)
-	}()
 }
 
 // maxIngestBody bounds one ingest request (64 MiB of NDJSON).
@@ -405,10 +437,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sum.SealedTasks > 0 {
-		select {
-		case st.kick <- struct{}{}:
-		default:
-		}
+		s.exec.notify(st)
 	}
 	if tooLongLine > 0 {
 		writeError(w, http.StatusRequestEntityTooLarge,
@@ -539,6 +568,13 @@ func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLong
 	return sum, tooLongLine, nil
 }
 
+// stalenessMS is the serving-time age of a published snapshot in
+// milliseconds — the one formula every snapshot handler and the /varz
+// view share.
+func stalenessMS(computedAt time.Time) float64 {
+	return float64(time.Since(computedAt)) / float64(time.Millisecond)
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	st := s.lookup(r.PathValue("id"))
 	if st == nil {
@@ -552,7 +588,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := *est
-	out.StalenessMS = float64(time.Since(est.ComputedAt)) / float64(time.Millisecond)
+	out.StalenessMS = stalenessMS(est.ComputedAt)
 	writeJSON(w, http.StatusOK, &out)
 }
 
@@ -569,7 +605,7 @@ func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := *ws
-	out.StalenessMS = float64(time.Since(ws.ComputedAt)) / float64(time.Millisecond)
+	out.StalenessMS = stalenessMS(ws.ComputedAt)
 	writeJSON(w, http.StatusOK, &out)
 }
 
@@ -638,7 +674,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		block["epoch"] = epoch
 		if est := st.estimate.Load(); est != nil {
 			block["estimate_seq"] = est.Seq
-			block["estimate_staleness_ms"] = float64(time.Since(est.ComputedAt)) / float64(time.Millisecond)
+			block["estimate_staleness_ms"] = stalenessMS(est.ComputedAt)
 		} else {
 			delete(block, "estimate_seq")
 			delete(block, "estimate_staleness_ms")

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/trace"
 )
 
@@ -69,8 +70,9 @@ type store struct {
 	appliedLSN uint64
 
 	// win is the reusable window-assembly scratch. It is touched only by
-	// window(), which has a single caller (the stream's worker goroutine),
-	// so it needs no lock of its own.
+	// window(), whose calls are serialized by the executor's per-stream
+	// state machine (at most one inference visit per stream at a time), so
+	// it needs no lock of its own.
 	win []winTask
 }
 
@@ -345,6 +347,49 @@ func (s *store) window() (*trace.EventSet, uint64, error) {
 		es.Events[i].ObsDepart = flags[i].dep
 	}
 	return es, epoch, nil
+}
+
+// delta copies the tasks sealed after epoch since into dst (reusing its
+// backing storage, including the nested event slices), for the warm
+// inference path: the caller applies them as incremental window slides
+// instead of rebuilding from scratch. It also returns the store's current
+// epoch and window size. ok reports whether the returned tasks are exactly
+// the seals since `since`; when the stream sealed more tasks than the
+// window retains in the meantime (the delta can no longer be reconstructed
+// from the sealed ring), delta returns the ENTIRE current window with
+// ok=false and the caller must reset its carried state and rebuild cold.
+func (s *store) delta(since uint64, dst []core.SlideTask) (tasks []core.SlideTask, epoch uint64, window int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch = s.epoch
+	window = len(s.sealed)
+	n := int(epoch - since)
+	ok = since <= epoch && n <= window
+	if !ok {
+		n = window
+	}
+	if cap(dst) < n {
+		grown := make([]core.SlideTask, n)
+		// Preserve the recycled Events capacity of every old element.
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:n]
+	for i, tb := range s.sealed[window-n:] {
+		d := &dst[i]
+		entry := tb.events[0]
+		d.Entry = entry.arrival
+		d.EntryObs = entry.obsArr
+		d.Events = d.Events[:0]
+		for _, ev := range tb.events {
+			d.Events = append(d.Events, core.SlideEvent{
+				Queue: ev.queue, State: ev.state,
+				Arr: ev.arrival, Dep: ev.depart,
+				ObsArr: ev.obsArr, ObsDep: ev.obsDep,
+			})
+		}
+	}
+	return dst, epoch, window, ok
 }
 
 // eventSnap / taskSnap / storeSnap are the JSON serialization of a store

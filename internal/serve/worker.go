@@ -2,9 +2,9 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -12,8 +12,9 @@ import (
 	"repro/internal/xrand"
 )
 
-// workerResult is the fan-in record every estimation pass sends to the
-// server's collector goroutine, which aggregates daemon-wide totals.
+// workerResult is the fan-in record every published estimate (or failed
+// visit) sends to the server's collector goroutine, which aggregates
+// daemon-wide totals.
 type workerResult struct {
 	stream  string
 	seq     uint64
@@ -23,158 +24,336 @@ type workerResult struct {
 	err     error
 }
 
-// windowBuild is one assembled window, handed from the builder goroutine
-// to the estimation loop.
-type windowBuild struct {
-	es    *trace.EventSet
-	epoch uint64
-	err   error
-}
-
-// worker owns one stream's inference loop: a goroutine that wakes on a
-// ticker or an ingest kick, takes an assembled window, runs the
-// warm-started estimator, and publishes immutable snapshots.
+// worker owns one stream's inference state. It has no goroutine of its
+// own: the shared executor calls visit() with a deadline, and the state
+// machine in executor.go guarantees at most one visit per stream is in
+// flight, so nothing here needs locking.
 //
-// Window assembly is pipelined with sweep compute: a builder goroutine
-// owns the store's window() scratch (keeping its single-caller contract),
-// and right before a pass starts sweeping window N the worker requests
-// window N+1, so the deep copy and EventSet construction of the next pass
-// run while the sampler is busy. The windowWaitNanos/windowBuildNanos
-// counters (and the qserved_window_overlap_ratio gauge derived from them)
-// measure how much of the assembly time the pipeline actually hides.
+// Streams with cfg.Workers == 0 run the incremental warm path: a
+// core.WarmEstimator carries the window's latent assignments and merged
+// statistics across slides, so catching up after an ingest batch costs
+// O(new + expired events) (store.delta) instead of a full window rebuild,
+// and an estimation epoch's sweeps can be spent across many budgeted
+// visits with anytime snapshots between them. Streams with cfg.Workers
+// != 0 keep the cold path — a full window copy estimated per visit on
+// the chromatic parallel engine — because the incremental window is a
+// sequential-scan sampler.
 type worker struct {
 	st      *stream
 	results chan<- workerResult
 	sm      *serverMetrics
-	est     *core.OnlineEstimator
 	rng     *xrand.RNG
 	seq     uint64
-	// lastEpoch is the store epoch of the last published estimate; the
-	// worker skips passes where no new task has been sealed.
-	lastEpoch uint64
+	// lastEpoch is the store epoch of the last published estimate;
+	// caughtEpoch is the latest store epoch whose epoch finished estimating
+	// (the executor's re-admission watermark). On the cold path they move
+	// together.
+	lastEpoch   uint64
+	caughtEpoch uint64
 
-	// buildReq asks the builder goroutine for one window; builds carries
-	// the result. Both have capacity 1: at most one build is in flight, and
-	// prefetched tracks whether one is.
-	buildReq   chan struct{}
-	builds     chan windowBuild
-	prefetched bool
+	// Warm path.
+	warm         *core.WarmEstimator
+	deltaBuf     []core.SlideTask
+	appliedEpoch uint64 // store epoch the warm window mirrors
+	epochStart   uint64 // appliedEpoch captured at BeginEpoch
+	epochOpen    bool
+	needRebuild  bool // poisoned window (panic/infeasible): Reset before reuse
+	epochElapsed time.Duration
+	sliceStart   time.Time
+	// pendingSweeps accumulates sweeps from visits that did not publish;
+	// they are flushed into the next result sent to the collector.
+	pendingSweeps uint64
+	sum           core.PosteriorSummary
+	rates         []float64
+
+	// Cold path.
+	est *core.OnlineEstimator
 }
 
 func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics) *worker {
 	cfg := st.cfg
-	return &worker{
-		st:      st,
-		results: results,
-		sm:      sm,
-		est: core.NewOnlineEstimator(
+	w := &worker{st: st, results: results, sm: sm, rng: xrand.New(cfg.Seed)}
+	if cfg.Workers == 0 {
+		w.warm = core.NewWarmEstimator(core.WarmConfig{
+			NumQueues:  cfg.NumQueues,
+			EMIters:    cfg.EMIters,
+			PostSweeps: cfg.PostSweeps,
+		})
+	} else {
+		w.est = core.NewOnlineEstimator(
 			core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers, Observer: sm.sweep},
 			core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.Workers, Observer: sm.sweep},
-		),
-		rng:      xrand.New(cfg.Seed),
-		buildReq: make(chan struct{}, 1),
-		builds:   make(chan windowBuild, 1),
+		)
+	}
+	return w
+}
+
+// close releases pooled resources (the cold path's sweep workers).
+func (w *worker) close() {
+	if w.est != nil {
+		w.est.Close()
 	}
 }
 
-func (w *worker) run(ctx context.Context) {
-	defer w.est.Close()
-	var bwg sync.WaitGroup
-	bwg.Add(1)
-	go func() {
-		defer bwg.Done()
-		w.buildLoop(ctx)
+// visit runs one budgeted inference slice. It returns whether the stream
+// has an open epoch left to finish (the executor re-queues it) and the
+// latest store epoch fully estimated (the scanner's re-admission
+// watermark).
+func (w *worker) visit(ctx context.Context, deadline time.Time) (requeue bool, caught uint64) {
+	if w.warm != nil {
+		return w.visitWarm(ctx, deadline)
+	}
+	w.visitCold(ctx)
+	return false, w.caughtEpoch
+}
+
+func (w *worker) visitWarm(ctx context.Context, deadline time.Time) (bool, uint64) {
+	cfg := w.st.cfg
+	if !w.epochOpen {
+		sealed, _, epoch := w.st.store.counts()
+		if epoch == w.caughtEpoch || sealed < cfg.MinTasks {
+			w.st.m.SkippedRuns.Inc()
+			return false, w.caughtEpoch
+		}
+	}
+	w.sliceStart = time.Now()
+	published, ran, err := w.warmSlice(ctx, deadline)
+	elapsed := time.Since(w.sliceStart)
+	w.epochElapsed += elapsed
+	w.sm.estimateLatency.Observe(elapsed.Seconds())
+	w.sm.visitSweeps.Observe(float64(ran))
+	if err != nil {
+		w.st.m.EstimateErrors.Inc()
+	}
+	if published || err != nil {
+		res := workerResult{
+			stream:  w.st.id,
+			seq:     w.seq,
+			epoch:   w.epochStart,
+			elapsed: elapsed,
+			err:     err,
+		}
+		res.sweeps, w.pendingSweeps = w.pendingSweeps, 0
+		select {
+		case w.results <- res:
+		case <-ctx.Done():
+		}
+	}
+	return w.epochOpen, w.caughtEpoch
+}
+
+// warmSlice is the budgeted body of one warm visit: open a new epoch if
+// none is in flight (syncing the window incrementally), spend sweeps
+// until the deadline or the stream's SweepBatch cap, publish the
+// best-so-far snapshot once the StEM phase has finalized its parameters,
+// and close the epoch when its schedule is exhausted. Panics from the
+// numerical stack poison the window (rebuilt on the next visit) instead
+// of killing the daemon.
+func (w *worker) warmSlice(ctx context.Context, deadline time.Time) (published bool, ran int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("estimation panic: %v", r)
+			w.needRebuild = true
+			w.epochOpen = false
+		}
 	}()
-	defer bwg.Wait()
-	ticker := time.NewTicker(time.Duration(w.st.cfg.IntervalMS) * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-ticker.C:
-		case <-w.st.kick:
+	cfg := w.st.cfg
+	if !w.epochOpen {
+		if serr := w.syncWindow(); serr != nil {
+			return false, 0, serr
 		}
-		w.runOnce(ctx)
+		if w.warm.Window().LiveTasks() < cfg.MinTasks {
+			w.st.m.SkippedRuns.Inc()
+			return false, 0, nil
+		}
+		w.warm.BeginEpoch()
+		w.epochOpen = true
+		w.epochStart = w.appliedEpoch
+		w.epochElapsed = 0
 	}
-}
-
-// buildLoop is the builder goroutine: it assembles one window per request.
-// It is the sole caller of store.window(), so the store's reusable window
-// scratch still has exactly one touching goroutine.
-func (w *worker) buildLoop(ctx context.Context) {
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-w.buildReq:
-		}
+	// The sweep slice: one sweep at a time so each is individually timed
+	// for the sweep histograms and the deadline is honored between sweeps.
+	// At least one sweep always runs — a visit must make progress even
+	// when it arrives with its budget already spent.
+	for !w.warm.Done() {
 		t0 := time.Now()
-		es, epoch, err := w.st.store.window()
-		w.sm.windowBuildNanos.Add(uint64(time.Since(t0).Nanoseconds()))
-		select {
-		case w.builds <- windowBuild{es: es, epoch: epoch, err: err}:
-		case <-ctx.Done():
-			return
+		n := w.warm.Step(w.rng, 1)
+		if n == 0 {
+			break
+		}
+		w.sm.sweep.ObserveSweep(time.Since(t0), 0)
+		ran += n
+		w.pendingSweeps += uint64(n)
+		w.st.m.SweepsRun.Add(uint64(n))
+		if cfg.SweepBatch > 0 && ran >= cfg.SweepBatch {
+			break
+		}
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			break
 		}
 	}
+	// Anytime publication: once EM has finalized the epoch's parameters,
+	// every visit republishes the (monotonically improving) posterior
+	// snapshot. Before that point the previous epoch's estimate keeps
+	// serving — rates mid-StEM are a single noisy iterate, not an
+	// estimate.
+	if w.warm.EpochSweeps() >= cfg.EMIters && w.warm.Window().LiveTasks() > 0 {
+		if perr := w.publishWarm(); perr != nil {
+			return false, ran, perr
+		}
+		published = true
+	}
+	if w.warm.Done() {
+		w.epochOpen = false
+		w.caughtEpoch = w.epochStart
+	}
+	return published, ran, nil
 }
 
-// takeWindow returns the next assembled window, requesting a synchronous
-// build when none was prefetched. A prefetched window whose epoch does not
-// exceed the last published estimate's is stale — it was assembled before
-// the seal that triggered this pass — and is discarded for a synchronous
-// rebuild; that blocking wait is charged to windowWaitNanos, correctly
-// dragging the overlap ratio toward zero when prefetching fails to help.
-func (w *worker) takeWindow(ctx context.Context) (*trace.EventSet, uint64, error) {
-	for {
-		if !w.prefetched {
-			select {
-			case w.buildReq <- struct{}{}:
-				w.prefetched = true
-			case <-ctx.Done():
-				return nil, 0, ctx.Err()
+// syncWindow brings the warm window up to date with the store: the
+// common case appends only the tasks sealed since the last sync and
+// evicts what slid off — O(new + expired events). A stream that fell
+// further behind than one window, a poisoned window, or an infeasible
+// slide rebuilds cold (counted on qserved_inference_rebuilds_total).
+func (w *worker) syncWindow() error {
+	win := w.warm.Window()
+	tasks, epoch, window, ok := w.st.store.delta(w.appliedEpoch, w.deltaBuf)
+	w.deltaBuf = tasks
+	rebuild := !ok || w.needRebuild
+	for attempt := 0; ; attempt++ {
+		if rebuild {
+			if win.LiveTasks() > 0 || w.needRebuild {
+				w.sm.rebuilds.Inc()
+			}
+			w.warm.Reset()
+			w.needRebuild = false
+			tasks, epoch, window, _ = w.st.store.delta(0, w.deltaBuf)
+			w.deltaBuf = tasks
+		}
+		if err := w.applySlides(tasks, window); err != nil {
+			if attempt == 0 && errors.Is(err, core.ErrInfeasibleSlide) {
+				rebuild, w.needRebuild = true, true
+				continue
+			}
+			w.needRebuild = true
+			return err
+		}
+		break
+	}
+	w.appliedEpoch = epoch
+	newEv := 0
+	for i := range tasks {
+		newEv += len(tasks[i].Events) + 1 // + the synthetic q0 entry
+	}
+	w.sm.slideNew.Add(uint64(newEv))
+	w.sm.slideWindow.Add(uint64(win.LiveEvents()))
+	return nil
+}
+
+func (w *worker) applySlides(tasks []core.SlideTask, window int) error {
+	win := w.warm.Window()
+	for i := range tasks {
+		if err := w.warm.Append(tasks[i]); err != nil {
+			return err
+		}
+		for win.LiveTasks() > window {
+			w.warm.EvictOldest()
+		}
+	}
+	return nil
+}
+
+// publishWarm stores the epoch's best-so-far snapshots. The windowed
+// snapshot is stored before the estimate so a reader that observes the
+// new estimate epoch is guaranteed a windowed snapshot at least as new.
+func (w *worker) publishWarm() error {
+	cfg := w.st.cfg
+	win := w.warm.Window()
+	lo, hi := win.Span()
+	var ws *WindowsSnapshot
+	if cfg.Windows > 0 {
+		if !(lo < hi) {
+			return fmt.Errorf("windowed stats: degenerate window span [%v,%v)", lo, hi)
+		}
+		stats, err := w.warm.PosteriorWindows(w.rng, cfg.WindowSweeps, 0, lo, hi, cfg.Windows)
+		if err != nil {
+			return fmt.Errorf("windowed stats: %w", err)
+		}
+		w.pendingSweeps += uint64(cfg.WindowSweeps)
+		w.st.m.SweepsRun.Add(uint64(cfg.WindowSweeps))
+		ws = w.buildWindowsSnapshot(stats, 0, w.epochStart)
+	}
+	w.rates = w.warm.RatesInto(w.rates)
+	w.warm.SnapshotInto(&w.sum)
+	w.seq++
+	est := &Estimate{
+		Stream:       w.st.id,
+		Seq:          w.seq,
+		Epoch:        w.epochStart,
+		Lambda:       w.rates[0],
+		Rates:        append([]float64(nil), w.rates...),
+		MeanService:  toJSONFloats(w.sum.MeanService),
+		MeanWait:     toJSONFloats(w.sum.MeanWait),
+		Bottleneck:   bottleneckOf(w.sum.MeanWait),
+		WindowTasks:  win.LiveTasks(),
+		WindowEvents: win.LiveEvents() - win.LiveTasks(), // exclude the synthetic q0 entries
+		WindowStart:  lo,
+		WindowEnd:    hi,
+		ComputedAt:   time.Now(),
+		ElapsedMS:    float64(w.epochElapsed+time.Since(w.sliceStart)) / float64(time.Millisecond),
+	}
+	if ws != nil {
+		ws.Seq = w.seq
+		w.st.windows.Store(ws)
+	}
+	w.st.estimate.Store(est)
+	w.lastEpoch = w.epochStart
+	w.st.m.Estimates.Inc()
+	w.st.m.updateQueueGauges(w.sum.MeanService, w.sum.MeanWait, w.sum.WaitChain)
+	return nil
+}
+
+// buildWindowsSnapshot converts per-queue windowed stats into the wire
+// snapshot, rebasing bucket bounds by offset (zero on the warm path,
+// which never shifts the window).
+func (w *worker) buildWindowsSnapshot(stats [][]trace.WindowStats, offset float64, epoch uint64) *WindowsSnapshot {
+	cfg := w.st.cfg
+	ws := &WindowsSnapshot{
+		Stream:     w.st.id,
+		Seq:        w.seq,
+		Epoch:      epoch,
+		Queues:     make([][]WindowCell, len(stats)),
+		Bottleneck: make([]int, cfg.Windows),
+		ComputedAt: time.Now(),
+	}
+	for q := range stats {
+		ws.Queues[q] = make([]WindowCell, len(stats[q]))
+		for i, cell := range stats[q] {
+			ws.Queues[q][i] = WindowCell{
+				Queue:       cell.Queue,
+				Lo:          cell.Lo + offset,
+				Hi:          cell.Hi + offset,
+				Events:      cell.Events,
+				MeanService: JSONFloat(cell.MeanService),
+				MeanWait:    JSONFloat(cell.MeanWait),
 			}
 		}
-		t0 := time.Now()
-		var b windowBuild
-		select {
-		case b = <-w.builds:
-		case <-ctx.Done():
-			return nil, 0, ctx.Err()
-		}
-		w.sm.windowWaitNanos.Add(uint64(time.Since(t0).Nanoseconds()))
-		w.prefetched = false
-		if b.err != nil {
-			return nil, 0, b.err
-		}
-		if b.epoch <= w.lastEpoch {
-			continue // stale prefetch; rebuild
-		}
-		return b.es, b.epoch, nil
 	}
+	for i := 0; i < cfg.Windows; i++ {
+		col := make([]float64, len(stats))
+		for q := range stats {
+			col[q] = stats[q][i].MeanWait
+		}
+		ws.Bottleneck[i] = bottleneckOf(col)
+	}
+	return ws
 }
 
-// prefetchWindow asks the builder for the next pass's window without
-// waiting for it. Called right before the current pass starts sweeping, so
-// assembly overlaps compute. The prefetched window misses tasks sealed
-// after this moment; they are picked up one pass later (the epoch check in
-// takeWindow bounds the staleness to that single pass).
-func (w *worker) prefetchWindow() {
-	if w.prefetched {
-		return
-	}
-	select {
-	case w.buildReq <- struct{}{}:
-		w.prefetched = true
-	default:
-	}
-}
-
-// runOnce performs one estimation pass if the window grew since the last
-// one. Panics from the numerical stack are contained: a daemon must not
-// die because one window was degenerate.
-func (w *worker) runOnce(ctx context.Context) {
+// visitCold is the legacy full-pass path for streams on the chromatic
+// parallel engine: one complete StEM + posterior + windowed pass per
+// visit over a fresh window copy. Panics from the numerical stack are
+// contained: a daemon must not die because one window was degenerate.
+func (w *worker) visitCold(ctx context.Context) {
 	sealed, _, epoch := w.st.store.counts()
 	if epoch == w.lastEpoch || sealed < w.st.cfg.MinTasks {
 		w.st.m.SkippedRuns.Inc()
@@ -197,7 +376,9 @@ func (w *worker) runOnce(ctx context.Context) {
 		}
 	}()
 
-	es, epoch, err := w.takeWindow(ctx)
+	// The executor serializes visits per stream, so this worker is the
+	// store's single window() caller.
+	es, epoch, err := w.st.store.window()
 	if err != nil {
 		res.err = err
 		return
@@ -205,10 +386,6 @@ func (w *worker) runOnce(ctx context.Context) {
 	res.epoch = epoch
 	origStart := es.TaskEntry(0)
 	origEnd := es.TaskEntry(es.NumTasks - 1)
-
-	// Kick the next window's assembly before the sweeps start, so the
-	// builder deep-copies window N+1 while the sampler runs window N.
-	w.prefetchWindow()
 
 	emRes, post, err := w.est.Estimate(es, w.rng)
 	if err != nil {
@@ -248,13 +425,14 @@ func (w *worker) runOnce(ctx context.Context) {
 		}
 	}
 
-	// Publish the estimate only after every pass succeeded, so the two
-	// snapshots never disagree about seq/epoch.
-	w.st.estimate.Store(est)
+	// Windows first, then the estimate: a reader that observes the new
+	// estimate epoch is guaranteed a windowed snapshot at least as new.
 	if ws != nil {
 		w.st.windows.Store(ws)
 	}
+	w.st.estimate.Store(est)
 	w.lastEpoch = epoch
+	w.caughtEpoch = epoch
 	w.st.m.Estimates.Inc()
 	w.st.m.updateQueueGauges(post.MeanService, post.MeanWait, post.WaitChain)
 	res.seq = w.seq
@@ -279,40 +457,12 @@ func (w *worker) windowed(es *trace.EventSet, params core.Params, offset float64
 	}
 	cfg := w.st.cfg
 	// The estimator's scratch is reusable here: windowed() runs strictly
-	// between Estimate calls on the worker goroutine.
+	// between Estimate calls within the stream's serialized visit.
 	stats, err := core.PosteriorWindows(es, params, w.rng,
 		core.PosteriorOptions{Sweeps: cfg.WindowSweeps, Workers: cfg.Workers, Observer: w.sm.sweep,
 			Scratch: w.est.Scratch()}, lo, hi, cfg.Windows)
 	if err != nil {
 		return nil, err
 	}
-	ws := &WindowsSnapshot{
-		Stream:     w.st.id,
-		Seq:        w.seq,
-		Epoch:      epoch,
-		Queues:     make([][]WindowCell, len(stats)),
-		Bottleneck: make([]int, cfg.Windows),
-		ComputedAt: time.Now(),
-	}
-	for q := range stats {
-		ws.Queues[q] = make([]WindowCell, len(stats[q]))
-		for i, cell := range stats[q] {
-			ws.Queues[q][i] = WindowCell{
-				Queue:       cell.Queue,
-				Lo:          cell.Lo + offset,
-				Hi:          cell.Hi + offset,
-				Events:      cell.Events,
-				MeanService: JSONFloat(cell.MeanService),
-				MeanWait:    JSONFloat(cell.MeanWait),
-			}
-		}
-	}
-	for i := 0; i < cfg.Windows; i++ {
-		col := make([]float64, len(stats))
-		for q := range stats {
-			col[q] = stats[q][i].MeanWait
-		}
-		ws.Bottleneck[i] = bottleneckOf(col)
-	}
-	return ws, nil
+	return w.buildWindowsSnapshot(stats, offset, epoch), nil
 }

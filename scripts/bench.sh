@@ -24,9 +24,17 @@
 #    BenchmarkRecovery (Open + full 50k-record replay) in internal/wal and
 #    writes BENCH_wal.json.
 #
+# 4. Scheduler: runs BenchmarkIncrementalSlide (internal/core; one
+#    steady-state window slide — append + evict — at window sizes 500,
+#    2000, and 8000, the O(new events) contract) and BenchmarkManyStreams
+#    (internal/serve; 64 warm streams through the shared inference
+#    executor, each iteration sealing one task per stream and waiting for
+#    every estimate to catch up) and writes BENCH_sched.json. benchdiff.sh
+#    gates on the slide rows scaling with the delta, not the window.
+#
 # Usage: sh scripts/bench.sh [benchtime]   (default 5x)
-# Env:   BENCH_OUT / BENCH_INGEST_OUT / BENCH_WAL_OUT override the output
-#        paths (used by benchdiff.sh).
+# Env:   BENCH_OUT / BENCH_INGEST_OUT / BENCH_WAL_OUT / BENCH_SCHED_OUT
+#        override the output paths (used by benchdiff.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,10 +43,12 @@ BENCHTIME="${1:-5x}"
 OUT="${BENCH_OUT:-BENCH_gibbs.json}"
 INGEST_OUT="${BENCH_INGEST_OUT:-BENCH_ingest.json}"
 WAL_OUT="${BENCH_WAL_OUT:-BENCH_wal.json}"
+SCHED_OUT="${BENCH_SCHED_OUT:-BENCH_sched.json}"
 RAW=$(mktemp)
 RAW_INGEST=$(mktemp)
 RAW_WAL=$(mktemp)
-trap 'rm -f "$RAW" "$RAW_INGEST" "$RAW_WAL"' EXIT
+RAW_SCHED=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_INGEST" "$RAW_WAL" "$RAW_SCHED"' EXIT
 
 # GOMAXPROCS grid: powers of two up to the host's CPU count, plus the
 # count itself (so a 6-core host measures 1,2,4,6). A 1-CPU host collapses
@@ -181,3 +191,49 @@ END {
 }' hostcpus="$HOST_CPUS" "$RAW_WAL" > "$WAL_OUT"
 
 echo "wrote $WAL_OUT"
+
+# One slide is sub-microsecond, so the slide rows run a fixed 20000x: the
+# w500-vs-w8000 scaling gate in benchdiff.sh needs per-op numbers that have
+# amortized ring compaction, and 20000 ops cycle every window size at least
+# twice. The executor benchmark scales with the user benchtime — each of
+# its ops is a full 64-stream ingest + catch-up round.
+go test -bench 'BenchmarkIncrementalSlide' -benchmem -benchtime 20000x -run '^$' \
+    ./internal/core | tee "$RAW_SCHED"
+go test -bench 'BenchmarkManyStreams' -benchmem -benchtime "$BENCHTIME" -run '^$' \
+    ./internal/serve | tee -a "$RAW_SCHED"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark(IncrementalSlide|ManyStreams)/ {
+    name = $1
+    procs[n] = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs[n] = substr(name, RSTART + 1)
+        sub(/-[0-9]+$/, "", name)
+    }
+    split(name, parts, "/")
+    bench[n] = parts[1]; variant[n] = (2 in parts ? parts[2] : "")
+    windowsz[n] = 0                      # wN window-size suffix of the slide rows
+    if (match(variant[n], /^w[0-9]+$/))
+        windowsz[n] = substr(variant[n], 2)
+    iters[n] = $2; nsop[n] = $3
+    bop[n] = ""; aop[n] = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op") bop[n] = $i
+        if ($(i+1) == "allocs/op") aop[n] = $i
+    }
+    n++
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n  \"cpu\": \"%s\",\n  \"host_cpus\": %d,\n  \"results\": [\n", cpu, hostcpus
+    for (i = 0; i < n; i++) {
+        printf "    {\"bench\": \"%s\", \"variant\": \"%s\", \"window\": %s, \"gomaxprocs\": %s, \"iters\": %s, \"ns_per_op\": %s",
+            bench[i], variant[i], windowsz[i], procs[i], iters[i], nsop[i]
+        if (bop[i] != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop[i], aop[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' hostcpus="$HOST_CPUS" "$RAW_SCHED" > "$SCHED_OUT"
+
+echo "wrote $SCHED_OUT"

@@ -28,6 +28,15 @@
 #   absorbs shared-box I/O variance; real regressions halve throughput).
 #   The batch4096 and Recovery rows are printed for context — both are
 #   fsync/page-cache bound and too noisy to gate.
+# - BENCH_sched.json: the incremental-slide contract gates same-run:
+#   one steady-state slide (fixed one-task delta) must cost about the
+#   same at window 8000 as at window 500 — ns/op(w8000) > 3x ns/op(w500)
+#   fails, because it means the slide cost tracks the window length, not
+#   the new-event count. Slide allocs/op must also stay 0 (the zero-alloc
+#   steady state is what makes O(new events) real). BenchmarkManyStreams
+#   is printed for context — a full 64-stream scheduler round mixes
+#   goroutine scheduling with inference and is too noisy to gate
+#   cross-run on a shared box.
 #
 # Usage: sh scripts/benchdiff.sh [benchtime]   (default 5x; raise for a
 # quieter signal, e.g. `sh scripts/benchdiff.sh 50x`)
@@ -38,7 +47,8 @@ cd "$(dirname "$0")/.."
 BASE=BENCH_gibbs.json
 INGEST_BASE=BENCH_ingest.json
 WAL_BASE=BENCH_wal.json
-for f in "$BASE" "$INGEST_BASE" "$WAL_BASE"; do
+SCHED_BASE=BENCH_sched.json
+for f in "$BASE" "$INGEST_BASE" "$WAL_BASE" "$SCHED_BASE"; do
     if [ ! -f "$f" ]; then
         echo "benchdiff: no baseline $f; run 'make bench' and commit it" >&2
         exit 1
@@ -48,8 +58,10 @@ done
 FRESH=$(mktemp)
 FRESH_INGEST=$(mktemp)
 FRESH_WAL=$(mktemp)
-trap 'rm -f "$FRESH" "$FRESH_INGEST" "$FRESH_WAL"' EXIT
+FRESH_SCHED=$(mktemp)
+trap 'rm -f "$FRESH" "$FRESH_INGEST" "$FRESH_WAL" "$FRESH_SCHED"' EXIT
 BENCH_OUT="$FRESH" BENCH_INGEST_OUT="$FRESH_INGEST" BENCH_WAL_OUT="$FRESH_WAL" \
+    BENCH_SCHED_OUT="$FRESH_SCHED" \
     sh scripts/bench.sh "${1:-5x}" >/dev/null
 
 # Both sections run even when the first regresses, so one report covers the
@@ -229,6 +241,58 @@ FNR == NR && /"bench":/ {
 END {
     if (bad) { print "benchdiff: WAL benchmark regression" | "cat 1>&2"; exit 1 }
 }' "$WAL_BASE" "$FRESH_WAL" || rc=1
+
+awk '
+function num(line, key,    s) {
+    if (!match(line, "\"" key "\": *-?[0-9.e+]+")) return -1
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: */, "", s)
+    return s + 0
+}
+function str(line, key,    s) {
+    if (!match(line, "\"" key "\": *\"[^\"]*\"")) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: *"/, "", s); sub(/"$/, "", s)
+    return s
+}
+function rowkey(line) {
+    return str(line, "bench") "/" str(line, "variant")
+}
+FNR == NR && /"bench":/ {
+    k = rowkey($0)
+    bns[k] = num($0, "ns_per_op")
+    next
+}
+/"bench":/ {
+    k = rowkey($0)
+    ns = num($0, "ns_per_op"); al = num($0, "allocs_per_op")
+    status = "ok"
+    if (str($0, "bench") == "BenchmarkIncrementalSlide") {
+        slide[str($0, "variant")] = ns
+        # The steady-state slide recycles every buffer; any allocation per
+        # op means a reuse path broke and cost will track window size.
+        if (al > 0) { status = "FAIL allocs/op"; bad = 1 }
+    }
+    if (!(k in bns)) {
+        printf "%-44s %38s  %s\n", k, "new row (no baseline)", status
+        next
+    }
+    printf "%-44s %11.0f -> %11.0f ns/op (%+6.1f%%)  allocs %g  %s\n",
+        k, bns[k], ns, (bns[k] > 0 ? (ns / bns[k] - 1) * 100 : 0), al, status
+}
+END {
+    # Same-run O(new events) gate: a slide does fixed work (one task in,
+    # one task out), so its cost must not grow with the window it slides.
+    # The 3x band absorbs cache effects of the larger ring; an O(window)
+    # regression shows up as 16x between w500 and w8000.
+    if (slide["w500"] > 0 && slide["w8000"] > 0) {
+        ratio = slide["w8000"] / slide["w500"]
+        status = "ok"
+        if (ratio > 3.0) { status = "FAIL slide cost grows with window"; bad = 1 }
+        printf "%-44s %20.2fx w8000 vs w500  %s\n", "BenchmarkIncrementalSlide/scaling", ratio, status
+    }
+    if (bad) { print "benchdiff: scheduler benchmark regression" | "cat 1>&2"; exit 1 }
+}' "$SCHED_BASE" "$FRESH_SCHED" || rc=1
 
 [ "$rc" -eq 0 ] && echo "benchdiff: ok"
 exit "$rc"

@@ -11,9 +11,10 @@ go test -race ./...
 
 # Focused race gate for the concurrent paths: the chromatic parallel Gibbs
 # engine (core), the serve e2e test plus the metrics scrape storm, the
-# pipelined window/sweep overlap path (builder goroutine vs estimation
-# loop), the telemetry registry's writer-vs-scraper test, the WAL's
-# group-commit writers, and the crash-recovery e2e oracle, with a fresh
-# -count=1 run so schedule/sharding races can't hide behind the test cache.
-go test -race -count=1 -run 'Parallel|Recovery|Pipeline' \
+# shared inference executor (priority queue, shed/re-admit scanner, anytime
+# republication, incremental slides — worker pool vs ingest vs readers),
+# the telemetry registry's writer-vs-scraper test, the WAL's group-commit
+# writers, and the crash-recovery e2e oracle, with a fresh -count=1 run so
+# schedule/sharding races can't hide behind the test cache.
+go test -race -count=1 -run 'Parallel|Recovery|Executor' \
     ./internal/core ./internal/serve ./internal/obs ./internal/wal
