@@ -28,7 +28,17 @@
 // state is snapshotted on -snapshot-interval, and a restart with the same
 // directory replays the log to bit-identical windows and estimates. The
 // -wal-sync policy trades fsync latency for the durability window (see
-// DESIGN.md §14).
+// DESIGN.md §14). GET /readyz answers 503 while recovery replays (and
+// while draining), so restarts can be orchestrated without serving stale
+// errors.
+//
+// With -trace-sample N > 0 every Nth ingest request is traced end to end
+// — batch decode, WAL append/fsync, executor queue wait, window
+// slide/rebuild, per-sweep, publish — into a fixed -trace-ring span
+// buffer served as JSONL from GET /debug/trace; GET /debug/sched exposes
+// the executor's live priority view. -freshness-slo-ms sets the
+// seal→publish objective behind qserved_freshness_slo_breach_total and
+// the per-stream attainment gauge (see DESIGN.md §17).
 //
 // Logs are structured (log/slog); -log-format selects text or json and
 // -log-level the threshold. The daemon shuts down gracefully on
@@ -46,6 +56,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -95,6 +106,11 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate argument (0 = off; requires -pprof)")
+	mutexFrac := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction argument (0 = off; requires -pprof)")
+	traceSample := flag.Int("trace-sample", 0, "trace every Nth ingest request end to end (0 = tracing off)")
+	traceRing := flag.Int("trace-ring", 4096, "span ring capacity behind GET /debug/trace (rounded up to a power of two)")
+	freshSLOms := flag.Int("freshness-slo-ms", 0, "seal-to-publish freshness objective in milliseconds (0 = no SLO accounting)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat, *logLevel, *quiet)
@@ -122,6 +138,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qserved: -sweep-batch must be >= 0, got %d\n", *sweepBatch)
 		os.Exit(2)
 	}
+	if *traceSample < 0 {
+		fmt.Fprintf(os.Stderr, "qserved: -trace-sample must be >= 0 (0 = off), got %d\n", *traceSample)
+		os.Exit(2)
+	}
+	if *traceRing <= 0 {
+		fmt.Fprintf(os.Stderr, "qserved: -trace-ring must be positive, got %d\n", *traceRing)
+		os.Exit(2)
+	}
+	if *freshSLOms < 0 {
+		fmt.Fprintf(os.Stderr, "qserved: -freshness-slo-ms must be >= 0 (0 = off), got %d\n", *freshSLOms)
+		os.Exit(2)
+	}
+	if *blockRate < 0 || *mutexFrac < 0 {
+		fmt.Fprintf(os.Stderr, "qserved: -block-profile-rate and -mutex-profile-fraction must be >= 0\n")
+		os.Exit(2)
+	}
+	if (*blockRate > 0 || *mutexFrac > 0) && !*pprofOn {
+		fmt.Fprintf(os.Stderr, "qserved: -block-profile-rate/-mutex-profile-fraction need -pprof (the profiles are read from /debug/pprof/)\n")
+		os.Exit(2)
+	}
 
 	defaults := serve.StreamConfig{
 		WindowTasks:  *window,
@@ -139,6 +175,9 @@ func main() {
 		serve.WithInferenceWorkers(*infWorkers),
 		serve.WithQueueDepth(*queueDepth),
 		serve.WithVisitBudget(*visitBudget),
+		serve.WithTraceRing(*traceRing),
+		serve.WithTraceSampleEvery(*traceSample),
+		serve.WithFreshnessSLO(time.Duration(*freshSLOms) * time.Millisecond),
 	}
 	var srv *serve.Server
 	if *walDir != "" {
@@ -185,7 +224,16 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		logger.Info("pprof enabled", "path", "/debug/pprof/")
+		// Contention profiling is opt-in even under -pprof: both samplers
+		// cost on every blocking event, so they are only armed when asked.
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+		}
+		if *mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(*mutexFrac)
+		}
+		logger.Info("pprof enabled", "path", "/debug/pprof/",
+			"block_rate", *blockRate, "mutex_fraction", *mutexFrac)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: handler}

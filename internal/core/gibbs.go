@@ -21,6 +21,18 @@ type SweepObserver interface {
 	ObserveSweep(d time.Duration, movesResampled int)
 }
 
+// SweepSpanObserver optionally extends SweepObserver with a wall-clock
+// span per sweep (Unix nanoseconds), for tracing backends that
+// reconstruct where a request's latency went. SetObserver detects the
+// extension with one type assertion at install time, so samplers whose
+// observer lacks it pay nothing, and observation still must not allocate
+// or consume randomness (obs.SweepTracer is the canonical
+// implementation: a single atomic load and branch while unsampled).
+type SweepSpanObserver interface {
+	SweepObserver
+	ObserveSweepSpan(startUnixNS, endUnixNS int64)
+}
+
 // Gibbs samples from the posterior over unobserved arrival and departure
 // times of an event set, conditioned on the observed times, the known FSM
 // paths, and the fixed per-queue arrival order (paper §3). The event set is
@@ -65,7 +77,11 @@ type Gibbs struct {
 
 	// observer, when non-nil, is called once per Sweep with the sweep's
 	// duration and resampled-move count. nil (the default) costs one branch.
+	// spanObs caches the observer's SweepSpanObserver extension (nil when
+	// absent), so Sweep pays a type assertion once per SetObserver, not
+	// once per sweep.
 	observer SweepObserver
+	spanObs  SweepSpanObserver
 }
 
 // moveCtx is the per-worker state a scan thread needs: its own RNG stream,
@@ -239,7 +255,10 @@ func (g *Gibbs) Workers() int { return g.workers }
 
 // SetObserver installs (or, with nil, removes) the per-sweep telemetry
 // hook. Call between sweeps only.
-func (g *Gibbs) SetObserver(o SweepObserver) { g.observer = o }
+func (g *Gibbs) SetObserver(o SweepObserver) {
+	g.observer = o
+	g.spanObs, _ = o.(SweepSpanObserver)
+}
 
 // Colors returns the number of color classes of the chromatic schedule, or
 // 0 for the sequential engine.
@@ -304,7 +323,11 @@ func (g *Gibbs) Sweep() {
 		g.mergeStats()
 	}
 	if g.observer != nil {
-		g.observer.ObserveSweep(time.Since(start), g.NumLatent()-(g.Skipped()-skipped0))
+		end := time.Now()
+		g.observer.ObserveSweep(end.Sub(start), g.NumLatent()-(g.Skipped()-skipped0))
+		if g.spanObs != nil {
+			g.spanObs.ObserveSweepSpan(start.UnixNano(), end.UnixNano())
+		}
 	}
 }
 

@@ -64,6 +64,72 @@ func TestObserverDoesNotPerturbChain(t *testing.T) {
 	}
 }
 
+// spanRecordingObserver extends recordingObserver with the
+// SweepSpanObserver hook, mirroring how obs.SweepTracer plugs in.
+type spanRecordingObserver struct {
+	recordingObserver
+	spans      int
+	badBounds  int
+	lastStart  int64
+	outOfOrder int
+}
+
+func (r *spanRecordingObserver) ObserveSweepSpan(startNS, endNS int64) {
+	r.spans++
+	if endNS < startNS {
+		r.badBounds++
+	}
+	if startNS < r.lastStart {
+		r.outOfOrder++
+	}
+	r.lastStart = startNS
+}
+
+// TestSpanObserverDoesNotPerturbChain extends the determinism contract to
+// the span hook: a sampler whose observer also records per-sweep spans
+// produces a bit-identical chain to an uninstrumented one, on both
+// engines, and the span stream is well-formed (one span per sweep,
+// monotone non-overlapping starts, end >= start).
+func TestSpanObserverDoesNotPerturbChain(t *testing.T) {
+	const sweeps = 12
+	for _, workers := range []int{0, 1, 3} {
+		working, _, params := initializedWorking(t, [3]int{1, 2, 4}, 200, 0.2, 42)
+		plain := working.Clone()
+		observed := working.Clone()
+
+		gPlain, err := newGibbsForWorkers(plain, params, xrand.New(5), workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gObs, err := newGibbsForWorkers(observed, params, xrand.New(5), workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &spanRecordingObserver{}
+		gObs.SetObserver(rec)
+		for s := 0; s < sweeps; s++ {
+			gPlain.Sweep()
+			gObs.Sweep()
+		}
+		for i := range plain.Events {
+			if plain.Arr[i] != observed.Arr[i] || plain.Dep[i] != observed.Dep[i] {
+				t.Fatalf("workers=%d: span-instrumented chain diverged at event %d: arr %v vs %v, dep %v vs %v",
+					workers, i, plain.Arr[i], observed.Arr[i], plain.Dep[i], observed.Dep[i])
+			}
+		}
+		if rec.spans != sweeps || rec.sweeps != sweeps {
+			t.Errorf("workers=%d: observer saw %d spans / %d sweeps, want %d of each",
+				workers, rec.spans, rec.sweeps, sweeps)
+		}
+		if rec.badBounds != 0 || rec.outOfOrder != 0 {
+			t.Errorf("workers=%d: %d spans with end<start, %d with non-monotone starts",
+				workers, rec.badBounds, rec.outOfOrder)
+		}
+		gPlain.Close()
+		gObs.Close()
+	}
+}
+
 // TestObserverThroughOptions checks the Observer plumbing of the three
 // drivers that accept it: StEM, Posterior, and PosteriorWindows all report
 // their sweeps to the configured hook.

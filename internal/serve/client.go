@@ -163,6 +163,13 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// Readyz checks daemon readiness: it fails with an *APIError (status 503)
+// while the daemon is replaying its write-ahead log at startup or
+// draining at shutdown, and succeeds once the daemon is serving.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
 // WaitForEpoch polls the estimate endpoint until a snapshot covering at
 // least the given sealed-task epoch is published (or ctx expires). It
 // returns the qualifying estimate.

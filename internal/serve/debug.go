@@ -1,0 +1,64 @@
+package serve
+
+// Introspection endpoints (DESIGN.md §17):
+//
+//	GET /readyz        readiness — 503 while WAL recovery replays or the
+//	                   daemon drains, 200 once serving (distinct from
+//	                   /healthz, which answers ok whenever the process is
+//	                   up and the mux is mounted)
+//	GET /debug/trace   recent trace spans as JSONL, newest last; ?limit=N
+//	                   bounds the response (default: the whole ring)
+//	GET /debug/sched   the shared executor's priority view: per-stream
+//	                   state, live priority, staleness, seal-rate EWMA,
+//	                   and shed counts
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// handleReadyz is the readiness probe: unlike /healthz (liveness — the
+// process is up), it answers 503 while the daemon cannot usefully serve:
+// during WAL recovery replay and once draining has begun. Load balancers
+// and rolling restarts key on this to route around a recovering or
+// stopping instance without killing it.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.recovering.Load():
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ready",
+			"streams":   s.registry.len(),
+			"uptime_ms": float64(time.Since(s.start)) / float64(time.Millisecond),
+		})
+	}
+}
+
+// handleDebugTrace streams the span ring as JSONL (one Span per line,
+// oldest first). The response is bounded by the ring capacity; ?limit=N
+// returns only the newest N spans.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	limit := s.tracer.Cap()
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q (want a positive integer)", q)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = s.tracer.WriteJSONL(w, limit)
+}
+
+// handleDebugSched serves the executor's priority-heap snapshot.
+func (s *Server) handleDebugSched(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.exec.snapshot())
+}

@@ -58,10 +58,15 @@ const (
 )
 
 // walAppend tells store.appendBatch to write-ahead the batch: rec is the
-// encoded record, log the stream's shard log.
+// encoded record, log the stream's shard log. When the ingest request is
+// trace-sampled, tr/root/stream are set and appendBatch records a
+// wal.append span under the request root.
 type walAppend struct {
-	log *wal.Log
-	rec []byte
+	log    *wal.Log
+	rec    []byte
+	tr     *obs.Tracer
+	root   uint64
+	stream string
 }
 
 func appendRecordHeader(dst []byte, kind byte, id string) []byte {
@@ -147,6 +152,9 @@ type serveWAL struct {
 // lets a crash lose).
 func NewDurable(defaults StreamConfig, wcfg WALConfig, serverOpts ...Option) (*Server, error) {
 	s := New(defaults, serverOpts...)
+	// /readyz answers 503 until recovery has replayed every shard and the
+	// restored streams are registered with the executor.
+	s.recovering.Store(true)
 	w := &serveWAL{cfg: wcfg}
 	s.wal = w
 
@@ -232,6 +240,7 @@ func NewDurable(defaults StreamConfig, wcfg WALConfig, serverOpts ...Option) (*S
 	// sequence continues.
 	s.registry.forEach(func(st *stream) { s.exec.register(st) })
 	w.m.recoverySeconds.Set(time.Since(t0).Seconds())
+	s.recovering.Store(false)
 
 	if wcfg.SnapshotInterval >= 0 {
 		iv := wcfg.SnapshotInterval

@@ -19,6 +19,7 @@ package serve
 import (
 	"container/heap"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -53,6 +54,8 @@ type streamSched struct {
 	lastScanAt    time.Time
 	lastScanEpoch uint64
 	registeredAt  time.Time
+	enqueuedNS    int64  // wall clock of the last enqueue (queue-wait spans, /debug/sched)
+	shed          uint64 // times this stream was shed from the bounded queue
 }
 
 type executor struct {
@@ -116,7 +119,7 @@ func newExecutor(s *Server, workers, depth int, scan, budget time.Duration) *exe
 // state is created (seeded from a WAL-restored estimate when present) and
 // the stream is queued for a first visit.
 func (e *executor) register(st *stream) {
-	wk := newWorker(st, e.s.results, e.s.metrics)
+	wk := newWorker(st, e.s.results, e.s.metrics, e.s.tracer, e.s.freshnessSLO)
 	if est := st.estimate.Load(); est != nil {
 		wk.seq = est.Seq
 		wk.lastEpoch = est.Epoch
@@ -152,16 +155,16 @@ func (e *executor) notify(st *stream) {
 func (e *executor) enqueueLocked(st *stream) {
 	st.sched.state = schedQueued
 	st.sched.priority = e.priorityLocked(st)
+	st.sched.enqueuedNS = time.Now().UnixNano()
 	heap.Push(&e.q, st)
 	e.shedLocked()
 	e.cond.Signal()
 }
 
-// priorityLocked is the queue order: estimate staleness (milliseconds,
-// since the last published estimate or registration) scaled up by the
-// stream's recent seal rate — a stale, busy stream preempts a stale,
-// quiet one, and fresh streams sink to the back regardless of rate.
-func (e *executor) priorityLocked(st *stream) float64 {
+// stalenessMSLocked is the age of the stream's published estimate in
+// milliseconds (since registration before the first publish), the raw
+// input of the priority function and the /debug/sched view.
+func (e *executor) stalenessMSLocked(st *stream) float64 {
 	since := st.sched.registeredAt
 	if est := st.estimate.Load(); est != nil {
 		since = est.ComputedAt
@@ -170,7 +173,14 @@ func (e *executor) priorityLocked(st *stream) float64 {
 	if staleness < 0 {
 		staleness = 0
 	}
-	return staleness * (1 + st.sched.rateEWMA)
+	return staleness
+}
+
+// priorityLocked is the queue order: estimate staleness scaled up by the
+// stream's recent seal rate — a stale, busy stream preempts a stale,
+// quiet one, and fresh streams sink to the back regardless of rate.
+func (e *executor) priorityLocked(st *stream) float64 {
+	return e.stalenessMSLocked(st) * (1 + st.sched.rateEWMA)
 }
 
 // shedLocked enforces the queue bound: while over depth, the
@@ -187,6 +197,7 @@ func (e *executor) shedLocked() {
 		st := e.q[min]
 		heap.Remove(&e.q, min)
 		st.sched.state = schedIdle
+		st.sched.shed++
 		e.s.metrics.overload.Inc()
 	}
 }
@@ -204,10 +215,11 @@ func (e *executor) runWorker() {
 		}
 		st := heap.Pop(&e.q).(*stream)
 		st.sched.state = schedRunning
+		enqueuedNS := st.sched.enqueuedNS
 		e.mu.Unlock()
 
 		deadline := time.Now().Add(e.visitBudget)
-		requeue, caught := st.sched.wk.visit(e.s.ctx, deadline)
+		requeue, caught := st.sched.wk.visit(e.s.ctx, deadline, enqueuedNS)
 
 		e.mu.Lock()
 		st.sched.caughtEpoch = caught
@@ -272,6 +284,96 @@ func (e *executor) close() {
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	e.wg.Wait()
+}
+
+// SchedStream is one stream's row in the GET /debug/sched snapshot.
+type SchedStream struct {
+	ID          string  `json:"id"`
+	State       string  `json:"state"`
+	Priority    float64 `json:"priority"`
+	StalenessMS float64 `json:"staleness_ms"`
+	RateEWMA    float64 `json:"rate_ewma"`
+	Epoch       uint64  `json:"epoch"`
+	CaughtEpoch uint64  `json:"caught_epoch"`
+	Shed        uint64  `json:"shed_total"`
+	QueuedMS    float64 `json:"queued_ms,omitempty"` // time in queue so far (queued streams only)
+}
+
+// SchedSnapshot is the GET /debug/sched response: the executor's
+// configuration, its queue occupancy, and a per-stream view of the
+// priority inputs, ordered by live priority (the queue order a full
+// re-admission would produce).
+type SchedSnapshot struct {
+	Workers        int           `json:"workers"`
+	QueueDepth     int           `json:"queue_depth"`
+	Queued         int           `json:"queued"`
+	VisitBudgetMS  float64       `json:"visit_budget_ms"`
+	ScanIntervalMS float64       `json:"scan_interval_ms"`
+	OverloadTotal  uint64        `json:"overload_total"`
+	Streams        []SchedStream `json:"streams"`
+}
+
+func schedStateName(state int32) string {
+	switch state {
+	case schedIdle:
+		return "idle"
+	case schedQueued:
+		return "queued"
+	case schedRunning:
+		return "running"
+	case schedRunningDirty:
+		return "running-dirty"
+	default:
+		return "unknown"
+	}
+}
+
+// snapshot assembles the /debug/sched view. Lock order matches scan():
+// the registry shard's read lock around each stream, the executor mutex
+// inside it, never both across streams — a scrape cannot stall the
+// scheduler for more than one stream's field reads.
+func (e *executor) snapshot() SchedSnapshot {
+	out := SchedSnapshot{
+		Workers:        e.workers,
+		QueueDepth:     e.queueDepth,
+		VisitBudgetMS:  float64(e.visitBudget) / float64(time.Millisecond),
+		ScanIntervalMS: float64(e.scanInterval) / float64(time.Millisecond),
+		OverloadTotal:  e.s.metrics.overload.Value(),
+	}
+	e.mu.Lock()
+	out.Queued = len(e.q)
+	e.mu.Unlock()
+	e.s.registry.forEach(func(st *stream) {
+		_, _, epoch := st.store.counts()
+		e.mu.Lock()
+		sc := &st.sched
+		if sc.wk == nil {
+			e.mu.Unlock()
+			return
+		}
+		row := SchedStream{
+			ID:          st.id,
+			State:       schedStateName(sc.state),
+			Priority:    e.priorityLocked(st),
+			StalenessMS: e.stalenessMSLocked(st),
+			RateEWMA:    sc.rateEWMA,
+			Epoch:       epoch,
+			CaughtEpoch: sc.caughtEpoch,
+			Shed:        sc.shed,
+		}
+		if sc.state == schedQueued && sc.enqueuedNS > 0 {
+			row.QueuedMS = float64(time.Now().UnixNano()-sc.enqueuedNS) / 1e6
+		}
+		e.mu.Unlock()
+		out.Streams = append(out.Streams, row)
+	})
+	sort.Slice(out.Streams, func(i, j int) bool {
+		if out.Streams[i].Priority != out.Streams[j].Priority {
+			return out.Streams[i].Priority > out.Streams[j].Priority
+		}
+		return out.Streams[i].ID < out.Streams[j].ID
+	})
+	return out
 }
 
 // execHeap is a max-heap of queued streams by sched.priority.

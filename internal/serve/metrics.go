@@ -102,6 +102,14 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("qserved_uptime_seconds",
 		"Seconds since the daemon started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	// s.tracer is installed before newServerMetrics runs and never
+	// reassigned, so these closures read an effectively-final field.
+	reg.GaugeFunc("qserved_trace_sample_every",
+		"Current trace sampling rate (every nth ingest request; 0 = off).",
+		func() float64 { return float64(s.tracer.SampleEvery()) })
+	reg.GaugeFunc("qserved_trace_spans_recorded",
+		"Spans recorded over the daemon's lifetime (the ring retains the most recent ones).",
+		func() float64 { return float64(s.tracer.Recorded()) })
 	reg.GaugeFunc("qserved_streams",
 		"Number of configured streams.",
 		func() float64 { return float64(s.registry.len()) })
@@ -125,6 +133,16 @@ type streamMetrics struct {
 	EstimateErrors *obs.Counter
 	SkippedRuns    *obs.Counter
 	SweepsRun      *obs.Counter
+
+	// Freshness accounting (DESIGN.md §17): Freshness is the seal→publish
+	// latency of each sealed task, recorded exactly once by the first
+	// estimate that covers its epoch. FreshnessBreach counts tasks whose
+	// latency exceeded the -freshness-slo-ms objective; FreshnessLost
+	// counts tasks whose seal time was unavailable at publish (seal ring
+	// overwritten, or the store was restored from a snapshot).
+	Freshness       *obs.Histogram
+	FreshnessBreach *obs.Counter
+	FreshnessLost   *obs.Counter
 
 	// Per-queue posterior gauges (index q-1 for service queue q), updated
 	// by the worker after each published estimate. NaN until the first
@@ -160,8 +178,44 @@ func newStreamMetrics(s *Server, st *stream) *streamMetrics {
 			"Estimation wake-ups skipped (window unchanged or too small).", lbl),
 		SweepsRun: reg.Counter("qserved_stream_sweeps_total",
 			"Gibbs sweeps run for the stream.", lbl),
+		Freshness: reg.Histogram("qserved_freshness_seconds",
+			"Seal-to-publish latency of each sealed task (recorded once, at the first covering estimate).",
+			obs.ExpBuckets(1e-3, 2.5, 16), lbl),
+		FreshnessBreach: reg.Counter("qserved_freshness_slo_breach_total",
+			"Sealed tasks whose seal-to-publish latency exceeded the freshness SLO.", lbl),
+		FreshnessLost: reg.Counter("qserved_freshness_lost_total",
+			"Sealed tasks whose seal time was unavailable at publish (ring overwritten or snapshot-restored).", lbl),
 		varz: make(map[string]any, 16),
 	}
+	reg.GaugeFunc("qserved_freshness_slo_attainment",
+		"Fraction of freshness-recorded tasks published within the SLO (NaN with no SLO configured or no data yet).",
+		func() float64 {
+			if s.freshnessSLO <= 0 {
+				return math.NaN()
+			}
+			count := float64(m.Freshness.Count())
+			if count == 0 {
+				return math.NaN()
+			}
+			return 1 - float64(m.FreshnessBreach.Value())/count
+		}, lbl)
+	reg.GaugeFunc("qserved_stream_freshness_lag_seconds",
+		"Age of the oldest sealed task not yet covered by a published estimate (0 when fully published).",
+		func() float64 {
+			var published uint64
+			if est := st.estimate.Load(); est != nil {
+				published = est.Epoch
+			}
+			sealNS := st.store.oldestUnpublishedSeal(published)
+			if sealNS == 0 {
+				return 0
+			}
+			lag := float64(time.Now().UnixNano()-sealNS) / 1e9
+			if lag < 0 {
+				lag = 0
+			}
+			return lag
+		}, lbl)
 	reg.GaugeFunc("qserved_stream_window_tasks",
 		"Sealed tasks currently in the sliding window.",
 		func() float64 {

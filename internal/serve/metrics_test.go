@@ -164,7 +164,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 		j := strings.Index(key[i+4:], `"`)
 		le := key[i+4 : i+4+j]
-		series := key[:i] + key[i+4+j+1:] // drop the le pair
+		series := key[:i] + key[i+4+j+1:]              // drop the le pair
+		series = strings.Replace(series, `,}`, `}`, 1) // comma left when le followed other labels
 		if le == "+Inf" {
 			infs[series] = samples[key]
 		}

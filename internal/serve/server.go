@@ -36,6 +36,22 @@ import (
 	"repro/internal/trace"
 )
 
+// Span kinds of the end-to-end ingest→estimate trace chain (see
+// DESIGN.md §17). A sampled ingest request roots the chain; the worker
+// completes it at the next publish.
+const (
+	spanIngest    = "ingest"         // whole POST /events request
+	spanBatch     = "ingest.batch"   // one decoded batch applied under one store lock
+	spanWALAppend = "wal.append"     // one WAL record append (inside the store lock)
+	spanWALFsync  = "wal.fsync"      // the request's group-commit fsync
+	spanQueueWait = "queue.wait"     // notify → executor pop for the traced stream
+	spanVisit     = "visit"          // one budgeted inference visit
+	spanSlide     = "window.slide"   // incremental window sync
+	spanRebuild   = "window.rebuild" // cold window rebuild (gap/poisoned/cold path)
+	spanSweep     = "sweep"          // one Gibbs sweep
+	spanPublish   = "publish"        // snapshot build + store (incl. windowed stats)
+)
+
 // stream is one event stream: its store, its published snapshots, its
 // instruments, and its scheduling block in the shared executor.
 type stream struct {
@@ -46,6 +62,13 @@ type stream struct {
 	windows  atomic.Pointer[WindowsSnapshot]
 	m        *streamMetrics
 	sched    streamSched
+
+	// traceRoot hands a sampled ingest request's root span id to the
+	// inference plane: ingest stores it after sealing tasks, the next
+	// visit claims it (Swap(0)) and parents its queue-wait/visit/sweep/
+	// publish spans under it. One pending root per stream suffices — a
+	// newer sampled request simply replaces an unclaimed older one.
+	traceRoot atomic.Uint64
 }
 
 // Server is the qserved daemon core, independent of the HTTP listener: it
@@ -69,6 +92,17 @@ type Server struct {
 	// wal is the durable event store (NewDurable); nil means in-memory
 	// only, and the ingest hot path pays a single nil check for it.
 	wal *serveWAL
+
+	// tracer is the sampled span recorder behind GET /debug/trace; always
+	// non-nil (sampling off by default, so the hot paths pay only id==0
+	// branches). freshnessSLO, when positive, is the seal→publish latency
+	// past which a task counts as an SLO breach.
+	tracer       *obs.Tracer
+	freshnessSLO time.Duration
+
+	// recovering is set while NewDurable replays the WAL; GET /readyz
+	// answers 503 until it clears (and again while draining).
+	recovering atomic.Bool
 
 	// draining flips when Close begins; ingest answers 503 from then on.
 	// ingestGate counts in-flight ingest requests (read-locked per
@@ -101,6 +135,8 @@ type Server struct {
 	optQueueDepth   int
 	optScanInterval time.Duration
 	optVisitBudget  time.Duration
+	optTraceRing    int
+	optTraceSample  int
 
 	start time.Time
 	mux   *http.ServeMux
@@ -137,6 +173,31 @@ func WithVisitBudget(d time.Duration) Option {
 	return func(s *Server) { s.optVisitBudget = d }
 }
 
+// WithTraceRing sets the capacity of the span ring behind GET
+// /debug/trace (default 4096, rounded up to a power of two).
+func WithTraceRing(n int) Option {
+	return func(s *Server) { s.optTraceRing = n }
+}
+
+// WithTraceSampleEvery enables span tracing for every nth ingest request
+// (0, the default, is off). The sampling rate can also be changed at
+// runtime via Tracer().SetSampleEvery.
+func WithTraceSampleEvery(n int) Option {
+	return func(s *Server) { s.optTraceSample = n }
+}
+
+// WithFreshnessSLO sets the seal→publish latency objective: every sealed
+// task whose first covering estimate is published later than d counts on
+// qserved_freshness_slo_breach_total and degrades the stream's
+// SLO-attainment gauge. d <= 0 (the default) records freshness
+// histograms without SLO accounting.
+func WithFreshnessSLO(d time.Duration) Option {
+	return func(s *Server) { s.freshnessSLO = d }
+}
+
+// defaultTraceRing is the span ring capacity when WithTraceRing is unset.
+const defaultTraceRing = 4096
+
 // New returns a running Server (collector and executor started, no
 // streams yet). The defaults seed every stream's unset StreamConfig
 // fields.
@@ -156,6 +217,12 @@ func New(defaults StreamConfig, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	ring := s.optTraceRing
+	if ring <= 0 {
+		ring = defaultTraceRing
+	}
+	s.tracer = obs.NewTracer(ring)
+	s.tracer.SetSampleEvery(s.optTraceSample)
 	s.metrics = newServerMetrics(s)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.exec = newExecutor(s, s.optInfWorkers, s.optQueueDepth, s.optScanInterval, s.optVisitBudget)
@@ -189,6 +256,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry returns the daemon's metrics registry (the /metrics backing
 // store), for embedding callers that add their own instruments.
 func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// Tracer returns the daemon's span recorder (the GET /debug/trace backing
+// store), for embedding callers that adjust sampling at runtime or record
+// their own spans.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Close drains the daemon: new ingest is refused (503), in-flight ingest
 // requests finish (so their events are counted and durably logged), the
@@ -243,6 +315,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/streams/{id}/windows", s.handleWindows)
 	s.mux.HandleFunc("GET /v1/streams", s.handleList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	s.mux.HandleFunc("GET /debug/sched", s.handleDebugSched)
 	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.Handle("GET /metrics.json", s.metrics.reg.JSONHandler())
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
@@ -425,7 +500,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	sum, tooLongLine, err := s.ingestBody(st, body)
+	// Sampled request tracing: a nonzero root id threads through the
+	// batch/WAL spans below, is handed to the inference plane via
+	// st.traceRoot, and zero (the common case) short-circuits every
+	// downstream span call.
+	root := s.tracer.StartRoot()
+	if root != 0 {
+		defer func() {
+			s.tracer.Record(obs.Span{ID: root, Kind: spanIngest, Stream: st.id,
+				StartNS: start.UnixNano(), EndNS: time.Now().UnixNano()})
+		}()
+	}
+	sum, tooLongLine, err := s.ingestTraced(st, body, root)
 	st.m.EventsIngested.Add(uint64(sum.Accepted))
 	st.m.EventsRejected.Add(uint64(sum.Rejected))
 	st.m.TasksSealed.Add(uint64(sum.SealedTasks))
@@ -462,6 +548,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // one group-commit Sync covers the whole request before it returns. A WAL
 // failure aborts the body with a non-nil error.
 func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLongLine int, err error) {
+	return s.ingestTraced(st, body, 0)
+}
+
+// ingestTraced is ingestBody with an optional trace root: when root is
+// nonzero (the request was sampled), each flushed batch, its WAL append,
+// and the request's fsync record spans under it, and the root is handed
+// to the inference plane once the body sealed tasks. root == 0 is the
+// untraced hot path — every span site reduces to one branch.
+func (s *Server) ingestTraced(st *stream, body []byte, root uint64) (sum IngestSummary, tooLongLine int, err error) {
 	shard := shardIndex(st.id)
 	bp, _ := batchPool.Get().(*[]batchEvent)
 	if bp == nil {
@@ -480,11 +575,18 @@ func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLong
 		walBuf = s.wal.getRecBuf()
 		defer s.wal.putRecBuf(walBuf)
 		wa = &walAppend{log: s.wal.logs[shard]}
+		if root != 0 {
+			wa.tr, wa.root, wa.stream = s.tracer, root, st.id
+		}
 	}
 	chunkBytes := 0
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
+		}
+		var bt0 int64
+		if root != 0 {
+			bt0 = time.Now().UnixNano()
 		}
 		if wa != nil {
 			rec, rerr := appendEventRecord((*walBuf)[:0], st.id, batch)
@@ -503,6 +605,10 @@ func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLong
 		if wa != nil {
 			s.wal.m.appendRecords.Inc()
 			s.wal.m.appendBytes.Add(uint64(len(wa.rec)))
+		}
+		if root != 0 {
+			s.tracer.Record(obs.Span{ID: s.tracer.Child(root), Parent: root,
+				Kind: spanBatch, Stream: st.id, StartNS: bt0, EndNS: time.Now().UnixNano()})
 		}
 		clear(batch) // drop borrowed body pointers before pooling
 		batch = batch[:0]
@@ -560,11 +666,25 @@ func (s *Server) ingestBody(st *stream, body []byte) (sum IngestSummary, tooLong
 	// (group commit — under SyncBatch a concurrent request's Sync may
 	// already have covered us, making this a no-op).
 	if wa != nil {
+		var ft0 int64
+		if root != 0 {
+			ft0 = time.Now().UnixNano()
+		}
 		if serr := wa.log.Sync(); serr != nil {
 			return sum, tooLongLine, serr
 		}
+		if root != 0 {
+			s.tracer.Record(obs.Span{ID: s.tracer.Child(root), Parent: root,
+				Kind: spanWALFsync, Stream: st.id, StartNS: ft0, EndNS: time.Now().UnixNano()})
+		}
 	}
 	s.metrics.ingestBytes.Add(uint64(len(body)))
+	// Hand the root to the inference plane: the next visit claims it and
+	// parents its queue-wait/visit/sweep/publish spans under it, closing
+	// the ingest→estimate chain at the next publish.
+	if root != 0 && sum.SealedTasks > 0 {
+		st.traceRoot.Store(root)
+	}
 	return sum, tooLongLine, nil
 }
 

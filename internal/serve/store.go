@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -64,6 +65,15 @@ type store struct {
 	slidTasks   uint64 // sealed tasks that slid off the window
 	evictedOpen uint64 // open tasks evicted for exceeding the open cap
 
+	// sealNanos is the freshness ring: the wall-clock seal time of epoch e
+	// lives at slot (e-1) % len(sealNanos). Sized at twice the window (so a
+	// publish that lags a full window behind still finds its seal times),
+	// it is written once per seal under mu and drained by the worker at
+	// publish; a zero slot means the seal time is unknown (the store was
+	// restored from a snapshot, which does not carry seal times, or the
+	// slot was overwritten by a later epoch).
+	sealNanos []int64
+
 	// appliedLSN is the WAL LSN of the last record applied to this store:
 	// the stream's config record at creation, then each applied batch.
 	// Stays zero when the server runs without a WAL. Guarded by mu.
@@ -76,11 +86,20 @@ type store struct {
 	win []winTask
 }
 
+// minSealRing bounds the freshness ring below so tiny windows still
+// retain a useful seal-time history.
+const minSealRing = 64
+
 func newStore(numQueues, windowTasks int) *store {
+	ring := 2 * windowTasks
+	if ring < minSealRing {
+		ring = minSealRing
+	}
 	return &store{
 		numQueues:   numQueues,
 		windowTasks: windowTasks,
 		open:        make(map[string]*taskBuf),
+		sealNanos:   make([]int64, ring),
 	}
 }
 
@@ -154,12 +173,20 @@ func (s *store) appendBatch(batch []batchEvent, sum *IngestSummary, wa *walAppen
 	s.mu.Lock()
 	lockWait = time.Since(t0)
 	if wa != nil {
+		var at0 int64
+		if wa.root != 0 {
+			at0 = time.Now().UnixNano()
+		}
 		lsn, werr := wa.log.Append(wa.rec)
 		if werr != nil {
 			s.mu.Unlock()
 			return 0, lockWait, werr
 		}
 		s.appliedLSN = lsn
+		if wa.root != 0 {
+			wa.tr.Record(obs.Span{ID: wa.tr.Child(wa.root), Parent: wa.root,
+				Kind: spanWALAppend, Stream: wa.stream, StartNS: at0, EndNS: time.Now().UnixNano()})
+		}
 	}
 	for i := range batch {
 		be := &batch[i]
@@ -225,6 +252,7 @@ func (s *store) appendLocked(ev *trace.RawEvent) (sealed bool, err error) {
 	delete(s.open, tb.id)
 	s.sealed = append(s.sealed, tb)
 	s.epoch++
+	s.sealNanos[(s.epoch-1)%uint64(len(s.sealNanos))] = time.Now().UnixNano()
 	if over := len(s.sealed) - s.windowTasks; over > 0 {
 		for _, old := range s.sealed[:over] {
 			s.recycleLocked(old)
@@ -294,6 +322,59 @@ func (s *store) dropStats() (slid, evictedOpen uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.slidTasks, s.evictedOpen
+}
+
+// drainSealTimes visits the seal time of every epoch in (from, to],
+// oldest first, for freshness accounting at publish: the worker calls it
+// exactly once per newly covered epoch range, so each sealed task's
+// seal→publish latency is recorded exactly once. Epochs whose seal time
+// is unavailable (slot overwritten because the publish lagged more than
+// the ring, or zero because the store was snapshot-restored) are counted
+// in lost instead of visited. fn runs under the store lock and must not
+// block (the freshness instruments are atomics-only).
+func (s *store) drainSealTimes(from, to uint64, fn func(sealNS int64)) (lost uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ring := uint64(len(s.sealNanos))
+	if to > s.epoch {
+		to = s.epoch
+	}
+	for e := from + 1; e <= to; e++ {
+		if e+ring <= s.epoch {
+			lost++ // slot reused by epoch e+ring or later
+			continue
+		}
+		ns := s.sealNanos[(e-1)%ring]
+		if ns == 0 {
+			lost++
+			continue
+		}
+		fn(ns)
+	}
+	return lost
+}
+
+// oldestUnpublishedSeal returns the seal time of the oldest epoch not yet
+// covered by a published estimate (epoch published+1), or 0 when the
+// stream is fully published or the seal time is unknown. It feeds the
+// per-stream freshness-lag gauge.
+func (s *store) oldestUnpublishedSeal(published uint64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch <= published {
+		return 0
+	}
+	ring := uint64(len(s.sealNanos))
+	first := published + 1
+	if first+ring <= s.epoch {
+		first = s.epoch - ring + 1 // older slots are overwritten
+	}
+	for e := first; e <= s.epoch; e++ {
+		if ns := s.sealNanos[(e-1)%ring]; ns != 0 {
+			return ns
+		}
+	}
+	return 0
 }
 
 // window assembles the sealed tasks, ordered by entry time, into a fresh

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -68,11 +69,29 @@ type worker struct {
 
 	// Cold path.
 	est *core.OnlineEstimator
+
+	// Tracing + freshness. tr is the daemon's span recorder; sloNanos the
+	// seal→publish SLO (0 = no SLO accounting). traceRoot is the claimed
+	// ingest root span whose chain this worker completes at the next
+	// publish; visitSpan/visitParent/visitStartNS frame the visit span in
+	// flight (all zero on untraced visits — the common case). tap is the
+	// cold path's observer: it fans sweep metrics out to sm.sweep and,
+	// when visitSpan is set as its parent, records per-sweep spans.
+	tr           *obs.Tracer
+	sloNanos     int64
+	tap          *obs.SweepTracer
+	traceRoot    uint64
+	visitSpan    uint64
+	visitParent  uint64
+	visitStartNS int64
 }
 
-func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics) *worker {
+func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics, tr *obs.Tracer, slo time.Duration) *worker {
 	cfg := st.cfg
-	w := &worker{st: st, results: results, sm: sm, rng: xrand.New(cfg.Seed)}
+	w := &worker{st: st, results: results, sm: sm, rng: xrand.New(cfg.Seed), tr: tr}
+	if slo > 0 {
+		w.sloNanos = slo.Nanoseconds()
+	}
 	if cfg.Workers == 0 {
 		w.warm = core.NewWarmEstimator(core.WarmConfig{
 			NumQueues:  cfg.NumQueues,
@@ -80,9 +99,10 @@ func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics) *work
 			PostSweeps: cfg.PostSweeps,
 		})
 	} else {
+		w.tap = &obs.SweepTracer{Metrics: sm.sweep, Tracer: tr, Kind: spanSweep, Stream: st.id}
 		w.est = core.NewOnlineEstimator(
-			core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers, Observer: sm.sweep},
-			core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.Workers, Observer: sm.sweep},
+			core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers, Observer: w.tap},
+			core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.Workers, Observer: w.tap},
 		)
 	}
 	return w
@@ -99,12 +119,76 @@ func (w *worker) close() {
 // has an open epoch left to finish (the executor re-queues it) and the
 // latest store epoch fully estimated (the scanner's re-admission
 // watermark).
-func (w *worker) visit(ctx context.Context, deadline time.Time) (requeue bool, caught uint64) {
+func (w *worker) visit(ctx context.Context, deadline time.Time, enqueuedNS int64) (requeue bool, caught uint64) {
+	w.beginVisitSpan(enqueuedNS)
+	defer w.endVisitSpan()
 	if w.warm != nil {
 		return w.visitWarm(ctx, deadline)
 	}
 	w.visitCold(ctx)
 	return false, w.caughtEpoch
+}
+
+// beginVisitSpan claims the stream's pending ingest root (if any) and
+// opens this visit's span under it, recording the queue-wait span first.
+// On untraced visits (no pending or claimed root) it leaves visitSpan 0
+// and every span site in the visit path short-circuits.
+func (w *worker) beginVisitSpan(enqueuedNS int64) {
+	if r := w.st.traceRoot.Swap(0); r != 0 {
+		w.traceRoot = r // a claimed-but-unfinished older root is superseded
+	}
+	if w.traceRoot == 0 {
+		w.visitSpan = 0
+		return
+	}
+	now := time.Now().UnixNano()
+	if enqueuedNS > 0 && enqueuedNS <= now {
+		w.tr.Record(obs.Span{ID: w.tr.Child(w.traceRoot), Parent: w.traceRoot,
+			Kind: spanQueueWait, Stream: w.st.id, StartNS: enqueuedNS, EndNS: now})
+	}
+	w.visitParent = w.traceRoot
+	w.visitSpan = w.tr.Child(w.traceRoot)
+	w.visitStartNS = now
+	if w.tap != nil {
+		w.tap.SetParent(w.visitSpan)
+	}
+}
+
+// endVisitSpan closes the visit span. The claimed root survives across
+// visits (an epoch spans many budgeted slices) until a publish completes
+// its chain and clears it.
+func (w *worker) endVisitSpan() {
+	if w.visitSpan == 0 {
+		return
+	}
+	if w.tap != nil {
+		w.tap.SetParent(0)
+	}
+	w.tr.Record(obs.Span{ID: w.visitSpan, Parent: w.visitParent,
+		Kind: spanVisit, Stream: w.st.id, StartNS: w.visitStartNS, EndNS: time.Now().UnixNano()})
+	w.visitSpan = 0
+}
+
+// recordFreshness folds the seal→publish latency of every newly covered
+// epoch in (from, to] into the stream's freshness instruments. Callers
+// invoke it exactly once per publish that advances the covered epoch, so
+// each sealed task is recorded exactly once regardless of how many
+// anytime republications an epoch gets.
+func (w *worker) recordFreshness(from, to uint64, publishNS int64) {
+	m := w.st.m
+	lost := w.st.store.drainSealTimes(from, to, func(sealNS int64) {
+		lat := float64(publishNS-sealNS) / 1e9
+		if lat < 0 {
+			lat = 0
+		}
+		m.Freshness.Observe(lat)
+		if w.sloNanos > 0 && publishNS-sealNS > w.sloNanos {
+			m.FreshnessBreach.Inc()
+		}
+	})
+	if lost > 0 {
+		m.FreshnessLost.Add(lost)
+	}
 }
 
 func (w *worker) visitWarm(ctx context.Context, deadline time.Time) (bool, uint64) {
@@ -182,6 +266,10 @@ func (w *worker) warmSlice(ctx context.Context, deadline time.Time) (published b
 			break
 		}
 		w.sm.sweep.ObserveSweep(time.Since(t0), 0)
+		if w.visitSpan != 0 {
+			w.tr.Record(obs.Span{ID: w.tr.Child(w.visitSpan), Parent: w.visitSpan,
+				Kind: spanSweep, Stream: w.st.id, StartNS: t0.UnixNano(), EndNS: time.Now().UnixNano()})
+		}
 		ran += n
 		w.pendingSweeps += uint64(n)
 		w.st.m.SweepsRun.Add(uint64(n))
@@ -216,6 +304,10 @@ func (w *worker) warmSlice(ctx context.Context, deadline time.Time) (published b
 // further behind than one window, a poisoned window, or an infeasible
 // slide rebuilds cold (counted on qserved_inference_rebuilds_total).
 func (w *worker) syncWindow() error {
+	var t0 int64
+	if w.visitSpan != 0 {
+		t0 = time.Now().UnixNano()
+	}
 	win := w.warm.Window()
 	tasks, epoch, window, ok := w.st.store.delta(w.appliedEpoch, w.deltaBuf)
 	w.deltaBuf = tasks
@@ -247,6 +339,14 @@ func (w *worker) syncWindow() error {
 	}
 	w.sm.slideNew.Add(uint64(newEv))
 	w.sm.slideWindow.Add(uint64(win.LiveEvents()))
+	if w.visitSpan != 0 {
+		kind := spanSlide
+		if rebuild {
+			kind = spanRebuild
+		}
+		w.tr.Record(obs.Span{ID: w.tr.Child(w.visitSpan), Parent: w.visitSpan,
+			Kind: kind, Stream: w.st.id, StartNS: t0, EndNS: time.Now().UnixNano()})
+	}
 	return nil
 }
 
@@ -267,6 +367,10 @@ func (w *worker) applySlides(tasks []core.SlideTask, window int) error {
 // snapshot is stored before the estimate so a reader that observes the
 // new estimate epoch is guaranteed a windowed snapshot at least as new.
 func (w *worker) publishWarm() error {
+	var p0 int64
+	if w.visitSpan != 0 {
+		p0 = time.Now().UnixNano()
+	}
 	cfg := w.st.cfg
 	win := w.warm.Window()
 	lo, hi := win.Span()
@@ -307,9 +411,21 @@ func (w *worker) publishWarm() error {
 		w.st.windows.Store(ws)
 	}
 	w.st.estimate.Store(est)
+	// Freshness: the first publish covering an epoch records each newly
+	// covered task's seal→publish latency. Anytime republications of the
+	// same epoch leave lastEpoch unchanged and record nothing, so every
+	// sealed task is counted exactly once.
+	if prev := w.lastEpoch; w.epochStart > prev {
+		w.recordFreshness(prev, w.epochStart, est.ComputedAt.UnixNano())
+	}
 	w.lastEpoch = w.epochStart
 	w.st.m.Estimates.Inc()
 	w.st.m.updateQueueGauges(w.sum.MeanService, w.sum.MeanWait, w.sum.WaitChain)
+	if w.visitSpan != 0 {
+		w.tr.Record(obs.Span{ID: w.tr.Child(w.visitSpan), Parent: w.visitSpan,
+			Kind: spanPublish, Stream: w.st.id, StartNS: p0, EndNS: time.Now().UnixNano()})
+		w.traceRoot = 0 // the ingest→publish chain is complete
+	}
 	return nil
 }
 
@@ -377,8 +493,17 @@ func (w *worker) visitCold(ctx context.Context) {
 	}()
 
 	// The executor serializes visits per stream, so this worker is the
-	// store's single window() caller.
+	// store's single window() caller. The cold path rebuilds the window
+	// from scratch every visit, so its window span is always a rebuild.
+	var wt0 int64
+	if w.visitSpan != 0 {
+		wt0 = time.Now().UnixNano()
+	}
 	es, epoch, err := w.st.store.window()
+	if w.visitSpan != 0 {
+		w.tr.Record(obs.Span{ID: w.tr.Child(w.visitSpan), Parent: w.visitSpan,
+			Kind: spanRebuild, Stream: w.st.id, StartNS: wt0, EndNS: time.Now().UnixNano()})
+	}
 	if err != nil {
 		res.err = err
 		return
@@ -427,12 +552,24 @@ func (w *worker) visitCold(ctx context.Context) {
 
 	// Windows first, then the estimate: a reader that observes the new
 	// estimate epoch is guaranteed a windowed snapshot at least as new.
+	var p0 int64
+	if w.visitSpan != 0 {
+		p0 = time.Now().UnixNano()
+	}
 	if ws != nil {
 		w.st.windows.Store(ws)
 	}
 	w.st.estimate.Store(est)
+	if prev := w.lastEpoch; epoch > prev {
+		w.recordFreshness(prev, epoch, est.ComputedAt.UnixNano())
+	}
 	w.lastEpoch = epoch
 	w.caughtEpoch = epoch
+	if w.visitSpan != 0 {
+		w.tr.Record(obs.Span{ID: w.tr.Child(w.visitSpan), Parent: w.visitSpan,
+			Kind: spanPublish, Stream: w.st.id, StartNS: p0, EndNS: time.Now().UnixNano()})
+		w.traceRoot = 0 // the ingest→publish chain is complete
+	}
 	w.st.m.Estimates.Inc()
 	w.st.m.updateQueueGauges(post.MeanService, post.MeanWait, post.WaitChain)
 	res.seq = w.seq
@@ -459,7 +596,7 @@ func (w *worker) windowed(es *trace.EventSet, params core.Params, offset float64
 	// The estimator's scratch is reusable here: windowed() runs strictly
 	// between Estimate calls within the stream's serialized visit.
 	stats, err := core.PosteriorWindows(es, params, w.rng,
-		core.PosteriorOptions{Sweeps: cfg.WindowSweeps, Workers: cfg.Workers, Observer: w.sm.sweep,
+		core.PosteriorOptions{Sweeps: cfg.WindowSweeps, Workers: cfg.Workers, Observer: w.tap,
 			Scratch: w.est.Scratch()}, lo, hi, cfg.Windows)
 	if err != nil {
 		return nil, err

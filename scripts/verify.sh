@@ -13,8 +13,10 @@ go test -race ./...
 # engine (core), the serve e2e test plus the metrics scrape storm, the
 # shared inference executor (priority queue, shed/re-admit scanner, anytime
 # republication, incremental slides — worker pool vs ingest vs readers),
-# the telemetry registry's writer-vs-scraper test, the WAL's group-commit
-# writers, and the crash-recovery e2e oracle, with a fresh -count=1 run so
+# the telemetry registry's writer-vs-scraper test, the span ring's
+# concurrent writers-vs-snapshot test, the end-to-end trace chain and
+# freshness/readiness endpoints, the WAL's group-commit writers, and the
+# crash-recovery e2e oracle, with a fresh -count=1 run so
 # schedule/sharding races can't hide behind the test cache.
-go test -race -count=1 -run 'Parallel|Recovery|Executor' \
+go test -race -count=1 -run 'Parallel|Recovery|Executor|Trace|Readyz|Freshness' \
     ./internal/core ./internal/serve ./internal/obs ./internal/wal
