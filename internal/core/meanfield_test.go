@@ -1,0 +1,333 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/qnet"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// solveFixPoint runs a mean-field solve on a fresh clone and returns the
+// mutated event set, the rates, and the stats.
+func solveFixPoint(t *testing.T, base *trace.EventSet, opts MeanFieldOptions) (*trace.EventSet, Params, MeanFieldStats) {
+	t.Helper()
+	es := base.Clone()
+	var params Params
+	stats, err := MeanFieldInto(nil, &params, es, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es, params, stats
+}
+
+// TestMeanFieldDeterministic pins the fast path's core contract: the fix
+// point is a pure function of the observed data — bit-identical across
+// repeated solves, across GOMAXPROCS settings, with or without a donated
+// scratch, and regardless of the latent values the event set happens to
+// hold on entry (scrambled vs. a prior Gibbs state).
+func TestMeanFieldDeterministic(t *testing.T) {
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4}))
+	base, _, _ := simulateObserved(t, net, 300, 0.2, 99)
+
+	ref := base.Clone()
+	scrambleLatent(ref)
+	refES, refParams, stats := solveFixPoint(t, ref, MeanFieldOptions{})
+	if stats.Iterations == 0 {
+		t.Fatal("solve ran no iterations")
+	}
+	if !stats.Converged {
+		t.Logf("fix point not converged in default iters (maxDelta=%v); determinism must still hold", stats.MaxDelta)
+	}
+
+	check := func(name string, es *trace.EventSet, params Params) {
+		t.Helper()
+		for q, r := range refParams.Rates {
+			if params.Rates[q] != r {
+				t.Fatalf("%s: rate[%d] = %v, want bit-identical %v", name, q, params.Rates[q], r)
+			}
+		}
+		for i := range refES.Events {
+			if es.Arr[i] != refES.Arr[i] || es.Dep[i] != refES.Dep[i] {
+				t.Fatalf("%s: event %d times (%v,%v) differ from reference (%v,%v)",
+					name, i, es.Arr[i], es.Dep[i], refES.Arr[i], refES.Dep[i])
+			}
+		}
+	}
+
+	// Repeated solve from a scrambled clone.
+	again := base.Clone()
+	scrambleLatent(again)
+	es2, p2, _ := solveFixPoint(t, again, MeanFieldOptions{})
+	check("rerun", es2, p2)
+
+	// Latent state on entry must not matter: start from the simulator's
+	// ground truth (a feasible non-scrambled state).
+	es3, p3, _ := solveFixPoint(t, base, MeanFieldOptions{})
+	check("unscrambled entry", es3, p3)
+
+	// Donated scratch, reused twice.
+	var sc MeanFieldScratch
+	for run := 0; run < 2; run++ {
+		scratched := base.Clone()
+		scrambleLatent(scratched)
+		es4, p4, _ := solveFixPoint(t, scratched, MeanFieldOptions{Scratch: &sc})
+		check("scratch", es4, p4)
+	}
+
+	// GOMAXPROCS must be invisible to a deterministic solver.
+	for _, procs := range []int{1, 4} {
+		withGOMAXPROCS(t, procs)
+		gm := base.Clone()
+		scrambleLatent(gm)
+		es5, p5, _ := solveFixPoint(t, gm, MeanFieldOptions{})
+		check("GOMAXPROCS", es5, p5)
+	}
+}
+
+// TestMeanFieldFeasibleAndPreservesObservations mirrors the initializer
+// contract tests: the fix point validates at every observation fraction and
+// never moves an observed time.
+func TestMeanFieldFeasibleAndPreservesObservations(t *testing.T) {
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4}))
+	for _, frac := range []float64{0, 0.05, 0.25, 0.75, 1} {
+		working, truth, _ := simulateObserved(t, net, 200, frac, uint64(100+int(frac*100)))
+		scrambleLatent(working)
+		var sum PosteriorSummary
+		var params Params
+		if _, err := MeanFieldInto(&sum, &params, working, MeanFieldOptions{}); err != nil {
+			t.Fatalf("frac %v: %v", frac, err)
+		}
+		if err := working.Validate(1e-6); err != nil {
+			t.Fatalf("frac %v: fix point invalid: %v", frac, err)
+		}
+		for i := range truth.Events {
+			te := &truth.Events[i]
+			if te.ObsArrival && truth.Arr[i] != working.Arr[i] {
+				t.Fatalf("frac %v: event %d observed arrival changed", frac, i)
+			}
+			if te.Final() && te.ObsDepart && truth.Dep[i] != working.Dep[i] {
+				t.Fatalf("frac %v: event %d observed departure changed", frac, i)
+			}
+		}
+		for q := 0; q < working.NumQueues; q++ {
+			if len(working.ByQueue[q]) == 0 {
+				continue
+			}
+			if math.IsNaN(sum.MeanService[q]) || math.IsNaN(sum.MeanWait[q]) {
+				t.Fatalf("frac %v: queue %d summary is NaN for a non-empty queue", frac, q)
+			}
+			if sum.MeanService[q] < 0 || sum.MeanWait[q] < 0 {
+				t.Fatalf("frac %v: queue %d negative summary (svc=%v wait=%v)",
+					frac, q, sum.MeanService[q], sum.MeanWait[q])
+			}
+		}
+		if sum.Sweeps != 0 {
+			t.Fatalf("mean-field summary claims %d sweeps", sum.Sweeps)
+		}
+	}
+}
+
+// TestMeanFieldRecoversRates checks the estimate is actually an estimate:
+// on a moderately observed synthetic network the fix-point service rates
+// land within a factor-two band of the generating rates (the mean-field
+// bias is real but bounded; the Gibbs backend refines it).
+func TestMeanFieldRecoversRates(t *testing.T) {
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4}))
+	working, _, _ := simulateObserved(t, net, 400, 0.4, 7)
+	scrambleLatent(working)
+	_, params, _ := solveFixPoint(t, working, MeanFieldOptions{})
+	truthRates := net.ServiceRates()
+	for q := 1; q < len(truthRates); q++ {
+		ratio := params.Rates[q] / truthRates[q]
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("queue %d: mean-field rate %v vs truth %v (ratio %v)",
+				q, params.Rates[q], truthRates[q], ratio)
+		}
+	}
+}
+
+// TestMeanFieldAllocs pins the scratch contract: a steady-state solve with
+// a donated MeanFieldScratch and caller-owned outputs performs zero heap
+// allocations.
+func TestMeanFieldAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	net := must(qnet.PaperSynthetic(10, 5, [3]int{1, 2, 4}))
+	base, _, _ := simulateObserved(t, net, 300, 0.2, 99)
+	var (
+		pool   trace.ClonePool
+		sc     MeanFieldScratch
+		sum    PosteriorSummary
+		params Params
+	)
+	run := func() {
+		working := pool.Get(base)
+		if _, err := MeanFieldInto(&sum, &params, working, MeanFieldOptions{Scratch: &sc}); err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(working)
+	}
+	run() // grow scratch, pool, and outputs to steady state
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Fatalf("mean-field solve allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestMeanFieldInitializerWarmStart is the warm-start regression from the
+// issue: on the tandem scenario, StEM started from the mean-field fix point
+// must reach its converged rate band in no more iterations than StEM
+// started from the paper's LP initializer.
+func TestMeanFieldInitializerWarmStart(t *testing.T) {
+	net := must(qnet.Tandem(dist.NewExponential(2),
+		dist.NewExponential(6), dist.NewExponential(4)))
+	working, _, _ := simulateObserved(t, net, 120, 0.3, 11)
+	params := must(NewParams(net.ServiceRates()))
+
+	itersToBand := func(ini Initializer) int {
+		t.Helper()
+		es := working.Clone()
+		scrambleLatent(es)
+		res, err := StEM(es, xrand.New(17), EMOptions{
+			Iterations:    80,
+			Init:          ini,
+			InitialParams: &params,
+			KeepHistory:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := res.Params.Rates
+		for iter, rates := range res.History {
+			within := true
+			for q, r := range rates {
+				if math.Abs(r-final[q])/final[q] > 0.25 {
+					within = false
+					break
+				}
+			}
+			if within {
+				return iter
+			}
+		}
+		return len(res.History)
+	}
+
+	lp := itersToBand(LPInitializer{MaxEvents: 2000})
+	mf := itersToBand(MeanFieldInitializer{})
+	t.Logf("iterations to converged band: LP=%d mean-field=%d", lp, mf)
+	if mf > lp {
+		t.Fatalf("mean-field warm start took %d iterations to converge, LP took %d", mf, lp)
+	}
+}
+
+func TestMeanFieldInitializerRejectsWrongRateCount(t *testing.T) {
+	net := must(qnet.SingleMM1(2, 5))
+	working, _, _ := simulateObserved(t, net, 10, 0.5, 61)
+	bad := Params{Rates: []float64{1}}
+	if err := (MeanFieldInitializer{}).Initialize(working, bad); err == nil {
+		t.Error("mean-field initializer accepted wrong rate count")
+	}
+	var wrong Params
+	wrong.Rates = []float64{1}
+	if _, err := MeanFieldInto(nil, nil, working, MeanFieldOptions{InitialParams: &wrong}); err == nil {
+		t.Error("MeanFieldInto accepted wrong initial rate count")
+	}
+}
+
+// TestCondSpecMeanMatchesIntegration checks the analytic conditional mean
+// against trapezoid integration of the same unnormalized density for
+// specs spanning the shapes the samplers build (uniform, single slope,
+// one and two breakpoints, steep and near-flat slopes).
+func TestCondSpecMeanMatchesIntegration(t *testing.T) {
+	numericMean := func(c *condSpec, hi float64) float64 {
+		const n = 200000
+		h := (hi - c.lo) / n
+		var z, m float64
+		for i := 0; i <= n; i++ {
+			x := c.lo + float64(i)*h
+			w := 1.0
+			if i == 0 || i == n {
+				w = 0.5
+			}
+			p := math.Exp(c.logPDF(x))
+			z += w * p
+			m += w * p * x
+		}
+		return m / z
+	}
+	cases := []struct {
+		name  string
+		build func(c *condSpec)
+		hi    float64 // integration cutoff for infinite support
+	}{
+		{"uniform", func(c *condSpec) { c.reset(1, 3, 0) }, 3},
+		{"down-slope", func(c *condSpec) { c.reset(0, 2, -1.5) }, 2},
+		{"up-slope", func(c *condSpec) { c.reset(0, 2, 2.5) }, 2},
+		{"near-flat", func(c *condSpec) { c.reset(0, 10, 1e-9) }, 10},
+		{"steep", func(c *condSpec) { c.reset(0, 1, -40) }, 1},
+		{"one-break", func(c *condSpec) {
+			c.reset(0, 4, -2)
+			c.addTerm(1.5, 3)
+		}, 4},
+		{"two-breaks", func(c *condSpec) {
+			c.reset(0, 5, -1)
+			c.addTerm(1, 2)
+			c.addTerm(3, -4)
+		}, 5},
+		{"infinite-tail", func(c *condSpec) { c.reset(2, math.Inf(1), -3) }, 12},
+		{"infinite-with-break", func(c *condSpec) {
+			c.reset(0, math.Inf(1), -2)
+			c.addTerm(1, 0.5)
+		}, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c condSpec
+			tc.build(&c)
+			got := c.mean()
+			trunc := c
+			trunc.hi = tc.hi
+			want := numericMean(&trunc, tc.hi)
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("mean = %v, numeric integration = %v", got, want)
+			}
+		})
+	}
+}
+
+// TestTruncExpMeanLimits exercises the closed form's numerically delicate
+// regimes directly.
+func TestTruncExpMeanLimits(t *testing.T) {
+	cases := []struct {
+		m, w, want, tol float64
+	}{
+		{0, 2, 1, 1e-12},                  // uniform: w/2
+		{1e-9, 2, 1, 1e-6},                // near-flat: still ≈ w/2
+		{-1, 1, 1/(1-math.E) + 1, 1e-12},  // moderate closed form: 1 − 2/e over 1 − 1/e
+		{-50, 100, 0.02, 1e-6},            // mw → −∞: 1/|m|
+		{50, 100, 100 - 0.02, 1e-6},       // mw → +∞: w − 1/m
+		{-3, math.Inf(1), 1.0 / 3, 1e-12}, // infinite support
+	}
+	for _, tc := range cases {
+		if got := truncExpMean(tc.m, tc.w); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("truncExpMean(%v, %v) = %v, want %v", tc.m, tc.w, got, tc.want)
+		}
+	}
+	// Series and closed form agree where both are accurate (just past the
+	// switch, the closed form's cancellation error is still ≈ ulp/mw ≈ 1e-12).
+	for _, mw := range []float64{2e-4, -2e-4} {
+		series := mw * 0.5 * (1 + mw/6) // truncExpMean's small-|mw| branch at w=|mw|/|m| with m=±1
+		closed := truncExpMean(1, mw)
+		if mw < 0 {
+			series = -mw * 0.5 * (1 + mw/6)
+			closed = truncExpMean(-1, -mw)
+		}
+		if math.Abs(series-closed) > 1e-9 {
+			t.Errorf("mw=%v: series %v vs closed form %v", mw, series, closed)
+		}
+	}
+}

@@ -127,7 +127,7 @@ func (o *OnlineEstimator) Close() { o.scratch.Close() }
 // until the next Estimate call. Callers that retain any of its slices past
 // that point must copy them.
 func (o *OnlineEstimator) Estimate(es *trace.EventSet, rng *xrand.RNG) (*EMResult, *PosteriorSummary, error) {
-	if err := shiftTowardZero(es); err != nil {
+	if err := ShiftTowardZero(es); err != nil {
 		return nil, nil, err
 	}
 	emOpts := o.EM
@@ -150,13 +150,13 @@ func (o *OnlineEstimator) Estimate(es *trace.EventSet, rng *xrand.RNG) (*EMResul
 	return emRes, &o.sum, nil
 }
 
-// shiftTowardZero translates a window cut from a longer trace so that the
+// ShiftTowardZero translates a window cut from a longer trace so that the
 // first task's interarrival gap is a typical one rather than the offset of
 // the whole window — otherwise the window's λ̂ is diluted by the time
 // before it. The shift lands the first entry on the window's mean
 // interarrival gap (non-negative by construction, so TimeShift cannot
 // underflow), and windows already starting near zero are left alone.
-func shiftTowardZero(es *trace.EventSet) error {
+func ShiftTowardZero(es *trace.EventSet) error {
 	if es.NumTasks == 0 {
 		return nil
 	}

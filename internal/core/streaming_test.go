@@ -125,7 +125,7 @@ func TestStreamingWarmStartsFromPreviousBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	r0 := rng.Split()
-	if err := shiftTowardZero(sub0); err != nil {
+	if err := ShiftTowardZero(sub0); err != nil {
 		t.Fatal(err)
 	}
 	em0, err := StEM(sub0, r0, em)
@@ -140,7 +140,7 @@ func TestStreamingWarmStartsFromPreviousBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	r1 := rng.Split()
-	if err := shiftTowardZero(sub1); err != nil {
+	if err := ShiftTowardZero(sub1); err != nil {
 		t.Fatal(err)
 	}
 	warmOpts := em
@@ -231,7 +231,7 @@ func TestShiftTowardZeroKeepsEntriesNonNegative(t *testing.T) {
 	if before <= 1 {
 		t.Fatalf("test needs a late block, first entry %v", before)
 	}
-	if err := shiftTowardZero(sub); err != nil {
+	if err := ShiftTowardZero(sub); err != nil {
 		t.Fatal(err)
 	}
 	for k := 0; k < sub.NumTasks; k++ {

@@ -194,7 +194,18 @@ type Estimate struct {
 	ComputedAt  time.Time `json:"computed_at"`
 	ElapsedMS   float64   `json:"elapsed_ms"`
 	StalenessMS float64   `json:"staleness_ms"`
+	// Backend names the estimator that produced this snapshot:
+	// "meanfield" for the deterministic fast path (a cold stream's instant
+	// first answer), "gibbs" once MCMC refinement has replaced it.
+	Backend string `json:"backend"`
 }
+
+// Estimate backends, as reported in Estimate.Backend and on the
+// qserved_backend_published_total metric.
+const (
+	BackendMeanField = "meanfield"
+	BackendGibbs     = "gibbs"
+)
 
 // WindowCell is one queue × time-bucket summary of the windowed snapshot.
 type WindowCell struct {

@@ -48,13 +48,36 @@ func TestEndToEndTandemReplay(t *testing.T) {
 	c := NewClient(ts.URL)
 	ctx := context.Background()
 
+	// MinTasks = tasks: the first visit sees the complete window, so the
+	// mean-field snapshot stands alone for the full StEM + posterior run
+	// that follows — tens of milliseconds the watcher below cannot miss.
 	cfg := StreamConfig{
-		NumQueues: truth.NumQueues, WindowTasks: tasks, MinTasks: 50,
+		NumQueues: truth.NumQueues, WindowTasks: tasks, MinTasks: tasks,
 		IntervalMS: 50, EMIters: 250, PostSweeps: 30, Windows: 4, WindowSweeps: 10,
 	}
 	if err := c.CreateStream(ctx, "tandem", cfg); err != nil {
 		t.Fatal(err)
 	}
+
+	// Watch for the cold stream's first snapshot from inside the process:
+	// it must come from the mean-field fast path, not a Gibbs publish. The
+	// fast path only fires while the estimate atom is still nil, so a
+	// mean-field backend on the first non-nil load proves it published
+	// first; a Gibbs backend here means the fast path lost or never ran.
+	st := srv.lookup("tandem")
+	firstCh := make(chan *Estimate, 1)
+	go func() {
+		deadline := time.Now().Add(90 * time.Second)
+		for time.Now().Before(deadline) {
+			if est := st.estimate.Load(); est != nil {
+				firstCh <- est
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		firstCh <- nil
+	}()
+
 	stats, err := Replay(ctx, c, truth, ReplayOptions{Stream: "tandem", Batch: 200})
 	if err != nil {
 		t.Fatal(err)
@@ -68,12 +91,39 @@ func TestEndToEndTandemReplay(t *testing.T) {
 
 	wctx, cancel := context.WithTimeout(ctx, 90*time.Second)
 	defer cancel()
-	est, err := c.WaitForEpoch(wctx, "tandem", tasks)
-	if err != nil {
+	if _, err := c.WaitForEpoch(wctx, "tandem", tasks); err != nil {
 		t.Fatal(err)
 	}
+
+	first := <-firstCh
+	if first == nil {
+		t.Fatal("no estimate observed")
+	}
+	if first.Backend != BackendMeanField {
+		t.Fatalf("first snapshot backend = %q, want %q", first.Backend, BackendMeanField)
+	}
+	if first.Seq != 1 {
+		t.Fatalf("first snapshot seq = %d, want 1 (the fast path publishes before any sweep-derived estimate)", first.Seq)
+	}
+
+	// Refinement lands: the snapshot flips to the Gibbs backend at full
+	// coverage, and the fast path's divergence gauge turns finite.
+	var est *Estimate
+	waitFor(t, 90*time.Second, "snapshot refined by gibbs", func() bool {
+		est = st.estimate.Load()
+		return est != nil && est.Backend == BackendGibbs && est.Epoch >= tasks
+	})
 	if est.WindowTasks != tasks {
 		t.Fatalf("estimate window %d tasks, want %d", est.WindowTasks, tasks)
+	}
+	for q, g := range st.m.divergence {
+		if math.IsNaN(g.Value()) {
+			t.Errorf("divergence gauge for queue %d still NaN after both backends published", q+1)
+		}
+	}
+	if srv.metrics.publishedMeanField.Value() == 0 || srv.metrics.publishedGibbs.Value() == 0 {
+		t.Errorf("backend publish counters: meanfield=%d gibbs=%d, want both > 0",
+			srv.metrics.publishedMeanField.Value(), srv.metrics.publishedGibbs.Value())
 	}
 
 	checkWithin := func(name string, got, want, tol float64) {
@@ -108,7 +158,6 @@ func TestEndToEndTandemReplay(t *testing.T) {
 	}
 
 	// Counters reflect the run.
-	st := srv.lookup("tandem")
 	if got := st.m.TasksSealed.Value(); got != tasks {
 		t.Errorf("tasks_sealed=%d, want %d", got, tasks)
 	}

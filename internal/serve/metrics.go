@@ -51,6 +51,16 @@ type serverMetrics struct {
 	// (duration, resampled moves). One daemon-wide pair of histograms: the
 	// hook is atomics-only, so sharing it across workers is free.
 	sweep *obs.SweepMetrics
+	// publishedMeanField / publishedGibbs count published snapshots by the
+	// backend that produced them (qserved_backend_published_total): the
+	// mean-field count is the fast path's hit rate, and their ratio shows
+	// how much of the serving surface is still awaiting MCMC refinement.
+	publishedMeanField *obs.Counter
+	publishedGibbs     *obs.Counter
+	// meanFieldSolve times each deterministic mean-field solve (window
+	// rebuild excluded) — the realized time-to-first-estimate of the fast
+	// path.
+	meanFieldSolve *obs.Histogram
 
 	// Daemon totals, folded in by the fan-in collector.
 	estimates      *obs.Counter
@@ -82,6 +92,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 		slideWindow: reg.Counter("qserved_slide_window_events_total",
 			"Live window events at each incremental sync."),
 		sweep: obs.NewSweepMetrics(reg, "qserved"),
+		publishedMeanField: reg.Counter("qserved_backend_published_total",
+			"Estimate snapshots published, by producing backend.",
+			obs.L("backend", BackendMeanField)),
+		publishedGibbs: reg.Counter("qserved_backend_published_total",
+			"Estimate snapshots published, by producing backend.",
+			obs.L("backend", BackendGibbs)),
+		meanFieldSolve: reg.Histogram("qserved_meanfield_solve_seconds",
+			"Latency of one deterministic mean-field solve (fast-path time-to-first-estimate).",
+			obs.LatencyBuckets()),
 		estimates: reg.Counter("qserved_estimates_total",
 			"Estimates published across all streams."),
 		estimateErrors: reg.Counter("qserved_estimate_errors_total",
@@ -151,6 +170,11 @@ type streamMetrics struct {
 	meanWait    []*obs.FloatGauge
 	ess         []*obs.FloatGauge
 	rhat        []*obs.FloatGauge
+	// divergence is |mean-field − Gibbs| per-queue mean wait, set once both
+	// backends have produced an estimate for the stream (NaN before then) —
+	// the live read on how far the fast path's approximation sits from the
+	// refined posterior.
+	divergence []*obs.FloatGauge
 
 	// varz is this stream's reused /varz block (guarded by Server.varzMu):
 	// scrapes refresh values in place instead of allocating fresh maps.
@@ -251,6 +275,7 @@ func newStreamMetrics(s *Server, st *stream) *streamMetrics {
 	m.meanWait = make([]*obs.FloatGauge, nq-1)
 	m.ess = make([]*obs.FloatGauge, nq-1)
 	m.rhat = make([]*obs.FloatGauge, nq-1)
+	m.divergence = make([]*obs.FloatGauge, nq-1)
 	for q := 1; q < nq; q++ {
 		qlbl := obs.L("queue", strconv.Itoa(q))
 		m.meanService[q-1] = reg.FloatGauge("qserved_queue_mean_service_seconds",
@@ -261,10 +286,13 @@ func newStreamMetrics(s *Server, st *stream) *streamMetrics {
 			"Effective sample size of the queue's mean-wait chain.", lbl, qlbl)
 		m.rhat[q-1] = reg.FloatGauge("qserved_queue_rhat",
 			"Split Gelman-Rubin R-hat of the queue's mean-wait chain.", lbl, qlbl)
+		m.divergence[q-1] = reg.FloatGauge("qserved_backend_divergence",
+			"Absolute difference between the mean-field and Gibbs mean-wait estimates at the queue (NaN until both backends have published).", lbl, qlbl)
 		m.meanService[q-1].Set(math.NaN())
 		m.meanWait[q-1].Set(math.NaN())
 		m.ess[q-1].Set(math.NaN())
 		m.rhat[q-1].Set(math.NaN())
+		m.divergence[q-1].Set(math.NaN())
 	}
 	return m
 }
@@ -283,6 +311,17 @@ func (m *streamMetrics) updateQueueGauges(meanService, meanWait []float64, waitC
 		}
 		m.ess[q-1].Set(stats.ESS(chain))
 		m.rhat[q-1].Set(stats.SplitRHat(chain))
+	}
+}
+
+// updateDivergence publishes |mean-field − Gibbs| per queue after a Gibbs
+// publish on a stream that also has a retained mean-field estimate. NaN
+// components (empty queues) propagate to the gauge.
+func (m *streamMetrics) updateDivergence(mfWait, gibbsWait []float64) {
+	for q := 1; q < len(gibbsWait) && q-1 < len(m.divergence); q++ {
+		if q < len(mfWait) {
+			m.divergence[q-1].Set(math.Abs(mfWait[q] - gibbsWait[q]))
+		}
 	}
 }
 

@@ -100,6 +100,11 @@ type Server struct {
 	tracer       *obs.Tracer
 	freshnessSLO time.Duration
 
+	// meanField selects the deterministic fast path's role (see
+	// WithMeanField): MeanFieldOn, MeanFieldInitOnly, or MeanFieldOff.
+	// Defaults to MeanFieldOn.
+	meanField string
+
 	// recovering is set while NewDurable replays the WAL; GET /readyz
 	// answers 503 until it clears (and again while draining).
 	recovering atomic.Bool
@@ -195,6 +200,42 @@ func WithFreshnessSLO(d time.Duration) Option {
 	return func(s *Server) { s.freshnessSLO = d }
 }
 
+// Mean-field fast-path modes (WithMeanField, qserved's -meanfield flag).
+const (
+	// MeanFieldOn (the default) publishes a deterministic mean-field
+	// estimate on the first visit to a stream with no snapshot yet —
+	// before any Gibbs sweep runs — and warm-starts the cold path's StEM
+	// from the fix point. Gibbs refinement overwrites the snapshot.
+	MeanFieldOn = "on"
+	// MeanFieldInitOnly keeps the warm start but never publishes
+	// mean-field snapshots: every served estimate is Gibbs-refined.
+	MeanFieldInitOnly = "init-only"
+	// MeanFieldOff disables the fast path entirely.
+	MeanFieldOff = "off"
+)
+
+// ValidMeanFieldMode reports whether mode is one of the -meanfield values
+// (on, init-only, off); callers validate before WithMeanField, which
+// panics on unknown modes.
+func ValidMeanFieldMode(mode string) bool {
+	switch mode {
+	case MeanFieldOn, MeanFieldInitOnly, MeanFieldOff:
+		return true
+	}
+	return false
+}
+
+// WithMeanField selects how the deterministic mean-field backend is used;
+// see the MeanField* constants. Unknown modes panic (qserved validates the
+// flag first and exits with a usable message).
+func WithMeanField(mode string) Option {
+	if !ValidMeanFieldMode(mode) {
+		panic(fmt.Sprintf("serve: unknown mean-field mode %q (want %s, %s, or %s)",
+			mode, MeanFieldOn, MeanFieldInitOnly, MeanFieldOff))
+	}
+	return func(s *Server) { s.meanField = mode }
+}
+
 // defaultTraceRing is the span ring capacity when WithTraceRing is unset.
 const defaultTraceRing = 4096
 
@@ -216,6 +257,9 @@ func New(defaults StreamConfig, opts ...Option) *Server {
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.meanField == "" {
+		s.meanField = MeanFieldOn
 	}
 	ring := s.optTraceRing
 	if ring <= 0 {

@@ -129,8 +129,10 @@ func TestTraceChainE2E(t *testing.T) {
 		}
 	}
 
-	// At least one visit of the chain holds the inference-side spans, and
-	// exactly one of them publishes (publishing clears the claimed root).
+	// At least one visit of the chain holds the inference-side spans. The
+	// chain publishes once or twice: the Gibbs publish that completes (and
+	// clears) the claimed root, optionally preceded by the mean-field fast
+	// path's instant first publish on the same cold stream.
 	publishes, sweeps, windows := 0, 0, 0
 	for _, sp := range spans {
 		p, ok := byID[sp.Parent]
@@ -149,8 +151,8 @@ func TestTraceChainE2E(t *testing.T) {
 			windows++
 		}
 	}
-	if publishes != 1 {
-		t.Errorf("publish spans under visits = %d, want 1", publishes)
+	if publishes < 1 || publishes > 2 {
+		t.Errorf("publish spans under visits = %d, want 1 or 2 (gibbs, plus the optional mean-field first publish)", publishes)
 	}
 	if sweeps == 0 || windows == 0 {
 		t.Errorf("chain incomplete: %d sweep spans, %d window spans", sweeps, windows)

@@ -70,6 +70,18 @@ type worker struct {
 	// Cold path.
 	est *core.OnlineEstimator
 
+	// Mean-field fast path (DESIGN.md §18). meanField is the server's mode;
+	// in MeanFieldOn, a visit to a stream with no published snapshot solves
+	// the deterministic fix point over the current window and publishes it
+	// before any sweep runs. mfScratch/mfSum/mfParams are the solve's
+	// reusable state; mfWait retains the last mean-field per-queue waits so
+	// later Gibbs publishes can report backend divergence.
+	meanField string
+	mfScratch core.MeanFieldScratch
+	mfSum     core.PosteriorSummary
+	mfParams  core.Params
+	mfWait    []float64
+
 	// Tracing + freshness. tr is the daemon's span recorder; sloNanos the
 	// seal→publish SLO (0 = no SLO accounting). traceRoot is the claimed
 	// ingest root span whose chain this worker completes at the next
@@ -86,9 +98,9 @@ type worker struct {
 	visitStartNS int64
 }
 
-func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics, tr *obs.Tracer, slo time.Duration) *worker {
+func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics, tr *obs.Tracer, slo time.Duration, meanField string) *worker {
 	cfg := st.cfg
-	w := &worker{st: st, results: results, sm: sm, rng: xrand.New(cfg.Seed), tr: tr}
+	w := &worker{st: st, results: results, sm: sm, rng: xrand.New(cfg.Seed), tr: tr, meanField: meanField}
 	if slo > 0 {
 		w.sloNanos = slo.Nanoseconds()
 	}
@@ -100,8 +112,14 @@ func newWorker(st *stream, results chan<- workerResult, sm *serverMetrics, tr *o
 		})
 	} else {
 		w.tap = &obs.SweepTracer{Metrics: sm.sweep, Tracer: tr, Kind: spanSweep, Stream: st.id}
+		emOpts := core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers, Observer: w.tap}
+		if meanField != MeanFieldOff {
+			// Warm-start StEM from the mean-field fix point: the same solve
+			// that serves the fast path makes the chain's burn-in shorter.
+			emOpts.Init = &core.MeanFieldInitializer{Scratch: &w.mfScratch}
+		}
 		w.est = core.NewOnlineEstimator(
-			core.EMOptions{Iterations: cfg.EMIters, Workers: cfg.Workers, Observer: w.tap},
+			emOpts,
 			core.PosteriorOptions{Sweeps: cfg.PostSweeps, Workers: cfg.Workers, Observer: w.tap},
 		)
 	}
@@ -127,6 +145,84 @@ func (w *worker) visit(ctx context.Context, deadline time.Time, enqueuedNS int64
 	}
 	w.visitCold(ctx)
 	return false, w.caughtEpoch
+}
+
+// maybePublishMeanField runs the fast path on the first visit to a stream
+// with no snapshot. It must be called AFTER the visit's own MinTasks gate
+// has passed: counts only grow, so the re-check inside publishMeanField is
+// then guaranteed to pass too, and the fast-path publish cannot lose the
+// race where a batch lands between two counts() reads and Gibbs publishes
+// first (leaving the estimate forever Gibbs-born).
+func (w *worker) maybePublishMeanField(ctx context.Context) {
+	if w.meanField == MeanFieldOn && w.st.estimate.Load() == nil {
+		w.publishMeanField(ctx)
+	}
+}
+
+// publishMeanField is the fast path's publish: on the first visit to a
+// stream with no snapshot (cold start or WAL recovery without estimates),
+// it solves the deterministic mean-field fix point over the current window
+// and stores the result immediately — zero Gibbs sweeps, O(events) — so
+// GET /estimate stops 503ing as soon as the window has MinTasks. The
+// normal warm/cold visit then runs as usual and its Gibbs-refined
+// estimate overwrites this one (lastEpoch/caughtEpoch are deliberately
+// not advanced here, and freshness accounting stays with the refined
+// publish). Solve errors are swallowed after counting: the stream just
+// waits for Gibbs as it would with the fast path off.
+func (w *worker) publishMeanField(ctx context.Context) {
+	sealed, _, epoch := w.st.store.counts()
+	if sealed < w.st.cfg.MinTasks {
+		return
+	}
+	es, epoch, err := w.st.store.window()
+	if err != nil {
+		w.st.m.EstimateErrors.Inc()
+		return
+	}
+	start := time.Now()
+	origStart := es.TaskEntry(0)
+	origEnd := es.TaskEntry(es.NumTasks - 1)
+	if err := core.ShiftTowardZero(es); err != nil {
+		w.st.m.EstimateErrors.Inc()
+		return
+	}
+	if _, err := core.MeanFieldInto(&w.mfSum, &w.mfParams, es, core.MeanFieldOptions{Scratch: &w.mfScratch}); err != nil {
+		w.st.m.EstimateErrors.Inc()
+		return
+	}
+	elapsed := time.Since(start)
+	w.sm.meanFieldSolve.Observe(elapsed.Seconds())
+	w.mfWait = append(w.mfWait[:0], w.mfSum.MeanWait...)
+	w.seq++
+	est := &Estimate{
+		Stream:       w.st.id,
+		Seq:          w.seq,
+		Epoch:        epoch,
+		Lambda:       w.mfParams.Rates[0],
+		Rates:        append([]float64(nil), w.mfParams.Rates...),
+		MeanService:  toJSONFloats(w.mfSum.MeanService),
+		MeanWait:     toJSONFloats(w.mfSum.MeanWait),
+		Bottleneck:   bottleneckOf(w.mfSum.MeanWait),
+		WindowTasks:  es.NumTasks,
+		WindowEvents: len(es.Events) - es.NumTasks, // exclude the synthetic q0 entries
+		WindowStart:  origStart,
+		WindowEnd:    origEnd,
+		ComputedAt:   time.Now(),
+		ElapsedMS:    float64(elapsed) / float64(time.Millisecond),
+		Backend:      BackendMeanField,
+	}
+	w.st.estimate.Store(est)
+	w.sm.publishedMeanField.Inc()
+	w.st.m.Estimates.Inc()
+	w.st.m.updateQueueGauges(w.mfSum.MeanService, w.mfSum.MeanWait, w.mfSum.WaitChain)
+	if w.visitSpan != 0 {
+		w.tr.Record(obs.Span{ID: w.tr.Child(w.visitSpan), Parent: w.visitSpan,
+			Kind: spanPublish, Stream: w.st.id, StartNS: start.UnixNano(), EndNS: time.Now().UnixNano()})
+	}
+	select {
+	case w.results <- workerResult{stream: w.st.id, seq: w.seq, epoch: epoch, elapsed: elapsed}:
+	case <-ctx.Done():
+	}
 }
 
 // beginVisitSpan claims the stream's pending ingest root (if any) and
@@ -200,6 +296,7 @@ func (w *worker) visitWarm(ctx context.Context, deadline time.Time) (bool, uint6
 			return false, w.caughtEpoch
 		}
 	}
+	w.maybePublishMeanField(ctx)
 	w.sliceStart = time.Now()
 	published, ran, err := w.warmSlice(ctx, deadline)
 	elapsed := time.Since(w.sliceStart)
@@ -405,12 +502,17 @@ func (w *worker) publishWarm() error {
 		WindowEnd:    hi,
 		ComputedAt:   time.Now(),
 		ElapsedMS:    float64(w.epochElapsed+time.Since(w.sliceStart)) / float64(time.Millisecond),
+		Backend:      BackendGibbs,
 	}
 	if ws != nil {
 		ws.Seq = w.seq
 		w.st.windows.Store(ws)
 	}
 	w.st.estimate.Store(est)
+	w.sm.publishedGibbs.Inc()
+	if w.mfWait != nil {
+		w.st.m.updateDivergence(w.mfWait, w.sum.MeanWait)
+	}
 	// Freshness: the first publish covering an epoch records each newly
 	// covered task's seal→publish latency. Anytime republications of the
 	// same epoch leave lastEpoch unchanged and record nothing, so every
@@ -475,6 +577,7 @@ func (w *worker) visitCold(ctx context.Context) {
 		w.st.m.SkippedRuns.Inc()
 		return
 	}
+	w.maybePublishMeanField(ctx)
 	start := time.Now()
 	res := workerResult{stream: w.st.id, epoch: epoch}
 	defer func() {
@@ -539,6 +642,7 @@ func (w *worker) visitCold(ctx context.Context) {
 		WindowEnd:    origEnd,
 		ComputedAt:   time.Now(),
 		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		Backend:      BackendGibbs,
 	}
 
 	var ws *WindowsSnapshot
@@ -560,6 +664,10 @@ func (w *worker) visitCold(ctx context.Context) {
 		w.st.windows.Store(ws)
 	}
 	w.st.estimate.Store(est)
+	w.sm.publishedGibbs.Inc()
+	if w.mfWait != nil {
+		w.st.m.updateDivergence(w.mfWait, post.MeanWait)
+	}
 	if prev := w.lastEpoch; epoch > prev {
 		w.recordFreshness(prev, epoch, est.ComputedAt.UnixNano())
 	}

@@ -32,9 +32,16 @@
 #    every estimate to catch up) and writes BENCH_sched.json. benchdiff.sh
 #    gates on the slide rows scaling with the delta, not the window.
 #
+# 5. Mean-field fast path: runs BenchmarkMeanFieldSolve (the deterministic
+#    first-estimate solve at ~1k/10k/100k events) and BenchmarkColdPosterior
+#    (the serve-default StEM + posterior cold start it replaces, same
+#    traces) in ONE go test run and writes BENCH_meanfield.json.
+#    benchdiff.sh gates the same-run ev10k speedup at >= 50x and the solve
+#    rows at 0 allocs/op.
+#
 # Usage: sh scripts/bench.sh [benchtime]   (default 5x)
-# Env:   BENCH_OUT / BENCH_INGEST_OUT / BENCH_WAL_OUT / BENCH_SCHED_OUT
-#        override the output paths (used by benchdiff.sh).
+# Env:   BENCH_OUT / BENCH_INGEST_OUT / BENCH_WAL_OUT / BENCH_SCHED_OUT /
+#        BENCH_MF_OUT override the output paths (used by benchdiff.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,11 +51,13 @@ OUT="${BENCH_OUT:-BENCH_gibbs.json}"
 INGEST_OUT="${BENCH_INGEST_OUT:-BENCH_ingest.json}"
 WAL_OUT="${BENCH_WAL_OUT:-BENCH_wal.json}"
 SCHED_OUT="${BENCH_SCHED_OUT:-BENCH_sched.json}"
+MF_OUT="${BENCH_MF_OUT:-BENCH_meanfield.json}"
 RAW=$(mktemp)
 RAW_INGEST=$(mktemp)
 RAW_WAL=$(mktemp)
 RAW_SCHED=$(mktemp)
-trap 'rm -f "$RAW" "$RAW_INGEST" "$RAW_WAL" "$RAW_SCHED"' EXIT
+RAW_MF=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_INGEST" "$RAW_WAL" "$RAW_SCHED" "$RAW_MF"' EXIT
 
 # GOMAXPROCS grid: powers of two up to the host's CPU count, plus the
 # count itself (so a 6-core host measures 1,2,4,6). A 1-CPU host collapses
@@ -237,3 +246,45 @@ END {
 }' hostcpus="$HOST_CPUS" "$RAW_SCHED" > "$SCHED_OUT"
 
 echo "wrote $SCHED_OUT"
+
+# Both sides of the >= 50x gate run in ONE invocation at a fixed 3x so the
+# ratio is same-run (cross-run wall clock on a shared box swings too much)
+# and the ev100k cold row (~2s/op) stays bounded.
+go test -bench 'BenchmarkMeanFieldSolve|BenchmarkColdPosterior' -benchmem \
+    -benchtime 3x -run '^$' . | tee "$RAW_MF"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark(MeanFieldSolve|ColdPosterior)\// {
+    name = $1
+    procs[n] = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs[n] = substr(name, RSTART + 1)
+        sub(/-[0-9]+$/, "", name)
+    }
+    split(name, parts, "/")
+    bench[n] = parts[1]; variant[n] = parts[2]
+    events[n] = 0                        # evNk event-scale suffix
+    if (match(variant[n], /^ev[0-9]+k$/))
+        events[n] = substr(variant[n], 3, RLENGTH - 3) * 1000
+    iters[n] = $2; nsop[n] = $3
+    bop[n] = ""; aop[n] = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op") bop[n] = $i
+        if ($(i+1) == "allocs/op") aop[n] = $i
+    }
+    n++
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n  \"cpu\": \"%s\",\n  \"host_cpus\": %d,\n  \"results\": [\n", cpu, hostcpus
+    for (i = 0; i < n; i++) {
+        printf "    {\"bench\": \"%s\", \"variant\": \"%s\", \"events\": %s, \"gomaxprocs\": %s, \"iters\": %s, \"ns_per_op\": %s",
+            bench[i], variant[i], events[i], procs[i], iters[i], nsop[i]
+        if (bop[i] != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop[i], aop[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' hostcpus="$HOST_CPUS" "$RAW_MF" > "$MF_OUT"
+
+echo "wrote $MF_OUT"

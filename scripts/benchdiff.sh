@@ -31,6 +31,13 @@
 #   absorbs shared-box I/O variance; real regressions halve throughput).
 #   The batch4096 and Recovery rows are printed for context — both are
 #   fsync/page-cache bound and too noisy to gate.
+# - BENCH_meanfield.json: the mean-field fast path gates same-run on its
+#   two deterministic contracts: the ev10k solve must be >= 50x faster
+#   than the serve-default cold Gibbs start (StEM + posterior) measured in
+#   the SAME run, and every MeanFieldSolve row must stay at 0 allocs/op
+#   (the scratch-reuse steady state is what makes the instant publish
+#   free). Cross-run ns/op deltas are printed for context only — both
+#   sides are CPU-bound, so the ratio is stable where wall clock is not.
 # - BENCH_sched.json: the incremental-slide contract gates same-run:
 #   one steady-state slide (fixed one-task delta) must cost about the
 #   same at window 8000 as at window 500 — ns/op(w8000) > 3x ns/op(w500)
@@ -51,7 +58,8 @@ BASE=BENCH_gibbs.json
 INGEST_BASE=BENCH_ingest.json
 WAL_BASE=BENCH_wal.json
 SCHED_BASE=BENCH_sched.json
-for f in "$BASE" "$INGEST_BASE" "$WAL_BASE" "$SCHED_BASE"; do
+MF_BASE=BENCH_meanfield.json
+for f in "$BASE" "$INGEST_BASE" "$WAL_BASE" "$SCHED_BASE" "$MF_BASE"; do
     if [ ! -f "$f" ]; then
         echo "benchdiff: no baseline $f; run 'make bench' and commit it" >&2
         exit 1
@@ -62,9 +70,10 @@ FRESH=$(mktemp)
 FRESH_INGEST=$(mktemp)
 FRESH_WAL=$(mktemp)
 FRESH_SCHED=$(mktemp)
-trap 'rm -f "$FRESH" "$FRESH_INGEST" "$FRESH_WAL" "$FRESH_SCHED"' EXIT
+FRESH_MF=$(mktemp)
+trap 'rm -f "$FRESH" "$FRESH_INGEST" "$FRESH_WAL" "$FRESH_SCHED" "$FRESH_MF"' EXIT
 BENCH_OUT="$FRESH" BENCH_INGEST_OUT="$FRESH_INGEST" BENCH_WAL_OUT="$FRESH_WAL" \
-    BENCH_SCHED_OUT="$FRESH_SCHED" \
+    BENCH_SCHED_OUT="$FRESH_SCHED" BENCH_MF_OUT="$FRESH_MF" \
     sh scripts/bench.sh "${1:-5x}" >/dev/null
 
 # Both sections run even when the first regresses, so one report covers the
@@ -311,6 +320,62 @@ END {
     }
     if (bad) { print "benchdiff: scheduler benchmark regression" | "cat 1>&2"; exit 1 }
 }' "$SCHED_BASE" "$FRESH_SCHED" || rc=1
+
+awk '
+function num(line, key,    s) {
+    if (!match(line, "\"" key "\": *-?[0-9.e+]+")) return -1
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: */, "", s)
+    return s + 0
+}
+function str(line, key,    s) {
+    if (!match(line, "\"" key "\": *\"[^\"]*\"")) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: *"/, "", s); sub(/"$/, "", s)
+    return s
+}
+function rowkey(line) {
+    return str(line, "bench") "/" str(line, "variant")
+}
+FNR == NR && /"bench":/ {
+    k = rowkey($0)
+    bns[k] = num($0, "ns_per_op")
+    next
+}
+/"bench":/ {
+    k = rowkey($0)
+    ns = num($0, "ns_per_op"); al = num($0, "allocs_per_op")
+    fns[k] = ns
+    status = "ok"
+    # The solve recycles every buffer through its scratch; any allocation
+    # per op means the instant publish started costing GC on the hot path.
+    if (str($0, "bench") == "BenchmarkMeanFieldSolve" && al > 0) {
+        status = "FAIL allocs/op"; bad = 1
+    }
+    if (!(k in bns)) {
+        printf "%-44s %38s  %s\n", k, "new row (no baseline)", status
+        next
+    }
+    printf "%-44s %11.0f -> %11.0f ns/op (%+6.1f%%)  allocs %g  %s\n",
+        k, bns[k], ns, (bns[k] > 0 ? (ns / bns[k] - 1) * 100 : 0), al, status
+}
+END {
+    # Same-run time-to-first-estimate contract: at 10k events the
+    # deterministic solve must be >= 50x faster than the serve-default
+    # cold Gibbs start it replaces. Both rows come from one go test run,
+    # so shared-box wall-clock swings cancel in the ratio.
+    mf = fns["BenchmarkMeanFieldSolve/ev10k"]
+    cold = fns["BenchmarkColdPosterior/ev10k"]
+    if (mf > 0 && cold > 0) {
+        speedup = cold / mf
+        status = "ok"
+        if (speedup < 50.0) { status = "FAIL speedup < 50x"; bad = 1 }
+        printf "%-44s %17.1fx vs cold gibbs  %s\n", "BenchmarkMeanFieldSolve/ev10k", speedup, status
+    } else {
+        print "benchdiff: missing ev10k mean-field rows" | "cat 1>&2"; bad = 1
+    }
+    if (bad) { print "benchdiff: mean-field benchmark regression" | "cat 1>&2"; exit 1 }
+}' "$MF_BASE" "$FRESH_MF" || rc=1
 
 [ "$rc" -eq 0 ] && echo "benchdiff: ok"
 exit "$rc"

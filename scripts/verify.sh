@@ -15,8 +15,10 @@ go test -race ./...
 # republication, incremental slides — worker pool vs ingest vs readers),
 # the telemetry registry's writer-vs-scraper test, the span ring's
 # concurrent writers-vs-snapshot test, the end-to-end trace chain and
-# freshness/readiness endpoints, the WAL's group-commit writers, and the
-# crash-recovery e2e oracle, with a fresh -count=1 run so
-# schedule/sharding races can't hide behind the test cache.
-go test -race -count=1 -run 'Parallel|Recovery|Executor|Trace|Readyz|Freshness' \
+# freshness/readiness endpoints, the WAL's group-commit writers, the
+# crash-recovery e2e oracle, and the mean-field fast path (its
+# determinism-across-GOMAXPROCS contract and the worker-visit publish
+# path), with a fresh -count=1 run so schedule/sharding races can't hide
+# behind the test cache.
+go test -race -count=1 -run 'Parallel|Recovery|Executor|Trace|Readyz|Freshness|MeanField' \
     ./internal/core ./internal/serve ./internal/obs ./internal/wal
